@@ -1,0 +1,53 @@
+// Shared configuration for the paper-reproduction benches. Three effort
+// tiers are selected via environment variables:
+//   RLCCD_BENCH_FAST=1 — smoke tier (smaller designs, fewer RL iterations)
+//   (default)          — standard tier used for EXPERIMENTS.md numbers
+//   RLCCD_BENCH_FULL=1 — paper-faithful tier (8 workers, higher caps)
+#pragma once
+
+#include <cstdio>
+
+#include "common/env.h"
+#include "common/log.h"
+#include "core/rlccd.h"
+#include "designgen/blocks.h"
+
+namespace rlccd::bench {
+
+struct BenchTier {
+  const char* name;
+  double scale;        // of the paper's cell counts
+  int workers;
+  int max_iterations;
+  int patience;
+};
+
+inline BenchTier tier() {
+  if (env_flag("RLCCD_BENCH_FAST")) {
+    return {"fast", 0.005, 4, 4, 2};
+  }
+  if (env_flag("RLCCD_BENCH_FULL")) {
+    return {"full", 0.01, 8, 20, 3};
+  }
+  return {"default", 0.01, 6, 6, 2};
+}
+
+inline RlCcdConfig agent_config(const Design& design, const BenchTier& t,
+                                std::uint64_t policy_seed = 42) {
+  RlCcdConfig cfg = RlCcdConfig::for_design(design);
+  cfg.train.workers = t.workers;
+  cfg.train.max_iterations = t.max_iterations;
+  cfg.train.patience = t.patience;
+  cfg.policy_seed = policy_seed;
+  return cfg;
+}
+
+inline void print_header(const char* what) {
+  BenchTier t = tier();
+  std::printf("== %s ==\n", what);
+  std::printf("tier: %s (scale %.3f of paper cell counts, %d workers, "
+              "max %d RL iterations)\n\n",
+              t.name, t.scale, t.workers, t.max_iterations);
+}
+
+}  // namespace rlccd::bench

@@ -1,0 +1,95 @@
+// Figure 5 reproduction: histogram of clock-arrival adjustments on block11.
+//
+// The paper shows that by prioritizing 74 endpoints, RL-CCD shifts the
+// useful-skew engine's behaviour: the adjustment distribution gains mass at
+// larger magnitudes. We run the default flow and the RL-CCD flow on block11
+// and print juxtaposed bucket counts of |clock arrival adjustment|.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace rlccd;
+using namespace rlccd::bench;
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  print_header("Figure 5: clock arrival adjustments on block11");
+  BenchTier t = tier();
+
+  const BlockSpec& spec = find_block("block11");
+  Design design = generate_design(to_generator_config(spec, t.scale));
+  RlCcdConfig cfg = agent_config(design, t);
+  cfg.train.max_iterations *= 2;  // this figure wants a converged agent
+  cfg.train.patience += 1;
+  RlCcd agent(&design, cfg);
+  RlCcdResult r = agent.run();
+
+  FlowResult rl_flow = r.rl_flow;
+  if (r.selection.empty()) {
+    // The agent decided the empty selection is best on this regeneration;
+    // for the histogram, show the greedy-decoded selection's effect anyway.
+    std::printf("note: best RL selection is empty at this scale — showing "
+                "the greedy-decoded selection's skew impact instead.\n");
+    ReinforceTrainer trainer(&design, &agent.policy(), cfg.train);
+    SelectionEnv env(&trainer.graph(), cfg.train.overlap_threshold);
+    Rng rng(3);
+    Policy::RolloutResult ro =
+        agent.policy().rollout(trainer.graph(), env, rng, /*greedy=*/true,
+                               Policy::RolloutMode::Inference);
+    r.selection = ro.selected;
+    rl_flow = trainer.evaluate_selection(r.selection);
+  }
+
+  std::vector<double> def_adj = r.default_flow.final_clock.nonzero_adjustments();
+  std::vector<double> rl_adj = rl_flow.final_clock.nonzero_adjustments();
+
+  double max_abs = 1e-9;
+  for (double d : def_adj) max_abs = std::max(max_abs, std::abs(d));
+  for (double d : rl_adj) max_abs = std::max(max_abs, std::abs(d));
+
+  constexpr int kBuckets = 8;
+  auto histogram = [&](const std::vector<double>& adj) {
+    std::vector<int> h(kBuckets, 0);
+    for (double d : adj) {
+      int b = std::min(kBuckets - 1,
+                       static_cast<int>(std::abs(d) / max_abs * kBuckets));
+      ++h[static_cast<std::size_t>(b)];
+    }
+    return h;
+  };
+  std::vector<int> def_h = histogram(def_adj);
+  std::vector<int> rl_h = histogram(rl_adj);
+
+  std::printf("RL-CCD prioritized %zu endpoints before useful skew "
+              "(paper: 74 on the 180K-cell block11)\n\n",
+              r.selection.size());
+  TablePrinter table({"|adjustment| range (ns)", "default flow", "RL-CCD",
+                      "delta"});
+  for (int b = 0; b < kBuckets; ++b) {
+    char range[64];
+    std::snprintf(range, sizeof(range), "%.3f - %.3f",
+                  max_abs * b / kBuckets, max_abs * (b + 1) / kBuckets);
+    table.add_row({range, std::to_string(def_h[static_cast<std::size_t>(b)]),
+                   std::to_string(rl_h[static_cast<std::size_t>(b)]),
+                   std::to_string(rl_h[static_cast<std::size_t>(b)] -
+                                  def_h[static_cast<std::size_t>(b)])});
+  }
+  table.print();
+
+  double def_mean = 0.0, rl_mean = 0.0;
+  for (double d : def_adj) def_mean += std::abs(d);
+  for (double d : rl_adj) rl_mean += std::abs(d);
+  if (!def_adj.empty()) def_mean /= static_cast<double>(def_adj.size());
+  if (!rl_adj.empty()) rl_mean /= static_cast<double>(rl_adj.size());
+  std::printf("\nadjusted flops: default %zu, RL-CCD %zu\n", def_adj.size(),
+              rl_adj.size());
+  std::printf("mean |adjustment|: default %.4f ns, RL-CCD %.4f ns\n",
+              def_mean, rl_mean);
+  std::printf("final TNS: default %.2f, RL-CCD %.2f (-%.1f%%)\n",
+              r.default_flow.final_.tns, rl_flow.final_.tns,
+              r.tns_gain_pct());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the substrate: STA throughput,
+// useful-skew sweeps, EP-GNN forward/backward, rollout steps and flow runs.
+// These quantify where the RL training budget goes (the paper's runtime
+// column is dominated by reward-evaluation flow runs).
+#include <benchmark/benchmark.h>
+
+#include "core/rlccd.h"
+#include "designgen/blocks.h"
+#include "rl/trainer.h"
+
+namespace rlccd {
+namespace {
+
+Design& cached_design(std::size_t cells) {
+  static std::map<std::size_t, Design> cache;
+  auto it = cache.find(cells);
+  if (it == cache.end()) {
+    GeneratorConfig cfg;
+    cfg.name = "micro" + std::to_string(cells);
+    cfg.target_cells = cells;
+    cfg.seed = 5;
+    cfg.clock_tightness = 0.75;
+    it = cache.emplace(cells, generate_design(cfg)).first;
+  }
+  return it->second;
+}
+
+void BM_StaFullUpdate(benchmark::State& state) {
+  Design& d = cached_design(static_cast<std::size_t>(state.range(0)));
+  Sta sta = d.make_sta();
+  sta.run();
+  for (auto _ : state) {
+    sta.run();
+    benchmark::DoNotOptimize(sta.summary().tns);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(d.netlist->num_pins()));
+}
+BENCHMARK(BM_StaFullUpdate)->Arg(500)->Arg(2000)->Arg(5000);
+
+void BM_UsefulSkew(benchmark::State& state) {
+  Design& d = cached_design(2000);
+  for (auto _ : state) {
+    Sta sta = d.make_sta();
+    UsefulSkewConfig cfg;
+    cfg.max_abs_skew = 0.1 * d.clock_period;
+    UsefulSkewResult r = run_useful_skew(sta, cfg);
+    benchmark::DoNotOptimize(r.flops_adjusted);
+  }
+}
+BENCHMARK(BM_UsefulSkew);
+
+void BM_ConeExtraction(benchmark::State& state) {
+  Design& d = cached_design(2000);
+  Sta sta = d.make_sta();
+  sta.run();
+  std::vector<PinId> vio = sta.violating_endpoints();
+  for (auto _ : state) {
+    ConeIndex cones(*d.netlist, vio);
+    benchmark::DoNotOptimize(cones.size());
+  }
+}
+BENCHMARK(BM_ConeExtraction);
+
+void BM_EpGnnForward(benchmark::State& state) {
+  Design& d = cached_design(static_cast<std::size_t>(state.range(0)));
+  DesignGraph graph(d);
+  Rng rng(1);
+  EpGnn gnn(EpGnnConfig{}, rng);
+  std::vector<char> flags(d.netlist->num_cells(), 0);
+  for (auto _ : state) {
+    Tensor x = graph.features_with_mask(flags);
+    Tensor f = gnn.forward(x, graph.adjacency(), graph.cone_matrix(),
+                           graph.endpoint_rows());
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_EpGnnForward)->Arg(500)->Arg(2000)->Arg(5000);
+
+void BM_PolicyRolloutStepwise(benchmark::State& state) {
+  Design& d = cached_design(2000);
+  DesignGraph graph(d);
+  Policy policy(PolicyConfig{}, 3);
+  Rng rng(7);
+  for (auto _ : state) {
+    std::vector<Tensor> params = policy.parameters();
+    for (Tensor& p : params) p.zero_grad();
+    SelectionEnv env(&graph, 0.3);
+    Policy::RolloutResult r = policy.rollout(
+        graph, env, rng, false, Policy::RolloutMode::StepwiseBackward);
+    benchmark::DoNotOptimize(r.steps);
+  }
+}
+BENCHMARK(BM_PolicyRolloutStepwise);
+
+void BM_PlacementFlow(benchmark::State& state) {
+  Design& d = cached_design(2000);
+  FlowConfig cfg =
+      default_flow_config(d.netlist->num_real_cells(), d.clock_period);
+  for (auto _ : state) {
+    Netlist work = *d.netlist;
+    FlowResult r = run_placement_flow(work, d.sta_config, d.clock_period,
+                                      d.die, d.pi_toggles, cfg, {});
+    benchmark::DoNotOptimize(r.final_.tns);
+  }
+}
+BENCHMARK(BM_PlacementFlow);
+
+void BM_NetlistCopy(benchmark::State& state) {
+  Design& d = cached_design(5000);
+  for (auto _ : state) {
+    Netlist work = *d.netlist;
+    benchmark::DoNotOptimize(work.num_cells());
+  }
+}
+BENCHMARK(BM_NetlistCopy);
+
+}  // namespace
+}  // namespace rlccd
+
+BENCHMARK_MAIN();

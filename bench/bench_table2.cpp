@@ -1,0 +1,110 @@
+// Table II reproduction: all 19 blocks, default tool flow vs RL-CCD.
+//
+// For each block the harness regenerates the design at the bench tier's
+// scale, runs the default placement flow and trains RL-CCD (Algorithm 1),
+// then prints the same columns the paper reports: begin / default / RL-CCD
+// WNS, TNS (with the "goal" improvement percentage), violating-endpoint
+// counts, total power, and normalized runtime — next to the paper's own
+// TNS/NVE improvement percentages for shape comparison.
+//
+//   RLCCD_BENCH_BLOCKS="block11,block18"  restricts the block list.
+#include <cstdio>
+#include <sstream>
+
+#include "bench_common.h"
+#include "common/table.h"
+
+using namespace rlccd;
+using namespace rlccd::bench;
+
+namespace {
+
+std::vector<std::string> selected_blocks() {
+  std::string env = env_string("RLCCD_BENCH_BLOCKS", "");
+  std::vector<std::string> names;
+  if (env.empty()) {
+    for (const BlockSpec& b : paper_blocks()) names.push_back(b.name);
+    return names;
+  }
+  std::stringstream ss(env);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) names.push_back(tok);
+  }
+  return names;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  print_header("Table II: single-design optimization results (19 blocks)");
+  BenchTier t = tier();
+
+  TablePrinter table({"design (#cells)", "begin WNS", "begin TNS",
+                      "begin #vio", "def WNS", "def TNS", "def #vio",
+                      "def pwr", "RL WNS", "RL TNS (goal)", "RL #vio",
+                      "RL pwr", "RL rt", "paper TNS impr", "paper NVE impr"});
+
+  double sum_gain = 0.0, sum_nve_gain = 0.0, sum_pwr = 0.0;
+  double paper_sum_gain = 0.0, paper_sum_nve = 0.0;
+  int rows = 0;
+  for (const std::string& name : selected_blocks()) {
+    const BlockSpec& spec = find_block(name);
+    Design design = generate_design(to_generator_config(spec, t.scale));
+    RlCcd agent(&design, agent_config(design, t, 42 + spec.seed));
+    RlCcdResult r = agent.run();
+
+    double tns_gain = r.tns_gain_pct();  // positive = TNS reduced
+    double nve_gain = r.nve_gain_pct();
+    double pwr_delta =
+        100.0 * (r.rl_flow.power_final.total() -
+                 r.default_flow.power_final.total()) /
+        r.default_flow.power_final.total();
+    sum_gain += tns_gain;
+    sum_nve_gain += nve_gain;
+    sum_pwr += pwr_delta;
+    double paper_nve_gain =
+        100.0 *
+        (static_cast<double>(spec.paper.def_vio - spec.paper.rl_vio)) /
+        static_cast<double>(std::max<long>(1, spec.paper.def_vio));
+    paper_sum_gain += spec.paper.rl_tns_gain_pct;
+    paper_sum_nve += paper_nve_gain;
+    ++rows;
+
+    char cells_buf[64];
+    std::snprintf(cells_buf, sizeof(cells_buf), "%s (%zu)", spec.name.c_str(),
+                  design.netlist->num_real_cells());
+    char goal_buf[64];
+    std::snprintf(goal_buf, sizeof(goal_buf), "%.2f (-%.1f%%)",
+                  r.rl_flow.final_.tns, tns_gain);
+    table.add_row(
+        {cells_buf, TablePrinter::fmt(r.default_flow.begin.wns, 3),
+         TablePrinter::fmt(r.default_flow.begin.tns, 2),
+         std::to_string(r.default_flow.begin.nve),
+         TablePrinter::fmt(r.default_flow.final_.wns, 3),
+         TablePrinter::fmt(r.default_flow.final_.tns, 2),
+         std::to_string(r.default_flow.final_.nve),
+         TablePrinter::fmt(r.default_flow.power_final.total(), 2),
+         TablePrinter::fmt(r.rl_flow.final_.wns, 3), goal_buf,
+         std::to_string(r.rl_flow.final_.nve),
+         TablePrinter::fmt(r.rl_flow.power_final.total(), 2),
+         "x" + TablePrinter::fmt(r.runtime_factor, 0),
+         TablePrinter::fmt(spec.paper.rl_tns_gain_pct, 1) + "%",
+         TablePrinter::fmt(paper_nve_gain, 1) + "%"});
+    std::fprintf(stderr, "[table2] %s done: TNS %.2f -> %.2f (-%.1f%%)\n",
+                 spec.name.c_str(), r.default_flow.final_.tns,
+                 r.rl_flow.final_.tns, tns_gain);
+  }
+
+  table.print();
+  if (rows > 0) {
+    std::printf("\nmeasured averages: TNS improvement %.1f%%, NVE "
+                "improvement %.1f%%, power delta %+.2f%%\n",
+                sum_gain / rows, sum_nve_gain / rows, sum_pwr / rows);
+    std::printf("paper averages   : TNS improvement %.1f%% (avg 24%%), NVE "
+                "improvement %.1f%% (avg 19%%), power avg +0.2%%\n",
+                paper_sum_gain / rows, paper_sum_nve / rows);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations abort with a diagnostic; checks stay on
+// in release builds because the substrate is used for experiments where a
+// silently corrupted invariant would invalidate results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rlccd {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  std::fprintf(stderr, "%s violation: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace rlccd
+
+#define RLCCD_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::rlccd::contract_fail("Precondition", #cond, __FILE__, __LINE__))
+
+#define RLCCD_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::rlccd::contract_fail("Postcondition", #cond, __FILE__, __LINE__))
+
+#define RLCCD_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::rlccd::contract_fail("Invariant", #cond, __FILE__, __LINE__))

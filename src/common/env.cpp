@@ -1,0 +1,30 @@
+#include "common/env.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rlccd {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+long env_int(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "yes") == 0 || std::strcmp(v, "on") == 0;
+}
+
+}  // namespace rlccd

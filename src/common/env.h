@@ -1,0 +1,18 @@
+// Environment-variable helpers used by the benchmark harnesses to pick a
+// scale tier (RLCCD_BENCH_FAST / RLCCD_BENCH_FULL) without recompiling.
+#pragma once
+
+#include <string>
+
+namespace rlccd {
+
+// Returns the value of `name`, or `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+// Returns the integer value of `name`, or `fallback` when unset/invalid.
+long env_int(const char* name, long fallback);
+
+// True when `name` is set to a truthy value ("1", "true", "yes", "on").
+bool env_flag(const char* name);
+
+}  // namespace rlccd

@@ -1,0 +1,48 @@
+// Strong ID types for netlist entities. A plain uint32 index wrapped in a
+// tagged struct so that a CellId cannot be passed where a NetId is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace rlccd {
+
+template <class Tag>
+struct Id {
+  using value_type = std::uint32_t;
+  static constexpr value_type npos = std::numeric_limits<value_type>::max();
+
+  value_type value = npos;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != npos; }
+  [[nodiscard]] constexpr value_type index() const { return value; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+struct CellTag {};
+struct NetTag {};
+struct PinTag {};
+struct LibCellTag {};
+
+using CellId = Id<CellTag>;
+using NetId = Id<NetTag>;
+using PinId = Id<PinTag>;
+using LibCellId = Id<LibCellTag>;
+
+}  // namespace rlccd
+
+namespace std {
+template <class Tag>
+struct hash<rlccd::Id<Tag>> {
+  size_t operator()(rlccd::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,44 @@
+#include "common/rng.h"
+
+namespace rlccd {
+
+std::size_t Rng::sample_discrete(std::span<const double> weights) {
+  RLCCD_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    RLCCD_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  RLCCD_EXPECTS(total > 0.0);
+  double r = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  // Numerical edge: fall back to the last positive-weight index.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size() - 1;
+}
+
+std::size_t Rng::sample_probabilities(std::span<const float> probs) {
+  RLCCD_EXPECTS(!probs.empty());
+  double r = uniform();
+  double acc = 0.0;
+  std::size_t last_positive = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] > 0.0f) {
+      last_positive = i;
+      any = true;
+    }
+    acc += probs[i];
+    if (r < acc) return i;
+  }
+  RLCCD_EXPECTS(any);
+  return last_positive;
+}
+
+}  // namespace rlccd

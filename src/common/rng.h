@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// The paper stresses that "the same seed is used across all experiments to
+// completely remove non-deterministic run-to-run variation"; everything in
+// this repository that needs randomness draws from an Rng seeded explicitly.
+// The generator is SplitMix64 (fast, well-distributed, trivially
+// reproducible across platforms), with helpers for the distributions the
+// design generator and the RL sampler need.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace rlccd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  // Derive an independent stream (e.g. one per rollout worker).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    Rng r(state_ ^ (0xbf58476d1ce4e5b9ull * (stream + 1)));
+    r.next_u64();
+    return r;
+  }
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_int(std::uint64_t n) {
+    RLCCD_EXPECTS(n > 0);
+    return next_u64() % n;
+  }
+
+  // Uniform integer in [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    RLCCD_EXPECTS(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Standard normal via Box-Muller.
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Sample an index from an (unnormalized, non-negative) weight vector.
+  // All-zero weights are a precondition violation.
+  std::size_t sample_discrete(std::span<const double> weights);
+
+  // Sample an index from a probability vector that sums to ~1.
+  std::size_t sample_probabilities(std::span<const float> probs);
+
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_int(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rlccd

@@ -1,0 +1,40 @@
+#include "core/rlccd.h"
+
+#include "common/log.h"
+
+namespace rlccd {
+
+RlCcdConfig RlCcdConfig::for_design(const Design& design) {
+  RlCcdConfig cfg;
+  cfg.train.flow = default_flow_config(design.netlist->num_real_cells(),
+                                       design.clock_period);
+  return cfg;
+}
+
+RlCcd::RlCcd(const Design* design, RlCcdConfig config)
+    : design_(design),
+      config_(std::move(config)),
+      policy_(config_.policy, config_.policy_seed) {
+  RLCCD_EXPECTS(design != nullptr);
+  if (!config_.pretrained_gnn.empty()) {
+    bool ok = policy_.load_gnn(config_.pretrained_gnn);
+    RLCCD_EXPECTS(ok);
+    RLCCD_LOG_INFO("loaded pre-trained EP-GNN from %s",
+                   config_.pretrained_gnn.c_str());
+  }
+}
+
+RlCcdResult RlCcd::run() {
+  RlCcdResult result;
+  ReinforceTrainer trainer(design_, &policy_, config_.train);
+  result.train = trainer.train();
+  result.selection = result.train.best_selection;
+  result.default_flow = trainer.evaluate_selection({});
+  result.rl_flow = trainer.evaluate_selection(result.selection);
+  double default_cost = std::max(1e-9, result.default_flow.runtime_sec);
+  result.runtime_factor =
+      (result.train.train_seconds + result.rl_flow.runtime_sec) / default_cost;
+  return result;
+}
+
+}  // namespace rlccd

@@ -1,0 +1,21 @@
+// Baseline endpoint selectors for ablation (bench_ablation_selection):
+// heuristic strategies the paper's RL agent is compared against.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sta/sta.h"
+
+namespace rlccd {
+
+// The k worst-slack violating endpoints.
+std::vector<PinId> select_worst_k(const Sta& sta, std::size_t k);
+
+// k violating endpoints uniformly at random.
+std::vector<PinId> select_random_k(const Sta& sta, std::size_t k, Rng& rng);
+
+// All violating endpoints.
+std::vector<PinId> select_all_violating(const Sta& sta);
+
+}  // namespace rlccd

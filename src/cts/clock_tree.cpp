@@ -1,0 +1,213 @@
+#include "cts/clock_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.h"
+
+namespace rlccd {
+
+namespace {
+
+constexpr double kPsToNs = 1e-3;
+
+struct Cluster {
+  std::vector<std::size_t> members;  // indices into flops_
+  double cx = 0.0, cy = 0.0;
+};
+
+struct BuildState {
+  const Netlist* nl;
+  const Library* lib;
+  const LibCell* buf;
+  const CtsConfig* cfg;
+  const std::vector<CellId>* flops;
+  std::vector<double>* latency;  // per flop, ns
+  CtsReport* report;
+};
+
+void centroid(const BuildState& s, Cluster& c) {
+  c.cx = c.cy = 0.0;
+  for (std::size_t i : c.members) {
+    const Cell& cell = s.nl->cell((*s.flops)[i]);
+    c.cx += cell.x;
+    c.cy += cell.y;
+  }
+  c.cx /= static_cast<double>(c.members.size());
+  c.cy /= static_cast<double>(c.members.size());
+}
+
+// Wire delay and cap of a point-to-point clock route of length `dist`.
+double wire_cap_of(const BuildState& s, double dist) {
+  return s.nl->library().tech().wire_cap_per_um * dist;
+}
+double wire_delay_of(const BuildState& s, double dist, double sink_cap) {
+  const Tech& tech = s.nl->library().tech();
+  double r = tech.wire_res_per_um * dist;
+  return kPsToNs * r * (0.5 * wire_cap_of(s, dist) + sink_cap);
+}
+
+// Recursively builds the tree under a cluster whose driver buffer sits at
+// the cluster centroid; `arrival` is the clock arrival at that buffer's
+// input. Returns the subtree depth.
+int build_recursive(BuildState& s, Cluster cluster, double arrival,
+                    int level) {
+  centroid(s, cluster);
+  ++s.report->num_tree_buffers;
+  s.report->depth = std::max(s.report->depth, level);
+
+  if (cluster.members.size() <= s.cfg->max_leaf_sinks) {
+    // Leaf buffer drives the flop CK pins directly.
+    double load = 0.0;
+    double wl = 0.0;
+    for (std::size_t i : cluster.members) {
+      const Cell& cell = s.nl->cell((*s.flops)[i]);
+      double dist = std::abs(cell.x - cluster.cx) +
+                    std::abs(cell.y - cluster.cy);
+      wl += dist;
+      load += wire_cap_of(s, dist) +
+              s.nl->lib_cell((*s.flops)[i]).clock_pin_cap;
+    }
+    s.report->total_wirelength += wl;
+    s.report->total_wire_cap += wire_cap_of(s, wl);
+    double buf_delay = s.buf->arc_delay(0, load, 0.02);
+    for (std::size_t i : cluster.members) {
+      const Cell& cell = s.nl->cell((*s.flops)[i]);
+      double dist = std::abs(cell.x - cluster.cx) +
+                    std::abs(cell.y - cluster.cy);
+      (*s.latency)[i] =
+          arrival + buf_delay +
+          wire_delay_of(s, dist, s.nl->lib_cell((*s.flops)[i]).clock_pin_cap);
+    }
+    return level;
+  }
+
+  // Split along the longer bounding-box axis at the median.
+  double min_x = 1e300, max_x = -1e300, min_y = 1e300, max_y = -1e300;
+  for (std::size_t i : cluster.members) {
+    const Cell& cell = s.nl->cell((*s.flops)[i]);
+    min_x = std::min(min_x, cell.x);
+    max_x = std::max(max_x, cell.x);
+    min_y = std::min(min_y, cell.y);
+    max_y = std::max(max_y, cell.y);
+  }
+  const bool split_x = (max_x - min_x) >= (max_y - min_y);
+  std::sort(cluster.members.begin(), cluster.members.end(),
+            [&](std::size_t a, std::size_t b) {
+              const Cell& ca = s.nl->cell((*s.flops)[a]);
+              const Cell& cb = s.nl->cell((*s.flops)[b]);
+              return split_x ? ca.x < cb.x : ca.y < cb.y;
+            });
+  std::size_t half = cluster.members.size() / 2;
+  Cluster left, right;
+  left.members.assign(cluster.members.begin(),
+                      cluster.members.begin() + static_cast<long>(half));
+  right.members.assign(cluster.members.begin() + static_cast<long>(half),
+                       cluster.members.end());
+  centroid(s, left);
+  centroid(s, right);
+
+  // This node's buffer drives the two child buffers through routed wires.
+  double dist_l = std::abs(left.cx - cluster.cx) +
+                  std::abs(left.cy - cluster.cy);
+  double dist_r = std::abs(right.cx - cluster.cx) +
+                  std::abs(right.cy - cluster.cy);
+  s.report->total_wirelength += dist_l + dist_r;
+  s.report->total_wire_cap += wire_cap_of(s, dist_l + dist_r);
+  double load = wire_cap_of(s, dist_l + dist_r) + 2.0 * s.buf->input_cap;
+  double buf_delay = s.buf->arc_delay(0, load, 0.02);
+
+  int dl = build_recursive(
+      s, std::move(left),
+      arrival + buf_delay + wire_delay_of(s, dist_l, s.buf->input_cap),
+      level + 1);
+  int dr = build_recursive(
+      s, std::move(right),
+      arrival + buf_delay + wire_delay_of(s, dist_r, s.buf->input_cap),
+      level + 1);
+  return std::max(dl, dr);
+}
+
+}  // namespace
+
+ClockTree ClockTree::build(const Netlist& netlist,
+                           const ClockSchedule& schedule,
+                           const CtsConfig& config) {
+  ClockTree tree;
+  tree.flops_ = netlist.sequential_cells();
+  RLCCD_EXPECTS(!tree.flops_.empty());
+  const Library& lib = netlist.library();
+  const LibCell& buf =
+      lib.cell(lib.pick(CellKind::Buf, config.buffer_size_index));
+
+  std::vector<double> latency(tree.flops_.size(), 0.0);
+  BuildState state{&netlist, &lib,     &buf,
+                   &config,  &tree.flops_, &latency,
+                   &tree.report_};
+  Cluster root;
+  root.members.resize(tree.flops_.size());
+  std::iota(root.members.begin(), root.members.end(), 0);
+  build_recursive(state, std::move(root), 0.0, 1);
+
+  // Realize the requested relative arrivals with non-negative leaf pads,
+  // quantized to pad_quantum. pad_i = (delta_i - L_i) - min_k(delta_k - L_k).
+  std::vector<double> want(tree.flops_.size());
+  double min_gap = 1e300;
+  for (std::size_t i = 0; i < tree.flops_.size(); ++i) {
+    want[i] = schedule.adjustment(tree.flops_[i]);
+    min_gap = std::min(min_gap, want[i] - latency[i]);
+  }
+  tree.arrivals_.resize(tree.flops_.size());
+  const double buf_unit_delay = buf.arc_delay(0, buf.input_cap, 0.02);
+  double err_sum = 0.0, err_min = 1e300, err_max = -1e300;
+  double req_mean = 0.0;
+  for (std::size_t i = 0; i < tree.flops_.size(); ++i) {
+    double pad = (want[i] - latency[i]) - min_gap;
+    double quantized =
+        std::round(pad / config.pad_quantum) * config.pad_quantum;
+    tree.report_.num_pad_buffers += static_cast<std::size_t>(
+        std::ceil(quantized / std::max(buf_unit_delay, 1e-6)));
+    tree.arrivals_[i] = latency[i] + quantized;
+    const double err = quantized - pad;  // realization error of this flop
+    err_sum += std::abs(err);
+    err_min = std::min(err_min, err);
+    err_max = std::max(err_max, err);
+    tree.report_.max_insertion_delay =
+        std::max(tree.report_.max_insertion_delay, tree.arrivals_[i]);
+    req_mean += want[i];
+  }
+  tree.requested_mean_ = req_mean / static_cast<double>(tree.flops_.size());
+  tree.report_.skew_error_avg =
+      err_sum / static_cast<double>(tree.flops_.size());
+  tree.report_.skew_error_max = err_max - err_min;
+
+  // Clock power: every tree buffer and pad toggles each cycle.
+  const double toggle = 1.0;
+  double buffers = static_cast<double>(tree.report_.num_tree_buffers +
+                                       tree.report_.num_pad_buffers);
+  tree.report_.clock_power =
+      buffers * (buf.leakage + buf.internal_energy * toggle) +
+      0.001 * tree.report_.total_wire_cap * toggle;
+  return tree;
+}
+
+double ClockTree::realized_arrival(CellId flop) const {
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    if (flops_[i] == flop) return arrivals_[i];
+  }
+  RLCCD_EXPECTS(!"flop not in clock tree");
+  return 0.0;
+}
+
+void ClockTree::apply_to(ClockSchedule& schedule) const {
+  double mean = 0.0;
+  for (double a : arrivals_) mean += a;
+  mean /= static_cast<double>(arrivals_.size());
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    schedule.set_adjustment(flops_[i],
+                            arrivals_[i] - mean + requested_mean_);
+  }
+}
+
+}  // namespace rlccd

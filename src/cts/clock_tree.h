@@ -1,0 +1,70 @@
+// Clock-tree synthesis (CTS) — the downstream consumer of a useful-skew
+// schedule.
+//
+// The paper's power discussion (Sec. IV-A) notes that "different skewing
+// solutions may impact downstream clock networks"; this module makes that
+// impact measurable. It builds a buffered clock tree over the flops by
+// recursive geometric bisection (an H-tree-like topology), computes each
+// flop's insertion delay, and *realizes* a requested ClockSchedule by
+// inserting quantized delay pads on the leaf branches. Reported costs:
+// buffer count, clock wirelength/capacitance, clock power (the tree toggles
+// every cycle), realization (quantization) error, and the maximum insertion
+// delay. bench_clock_network compares the default flow's schedule against
+// RL-CCD's.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "power/power.h"
+#include "sta/clock_schedule.h"
+
+namespace rlccd {
+
+struct CtsConfig {
+  std::size_t max_leaf_sinks = 8;   // flops per leaf cluster
+  int buffer_size_index = 2;        // BUF drive used for tree nodes
+  double pad_quantum = 0.005;       // granularity of leaf delay pads (ns)
+};
+
+struct CtsReport {
+  std::size_t num_tree_buffers = 0;  // internal tree nodes
+  std::size_t num_pad_buffers = 0;   // delay-pad buffer equivalents
+  int depth = 0;                     // tree levels, root = 1
+  double total_wirelength = 0.0;     // um of clock routing estimate
+  double total_wire_cap = 0.0;       // fF
+  double clock_power = 0.0;          // mW at toggle rate 1.0
+  double max_insertion_delay = 0.0;  // ns, source to slowest flop
+  double skew_error_max = 0.0;       // worst pairwise realization error (ns)
+  double skew_error_avg = 0.0;       // mean |per-flop error| (ns)
+};
+
+class ClockTree {
+ public:
+  // Builds a tree over all sequential cells of `netlist`, realizing the
+  // relative arrivals requested by `schedule` with quantized pads.
+  static ClockTree build(const Netlist& netlist,
+                         const ClockSchedule& schedule,
+                         const CtsConfig& config);
+
+  [[nodiscard]] const CtsReport& report() const { return report_; }
+
+  // Realized clock arrival of a flop (ns from the clock source).
+  [[nodiscard]] double realized_arrival(CellId flop) const;
+
+  // Writes the realized arrivals into `schedule` as adjustments, recentered
+  // so the mean adjustment matches the requested schedule's mean (only
+  // relative arrivals are physical).
+  void apply_to(ClockSchedule& schedule) const;
+
+  [[nodiscard]] const std::vector<CellId>& flops() const { return flops_; }
+
+ private:
+  std::vector<CellId> flops_;
+  std::vector<double> arrivals_;  // parallel to flops_
+  double requested_mean_ = 0.0;
+  CtsReport report_;
+};
+
+}  // namespace rlccd

@@ -1,0 +1,371 @@
+#include "designgen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.h"
+
+namespace rlccd {
+
+namespace {
+
+struct KindWeight {
+  CellKind kind;
+  double weight;
+};
+
+constexpr KindWeight kCombKinds[] = {
+    {CellKind::Nand2, 0.20}, {CellKind::Nor2, 0.10}, {CellKind::And2, 0.12},
+    {CellKind::Or2, 0.10},   {CellKind::Inv, 0.14},  {CellKind::Buf, 0.04},
+    {CellKind::Xor2, 0.10},  {CellKind::Aoi21, 0.12}, {CellKind::Mux2, 0.08},
+};
+
+// Drive-size distribution for freshly created gates.
+constexpr double kSizeWeights[] = {0.50, 0.30, 0.15, 0.05};
+
+class ConeGrower {
+ public:
+  ConeGrower(Netlist& nl, const Library& lib, Rng& rng,
+             std::size_t comb_budget)
+      : nl_(nl), lib_(lib), rng_(rng), remaining_(comb_budget) {}
+
+  void add_startpoint_net(NetId net) { startpoint_nets_.push_back(net); }
+
+  // Route depth-0 leaves to `net` with probability `prob` until cleared —
+  // used to thread loop cones through a specific flop's Q.
+  void set_forced_startpoint(NetId net, double prob) {
+    forced_net_ = net;
+    forced_prob_ = prob;
+  }
+  void clear_forced_startpoint() { forced_net_ = NetId{}; }
+
+  [[nodiscard]] std::size_t remaining() const { return remaining_; }
+  [[nodiscard]] const std::vector<CellId>& created() const { return created_; }
+
+  // Returns the net that should drive something requiring depth <= budget.
+  NetId grow(int budget, double reuse_prob) {
+    RLCCD_EXPECTS(!startpoint_nets_.empty());
+    if (budget <= 0 || remaining_ == 0) {
+      return pick_existing(budget);
+    }
+    if (rng_.uniform() < reuse_prob) {
+      NetId reused = pick_reusable(budget);
+      if (reused.valid()) return reused;
+    }
+    return create_gate(budget, reuse_prob);
+  }
+
+ private:
+  NetId pick_startpoint() {
+    if (forced_net_.valid() && rng_.uniform() < forced_prob_) {
+      return forced_net_;
+    }
+    return startpoint_nets_[rng_.uniform_int(startpoint_nets_.size())];
+  }
+
+  // A startpoint or an already-created gate of height <= budget.
+  NetId pick_existing(int budget) {
+    if (budget > 0) {
+      NetId reused = pick_reusable(budget);
+      if (reused.valid()) return reused;
+    }
+    return pick_startpoint();
+  }
+
+  NetId pick_reusable(int budget) {
+    int max_h = std::min<int>(budget, static_cast<int>(by_height_.size()));
+    if (max_h <= 0) return NetId{};
+    // Prefer heights close to the budget so reuse preserves path depth
+    // (otherwise cones collapse far below their depth targets); reject
+    // already-popular gates so reuse does not degenerate into a handful of
+    // huge-fanout nets.
+    constexpr std::size_t kMaxReuseFanout = 10;
+    for (int h = max_h; h >= std::max(1, max_h - 6); --h) {
+      const auto& bucket = by_height_[static_cast<std::size_t>(h - 1)];
+      if (bucket.empty()) continue;
+      for (int tries = 0; tries < 6; ++tries) {
+        NetId candidate = bucket[rng_.uniform_int(bucket.size())];
+        if (nl_.net(candidate).sinks.size() < kMaxReuseFanout) {
+          return candidate;
+        }
+      }
+    }
+    return NetId{};
+  }
+
+  CellKind sample_kind() {
+    double total = 0.0;
+    for (const KindWeight& kw : kCombKinds) total += kw.weight;
+    double r = rng_.uniform() * total;
+    for (const KindWeight& kw : kCombKinds) {
+      r -= kw.weight;
+      if (r <= 0.0) return kw.kind;
+    }
+    return CellKind::Nand2;
+  }
+
+  int sample_size(CellKind kind) {
+    const auto& ladder = lib_.sizes(kind);
+    double r = rng_.uniform();
+    double acc = 0.0;
+    for (std::size_t s = 0; s < ladder.size(); ++s) {
+      acc += kSizeWeights[std::min<std::size_t>(s, 3)];
+      if (r <= acc) return static_cast<int>(s);
+    }
+    return 0;
+  }
+
+  NetId create_gate(int budget, double reuse_prob) {
+    RLCCD_ASSERT(remaining_ > 0 && budget > 0);
+    --remaining_;
+    CellKind kind = sample_kind();
+    LibCellId lib_id = lib_.pick(kind, sample_size(kind));
+    CellId cell = nl_.add_cell(
+        lib_id, "g" + std::to_string(nl_.num_cells()));
+    created_.push_back(cell);
+    NetId out = nl_.add_net("n" + std::to_string(nl_.num_nets()));
+    nl_.set_driver(out, cell);
+
+    const int num_inputs = lib_.cell(lib_id).num_inputs;
+    for (int i = 0; i < num_inputs; ++i) {
+      // Input 0 carries the depth-realizing chain; side inputs get shallow
+      // budgets and prefer reuse, so cones are chains with side logic
+      // (linear in depth) rather than exponential trees.
+      int child_budget;
+      double child_reuse;
+      if (i == 0) {
+        child_budget = budget - 1;
+        child_reuse = reuse_prob;
+      } else {
+        child_budget = static_cast<int>(
+            rng_.uniform_int(static_cast<std::uint64_t>(
+                std::min(budget, 4))));
+        child_reuse = std::max(reuse_prob, 0.7);
+      }
+      NetId drv = grow(child_budget, child_reuse);
+      nl_.add_sink(drv, cell, i);
+    }
+
+    if (static_cast<std::size_t>(budget) > by_height_.size()) {
+      by_height_.resize(static_cast<std::size_t>(budget));
+    }
+    by_height_[static_cast<std::size_t>(budget - 1)].push_back(out);
+    return out;
+  }
+
+  Netlist& nl_;
+  const Library& lib_;
+  Rng& rng_;
+  std::size_t remaining_;
+  std::vector<NetId> startpoint_nets_;
+  NetId forced_net_;
+  double forced_prob_ = 0.0;
+  // by_height_[h-1] = output nets of gates whose height is h.
+  std::vector<std::vector<NetId>> by_height_;
+  std::vector<CellId> created_;
+};
+
+}  // namespace
+
+Design generate_design(const GeneratorConfig& config) {
+  RLCCD_EXPECTS(config.target_cells >= 16);
+  RLCCD_EXPECTS(config.seq_fraction > 0.0 && config.seq_fraction < 1.0);
+  RLCCD_EXPECTS(config.min_depth >= 1 &&
+                config.min_depth <= config.max_depth);
+
+  Design design;
+  design.name = config.name;
+  design.library =
+      std::make_unique<Library>(Library::make_generic(make_tech(config.tech)));
+  design.netlist = std::make_unique<Netlist>(design.library.get());
+  Netlist& nl = *design.netlist;
+  const Library& lib = *design.library;
+  Rng rng(config.seed);
+
+  const auto n_seq = static_cast<std::size_t>(
+      std::max(1.0, std::round(static_cast<double>(config.target_cells) *
+                               config.seq_fraction)));
+  const std::size_t comb_budget = config.target_cells - n_seq;
+
+  // Ports.
+  std::vector<CellId> pis, pos;
+  CellId clk_port = nl.add_cell(lib.pick(CellKind::Input, 0), "clk");
+  NetId clk_net = nl.add_net("clk");
+  nl.set_driver(clk_net, clk_port);
+  for (std::size_t i = 0; i < config.num_primary_inputs; ++i) {
+    CellId pi =
+        nl.add_cell(lib.pick(CellKind::Input, 0), "pi" + std::to_string(i));
+    NetId n = nl.add_net("pin" + std::to_string(i));
+    nl.set_driver(n, pi);
+    pis.push_back(pi);
+  }
+  for (std::size_t i = 0; i < config.num_primary_outputs; ++i) {
+    pos.push_back(
+        nl.add_cell(lib.pick(CellKind::Output, 0), "po" + std::to_string(i)));
+  }
+
+  // Flops: Q nets created up front so they can serve as startpoints; CK pins
+  // all hang off the (ideal) clock net.
+  std::vector<CellId> flops;
+  flops.reserve(n_seq);
+  for (std::size_t i = 0; i < n_seq; ++i) {
+    int size = rng.uniform() < 0.7 ? 0 : 1;
+    CellId ff =
+        nl.add_cell(lib.pick(CellKind::Dff, size), "ff" + std::to_string(i));
+    flops.push_back(ff);
+    NetId q = nl.add_net("q" + std::to_string(i));
+    nl.set_driver(q, ff);
+    nl.add_sink(clk_net, ff, /*input_index=*/1);  // CK
+  }
+
+  ConeGrower grower(nl, lib, rng, comb_budget);
+  for (CellId pi : pis) {
+    grower.add_startpoint_net(nl.pin(nl.cell(pi).output).net);
+  }
+  for (CellId ff : flops) {
+    grower.add_startpoint_net(nl.pin(nl.cell(ff).output).net);
+  }
+
+  // Endpoints in random order. A fraction get max depth and beyond (the
+  // critical tail); within the flop population, some become self-loops or
+  // 2-cycles whose timing useful skew provably cannot improve.
+  struct EndpointSlot {
+    CellId cell;
+    int input_index;
+    int depth = 0;
+    NetId forced;  // loop startpoint, invalid for ordinary endpoints
+  };
+  auto sample_deep_depth = [&]() {
+    return config.max_depth +
+           static_cast<int>(rng.uniform_int(
+               static_cast<std::uint64_t>(config.max_depth / 2 + 1)));
+  };
+
+  std::vector<CellId> loop_flops = flops;
+  rng.shuffle(loop_flops);
+  const auto n_self = static_cast<std::size_t>(
+      std::round(config.self_loop_fraction * static_cast<double>(n_seq)));
+  const auto n_pair_flops = 2 * static_cast<std::size_t>(std::round(
+      config.loop_pair_fraction * static_cast<double>(n_seq) / 2.0));
+  RLCCD_EXPECTS(n_self + n_pair_flops <= loop_flops.size());
+
+  std::vector<EndpointSlot> slots;
+  std::vector<char> is_loop_flop(nl.num_cells(), 0);
+  auto q_net = [&](CellId ff) { return nl.pin(nl.cell(ff).output).net; };
+  std::size_t cursor = 0;
+  for (; cursor < n_self; ++cursor) {
+    CellId ff = loop_flops[cursor];
+    is_loop_flop[ff.index()] = 1;
+    slots.push_back({ff, 0, sample_deep_depth(), q_net(ff)});
+  }
+  for (; cursor + 1 < n_self + n_pair_flops; cursor += 2) {
+    CellId a = loop_flops[cursor];
+    CellId b = loop_flops[cursor + 1];
+    is_loop_flop[a.index()] = 1;
+    is_loop_flop[b.index()] = 1;
+    slots.push_back({a, 0, sample_deep_depth(), q_net(b)});
+    slots.push_back({b, 0, sample_deep_depth(), q_net(a)});
+  }
+  // Loop cones first: their deep chains must be built from fresh cells
+  // before the shared-logic budget runs out.
+  std::vector<EndpointSlot> rest;
+  for (CellId ff : flops) {
+    if (is_loop_flop[ff.index()]) continue;
+    rest.push_back({ff, 0, 0, NetId{}});
+  }
+  for (CellId po : pos) rest.push_back({po, 0, 0, NetId{}});
+  rng.shuffle(rest);
+  slots.insert(slots.end(), rest.begin(), rest.end());
+
+  for (const EndpointSlot& slot : slots) {
+    int depth = slot.depth;
+    double reuse = config.reuse_prob;
+    if (slot.forced.valid()) {
+      grower.set_forced_startpoint(slot.forced, config.forced_leaf_prob);
+      reuse = config.loop_reuse_prob;
+    } else if (depth == 0) {
+      depth = rng.uniform() < config.deep_endpoint_fraction
+                  ? sample_deep_depth()
+                  : static_cast<int>(rng.uniform_int(config.min_depth,
+                                                     config.max_depth));
+    }
+    NetId drv = grower.grow(depth, reuse);
+    nl.add_sink(drv, slot.cell, slot.input_index);
+    grower.clear_forced_startpoint();
+  }
+
+  // Spend leftover budget splicing inverter pairs in front of random
+  // combinational sinks — deepens a few paths without changing logic.
+  std::size_t leftovers = grower.remaining();
+  const auto& created = grower.created();
+  while (leftovers >= 2 && !created.empty()) {
+    CellId host = created[rng.uniform_int(created.size())];
+    const Cell& host_cell = nl.cell(host);
+    if (host_cell.inputs.empty()) break;
+    PinId victim =
+        host_cell.inputs[rng.uniform_int(host_cell.inputs.size())];
+    NetId src = nl.pin(victim).net;
+    if (!src.valid()) continue;
+    CellId inv1 = nl.add_cell(lib.pick(CellKind::Inv, 0),
+                              "fill" + std::to_string(nl.num_cells()));
+    CellId inv2 = nl.add_cell(lib.pick(CellKind::Inv, 0),
+                              "fill" + std::to_string(nl.num_cells()));
+    NetId n1 = nl.add_net("filln" + std::to_string(nl.num_nets()));
+    NetId n2 = nl.add_net("filln" + std::to_string(nl.num_nets()));
+    nl.set_driver(n1, inv1);
+    nl.set_driver(n2, inv2);
+    nl.add_sink(src, inv1, 0);
+    nl.add_sink(n1, inv2, 0);
+    nl.move_sink(victim, n2);
+    leftovers -= 2;
+  }
+
+  // Place and extract parasitics.
+  GlobalPlacer placer(&nl, config.placer, rng.fork(17));
+  design.die = placer.run();
+
+  // Switching activity: per-PI toggles jittered around the configured rate;
+  // the clock toggles every cycle.
+  std::vector<double> pi_toggles;
+  std::vector<CellId> all_pis = nl.primary_inputs();
+  pi_toggles.reserve(all_pis.size());
+  for (CellId pi : all_pis) {
+    if (pi == clk_port) {
+      pi_toggles.push_back(1.0);
+    } else {
+      pi_toggles.push_back(std::clamp(
+          config.pi_toggle * rng.uniform(0.5, 1.5), 0.01, 1.0));
+    }
+  }
+  design.activity = propagate_activity(nl, ActivityConfig{}, pi_toggles);
+  design.pi_toggles = pi_toggles;
+
+  // Derive the clock period from the post-placement critical path.
+  design.sta_config = StaConfig{};
+  if (config.clock_period > 0.0) {
+    design.clock_period = config.clock_period;
+  } else {
+    Sta probe(&nl, design.sta_config, /*clock_period=*/1000.0);
+    probe.run();
+    double critical = 0.0;
+    for (PinId ep : probe.endpoints()) {
+      const PinTiming& t = probe.timing(ep);
+      if (!t.reachable) continue;
+      const Pin& p = nl.pin(ep);
+      const LibCell& lc = nl.lib_cell(p.cell);
+      double need = t.arrival_max + (lc.is_sequential() ? lc.setup_time : 0.0);
+      critical = std::max(critical, need);
+    }
+    RLCCD_ENSURES(critical > 0.0);
+    design.clock_period = config.clock_tightness * critical;
+  }
+
+  nl.validate();
+  RLCCD_LOG_INFO("generated %s: %zu cells (%zu seq), period %.3f ns",
+                 design.name.c_str(), nl.num_real_cells(), n_seq,
+                 design.clock_period);
+  return design;
+}
+
+}  // namespace rlccd

@@ -1,0 +1,87 @@
+// Synthetic sequential design generator.
+//
+// The paper evaluates on 19 confidential industrial designs; we substitute
+// parameterized synthetic designs (DESIGN.md section 2). Generation grows
+// fan-in cones *backwards* from every timing endpoint:
+//   * each endpoint samples a logic-depth target,
+//   * a driver at depth budget b is either a reused existing gate of height
+//     <= b (probability `reuse_prob` — this is what creates overlapping
+//     fan-in cones, the structure the paper's masking strategy exploits) or
+//     a freshly created gate of height b whose inputs recurse with smaller
+//     budgets,
+//   * budget-0 drivers are startpoints (flop Q pins / primary inputs).
+// The construction is acyclic by induction on height. Leftover cell budget
+// is spent splicing inverter pairs in front of random sinks, deepening a few
+// paths. Finally the design is placed, switching activity is propagated, and
+// the clock period is set to `clock_tightness` x the post-placement critical
+// path so the design starts with a realistic violation profile.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "netlist/netlist.h"
+#include "place/placer.h"
+#include "power/power.h"
+#include "sta/sta.h"
+
+namespace rlccd {
+
+struct GeneratorConfig {
+  std::string name = "design";
+  TechNode tech = TechNode::N7;
+  std::size_t target_cells = 2000;  // combinational + sequential, no ports
+  double seq_fraction = 0.15;
+  int min_depth = 4;
+  int max_depth = 16;
+  // Fraction of endpoints forced to (max_depth and beyond) — the critical
+  // tail.
+  double deep_endpoint_fraction = 0.2;
+  double reuse_prob = 0.35;
+  // Structural limits for useful skew: fraction of flops whose deep fan-in
+  // cone launches from their own Q (self-loop: skew cancels exactly), and
+  // fraction paired into 2-cycles (a's cone from b.Q and vice versa: the
+  // cycle-mean bound). These endpoints can only be fixed by data-path
+  // optimization — the distinction the RL agent must learn.
+  double self_loop_fraction = 0.05;
+  double loop_pair_fraction = 0.05;
+  // Probability that a depth-0 leaf of a loop cone lands on the forced
+  // startpoint (vs a random one).
+  double forced_leaf_prob = 0.85;
+  // Reuse probability while growing loop cones (kept low so the deep chain
+  // really passes through the forced startpoint).
+  double loop_reuse_prob = 0.10;
+  std::size_t num_primary_inputs = 32;
+  std::size_t num_primary_outputs = 16;
+  // Clock period = tightness x post-placement critical path delay.
+  double clock_tightness = 0.85;
+  // Explicit period (ns) overrides tightness when > 0.
+  double clock_period = 0.0;
+  double pi_toggle = 0.25;
+  std::uint64_t seed = 1;
+  PlacerConfig placer;
+};
+
+// A generated design bundles the library (which must outlive the netlist),
+// the placed netlist, die, derived clock period and switching activity.
+struct Design {
+  std::string name;
+  std::unique_ptr<Library> library;
+  std::unique_ptr<Netlist> netlist;
+  Die die;
+  double clock_period = 1.0;
+  StaConfig sta_config;
+  SwitchingActivity activity;
+  // Per-primary-input toggle rates (primary_inputs() order), kept so flows
+  // can re-propagate activity after topology changes.
+  std::vector<double> pi_toggles;
+
+  [[nodiscard]] Sta make_sta() const {
+    return Sta(netlist.get(), sta_config, clock_period);
+  }
+};
+
+Design generate_design(const GeneratorConfig& config);
+
+}  // namespace rlccd

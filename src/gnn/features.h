@@ -1,0 +1,45 @@
+// Table-I node features for EP-GNN endpoint encoding.
+//
+// One row per netlist cell, 13 columns:
+//   0  RL masked        — selected-or-masked flag, updated every RL step
+//   1  location x       — normalized by die width
+//   2  location y       — normalized by die height
+//   3  outNet cap       — output net (wire) capacitance
+//   4  load cap         — total driven load capacitance
+//   5  cell cap         — cell input capacitance
+//   6  cell power (int) — internal power at current activity
+//   7  cell power (lkg) — leakage power
+//   8  net power        — output net switching power
+//   9  max toggle       — toggle rate at the output pin
+//   10 wst slack        — worst slack of paths through the cell
+//   11 wst output slew  — worst output transition
+//   12 wst input slew   — worst input transition
+// All electrical columns are normalized to design-level scales so the same
+// EP-GNN weights transfer across designs (paper Sec. IV-B).
+#pragma once
+
+#include "nn/tensor.h"
+#include "place/placer.h"
+#include "power/power.h"
+#include "sta/sta.h"
+
+namespace rlccd {
+
+inline constexpr std::size_t kNumNodeFeatures = 13;
+inline constexpr std::size_t kMaskedFeature = 0;
+
+struct FeatureContext {
+  const Netlist* netlist = nullptr;
+  const Sta* sta = nullptr;  // must be run()
+  const SwitchingActivity* activity = nullptr;
+  Die die;
+  double clock_period = 1.0;
+};
+
+// Builds the full feature matrix [num_cells x 13]; the masked column is 0.
+Tensor build_node_features(const FeatureContext& ctx);
+
+// Rewrites column 0 from a per-cell flag vector (1 = selected or masked).
+void set_masked_column(Tensor& features, const std::vector<char>& cell_flag);
+
+}  // namespace rlccd

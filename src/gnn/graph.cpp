@@ -1,0 +1,65 @@
+#include "gnn/graph.h"
+
+#include <vector>
+
+namespace rlccd {
+
+SparseOperand build_mean_adjacency(const Netlist& netlist,
+                                   std::size_t max_fanout) {
+  const std::size_t n = netlist.num_cells();
+  std::vector<SparseMatrix::Triplet> triplets;
+  std::vector<std::uint32_t> degree(n, 0);
+
+  auto add_edge = [&](CellId a, CellId b) {
+    if (a == b) return;
+    triplets.push_back({a.index(), b.index(), 1.0f});
+    triplets.push_back({b.index(), a.index(), 1.0f});
+    ++degree[a.index()];
+    ++degree[b.index()];
+  };
+
+  for (const Net& net : netlist.nets()) {
+    if (!net.driver.valid()) continue;
+    if (net.sinks.size() > max_fanout) continue;
+    CellId driver = netlist.pin(net.driver).cell;
+    for (PinId sink : net.sinks) {
+      add_edge(driver, netlist.pin(sink).cell);
+    }
+  }
+
+  // Row-normalize: each entry 1/deg(row). Duplicate (driver,sink) pairs from
+  // multi-pin connections merge in from_triplets, so recompute normalization
+  // from merged counts instead: simplest is to weight each triplet by
+  // 1/deg(row) first and let duplicates sum (a doubly-connected neighbor
+  // legitimately carries double weight in the mean).
+  for (SparseMatrix::Triplet& t : triplets) {
+    t.value = 1.0f / static_cast<float>(degree[t.row]);
+  }
+  return SparseOperand(SparseMatrix::from_triplets(n, n, std::move(triplets)));
+}
+
+SparseOperand build_cone_matrix(const Netlist& netlist,
+                                const ConeIndex& cones) {
+  const std::size_t n = netlist.num_cells();
+  std::vector<SparseMatrix::Triplet> triplets;
+  for (std::size_t e = 0; e < cones.size(); ++e) {
+    for (CellId cell : cones.cone(e)) {
+      triplets.push_back(
+          {static_cast<std::uint32_t>(e), cell.index(), 1.0f});
+    }
+  }
+  return SparseOperand(
+      SparseMatrix::from_triplets(cones.size(), n, std::move(triplets)));
+}
+
+std::vector<std::size_t> endpoint_cell_rows(const Netlist& netlist,
+                                            std::span<const PinId> endpoints) {
+  std::vector<std::size_t> rows;
+  rows.reserve(endpoints.size());
+  for (PinId ep : endpoints) {
+    rows.push_back(netlist.pin(ep).cell.index());
+  }
+  return rows;
+}
+
+}  // namespace rlccd

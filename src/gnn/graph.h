@@ -1,0 +1,32 @@
+// GNN graph construction.
+//
+// Message-passing edges follow the netlist transformation of [4] (Lu & Lim,
+// ICCAD'22): for every net, the driver cell is connected to each sink cell,
+// and edges are symmetric so information flows with and against signal
+// direction. Degenerate high-fanout nets (clock/reset) are skipped, as in
+// standard netlist-GNN practice. The adjacency is row-normalized so
+// spmm(adj, X) realizes the neighborhood *mean* of Eq. 2; the cone matrix
+// realizes the fan-in-cone *sum* of Eq. 3.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/sparse.h"
+#include "sta/cone.h"
+
+namespace rlccd {
+
+// Row-normalized symmetric cell adjacency [num_cells x num_cells].
+SparseOperand build_mean_adjacency(const Netlist& netlist,
+                                   std::size_t max_fanout = 64);
+
+// Fan-in-cone sum matrix [num_endpoints x num_cells] from a ConeIndex.
+SparseOperand build_cone_matrix(const Netlist& netlist,
+                                const ConeIndex& cones);
+
+// Feature-matrix row (owning cell index) of each endpoint pin.
+std::vector<std::size_t> endpoint_cell_rows(const Netlist& netlist,
+                                            std::span<const PinId> endpoints);
+
+}  // namespace rlccd

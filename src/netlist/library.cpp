@@ -1,0 +1,187 @@
+#include "netlist/library.h"
+
+#include <cmath>
+
+namespace rlccd {
+
+const char* cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::Input: return "INPUT";
+    case CellKind::Output: return "OUTPUT";
+    case CellKind::Buf: return "BUF";
+    case CellKind::Inv: return "INV";
+    case CellKind::Nand2: return "NAND2";
+    case CellKind::Nor2: return "NOR2";
+    case CellKind::And2: return "AND2";
+    case CellKind::Or2: return "OR2";
+    case CellKind::Xor2: return "XOR2";
+    case CellKind::Aoi21: return "AOI21";
+    case CellKind::Mux2: return "MUX2";
+    case CellKind::Dff: return "DFF";
+  }
+  return "?";
+}
+
+int cell_kind_num_inputs(CellKind kind) {
+  switch (kind) {
+    case CellKind::Input: return 0;
+    case CellKind::Output: return 1;
+    case CellKind::Buf:
+    case CellKind::Inv: return 1;
+    case CellKind::Nand2:
+    case CellKind::Nor2:
+    case CellKind::And2:
+    case CellKind::Or2:
+    case CellKind::Xor2: return 2;
+    case CellKind::Aoi21:
+    case CellKind::Mux2: return 3;
+    case CellKind::Dff: return 2;  // D, CK
+  }
+  return 0;
+}
+
+double LibCell::arc_delay(int input_pin, double load_cap,
+                          double input_slew) const {
+  RLCCD_EXPECTS(load_cap >= 0.0 && input_slew >= 0.0);
+  double delta = 0.0;
+  if (input_pin >= 0 && input_pin < static_cast<int>(pin_delta.size())) {
+    delta = pin_delta[static_cast<std::size_t>(input_pin)];
+  }
+  double base = intrinsic_delay + (kind == CellKind::Dff ? clk_to_q : 0.0);
+  return base + delta + drive_res * load_cap + slew_sens * input_slew;
+}
+
+double LibCell::output_slew(double load_cap) const {
+  return slew_intrinsic + slew_res * load_cap;
+}
+
+namespace {
+
+struct KindBase {
+  CellKind kind;
+  double intrinsic;   // ns at X1, 12nm
+  double drive_res;   // ns/fF at X1
+  double input_cap;   // fF at X1
+  double leakage;     // mW at X1
+  double internal;    // mW at toggle 1.0, X1
+  int num_sizes;
+};
+
+constexpr KindBase kKinds[] = {
+    // kind              intr    rdrv    cin   leak     intern  sizes
+    {CellKind::Buf,     0.026,  0.0060, 1.2,  0.00020, 0.0012, 4},
+    {CellKind::Inv,     0.020,  0.0052, 1.0,  0.00015, 0.0010, 4},
+    {CellKind::Nand2,   0.032,  0.0068, 1.3,  0.00028, 0.0016, 4},
+    {CellKind::Nor2,    0.036,  0.0075, 1.4,  0.00030, 0.0017, 4},
+    {CellKind::And2,    0.042,  0.0066, 1.3,  0.00032, 0.0018, 4},
+    {CellKind::Or2,     0.045,  0.0070, 1.4,  0.00033, 0.0018, 4},
+    {CellKind::Xor2,    0.062,  0.0082, 1.8,  0.00045, 0.0026, 4},
+    {CellKind::Aoi21,   0.055,  0.0078, 1.5,  0.00040, 0.0022, 4},
+    {CellKind::Mux2,    0.058,  0.0075, 1.6,  0.00042, 0.0024, 4},
+    {CellKind::Dff,     0.055,  0.0065, 1.5,  0.00090, 0.0060, 2},
+};
+
+}  // namespace
+
+Library Library::make_generic(const Tech& tech) {
+  Library lib;
+  lib.tech_ = tech;
+  lib.by_kind_.resize(12);
+
+  // Port pseudo-cells: zero-delay, one size each.
+  {
+    LibCell in;
+    in.kind = CellKind::Input;
+    in.name = "INPUT";
+    in.num_inputs = 0;
+    in.drive_res = 0.002 * tech.delay_scale;
+    in.slew_intrinsic = 0.010;
+    in.slew_res = 0.0015;
+    lib.add(std::move(in));
+
+    LibCell out;
+    out.kind = CellKind::Output;
+    out.name = "OUTPUT";
+    out.num_inputs = 1;
+    out.input_cap = 2.0 * tech.cap_scale;
+    out.pin_delta = {0.0};
+    lib.add(std::move(out));
+  }
+
+  for (const KindBase& base : kKinds) {
+    for (int s = 0; s < base.num_sizes; ++s) {
+      double drive = std::pow(2.0, s);  // X1, X2, X4, X8
+      LibCell c;
+      c.kind = base.kind;
+      c.num_inputs = cell_kind_num_inputs(base.kind);
+      c.size_index = s;
+      c.drive = drive;
+      c.name = std::string(cell_kind_name(base.kind)) + "_X" +
+               std::to_string(static_cast<int>(drive));
+
+      c.intrinsic_delay = tech.delay_scale * base.intrinsic * (1.0 - 0.04 * s);
+      c.drive_res = tech.delay_scale * base.drive_res / drive;
+      c.slew_sens = 0.18;
+      c.slew_intrinsic = tech.delay_scale * 0.6 * base.intrinsic;
+      c.slew_res = tech.delay_scale * 0.8 * base.drive_res / drive;
+      c.input_cap = tech.cap_scale * base.input_cap * (0.6 + 0.4 * drive);
+
+      // Slight per-pin asymmetry: later pins are a touch slower, so the
+      // restructuring pass can gain by steering late arrivals to pin 0.
+      c.pin_delta.resize(static_cast<std::size_t>(c.num_inputs));
+      for (int p = 0; p < c.num_inputs; ++p) {
+        c.pin_delta[static_cast<std::size_t>(p)] =
+            tech.delay_scale * base.intrinsic * 0.12 * p;
+      }
+
+      c.leakage = tech.leakage_scale * base.leakage * drive;
+      c.internal_energy = base.internal * (0.5 + 0.5 * drive);
+
+      if (base.kind == CellKind::Dff) {
+        c.setup_time = tech.delay_scale * 0.030;
+        c.hold_time = tech.delay_scale * 0.020;
+        c.clk_to_q = tech.delay_scale * 0.045 * (1.0 - 0.05 * s);
+        c.clock_pin_cap = tech.cap_scale * 0.9;
+        c.pin_delta.assign(2, 0.0);  // D and CK carry no arc asymmetry
+      }
+      lib.add(std::move(c));
+    }
+  }
+  return lib;
+}
+
+LibCellId Library::add(LibCell cell) {
+  LibCellId id(static_cast<std::uint32_t>(cells_.size()));
+  cell.id = id;
+  by_kind_[static_cast<std::size_t>(cell.kind)].push_back(id);
+  cells_.push_back(std::move(cell));
+  return id;
+}
+
+const std::vector<LibCellId>& Library::sizes(CellKind kind) const {
+  return by_kind_[static_cast<std::size_t>(kind)];
+}
+
+LibCellId Library::pick(CellKind kind, int size_index) const {
+  const auto& ladder = sizes(kind);
+  RLCCD_EXPECTS(!ladder.empty());
+  int clamped = std::max(0, std::min<int>(size_index,
+                                          static_cast<int>(ladder.size()) - 1));
+  return ladder[static_cast<std::size_t>(clamped)];
+}
+
+LibCellId Library::upsize(LibCellId id) const {
+  const LibCell& c = cell(id);
+  const auto& ladder = sizes(c.kind);
+  std::size_t next = static_cast<std::size_t>(c.size_index) + 1;
+  if (next >= ladder.size()) return LibCellId{};
+  return ladder[next];
+}
+
+LibCellId Library::downsize(LibCellId id) const {
+  const LibCell& c = cell(id);
+  if (c.size_index == 0) return LibCellId{};
+  return sizes(c.kind)[static_cast<std::size_t>(c.size_index) - 1];
+}
+
+}  // namespace rlccd

@@ -1,0 +1,122 @@
+#include "netlist/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace rlccd {
+
+void write_netlist(const Netlist& netlist, std::ostream& out) {
+  // Full round-trip precision for positions.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "rlccd-netlist v1\n";
+  out << "tech " << netlist.library().tech().name << "\n";
+  for (const Cell& c : netlist.cells()) {
+    const LibCell& lc = netlist.library().cell(c.lib);
+    out << "cell " << c.name << " " << lc.name << " " << c.x << " " << c.y
+        << "\n";
+  }
+  for (const Net& n : netlist.nets()) {
+    out << "net " << n.name << "\n";
+  }
+  for (const Net& n : netlist.nets()) {
+    if (n.driver.valid()) {
+      out << "driver " << n.id.index() << " "
+          << netlist.pin(n.driver).cell.index() << "\n";
+    }
+    for (PinId sink : n.sinks) {
+      const Pin& p = netlist.pin(sink);
+      out << "sink " << n.id.index() << " " << p.cell.index() << " "
+          << p.index << "\n";
+    }
+  }
+}
+
+bool write_netlist_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_netlist(netlist, out);
+  return static_cast<bool>(out);
+}
+
+std::unique_ptr<Netlist> read_netlist(const Library& library,
+                                      std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) || header != "rlccd-netlist v1") {
+    RLCCD_LOG_WARN("netlist parse: bad header");
+    return nullptr;
+  }
+
+  std::unordered_map<std::string, LibCellId> by_name;
+  for (const LibCell& lc : library.cells()) by_name[lc.name] = lc.id;
+
+  auto netlist = std::make_unique<Netlist>(&library);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "tech") {
+      std::string name;
+      ss >> name;
+      if (name != library.tech().name) {
+        RLCCD_LOG_WARN("netlist parse: technology mismatch (%s vs %s)",
+                       name.c_str(), library.tech().name.c_str());
+        return nullptr;
+      }
+    } else if (kind == "cell") {
+      std::string name, lib_name;
+      double x = 0.0, y = 0.0;
+      if (!(ss >> name >> lib_name >> x >> y)) return nullptr;
+      auto it = by_name.find(lib_name);
+      if (it == by_name.end()) {
+        RLCCD_LOG_WARN("netlist parse: unknown lib cell %s",
+                       lib_name.c_str());
+        return nullptr;
+      }
+      CellId id = netlist->add_cell(it->second, name);
+      netlist->set_position(id, x, y);
+    } else if (kind == "net") {
+      std::string name;
+      if (!(ss >> name)) return nullptr;
+      netlist->add_net(name);
+    } else if (kind == "driver") {
+      std::size_t net = 0, cell = 0;
+      if (!(ss >> net >> cell)) return nullptr;
+      if (net >= netlist->num_nets() || cell >= netlist->num_cells()) {
+        return nullptr;
+      }
+      netlist->set_driver(NetId(static_cast<std::uint32_t>(net)),
+                          CellId(static_cast<std::uint32_t>(cell)));
+    } else if (kind == "sink") {
+      std::size_t net = 0, cell = 0;
+      int pin = 0;
+      if (!(ss >> net >> cell >> pin)) return nullptr;
+      if (net >= netlist->num_nets() || cell >= netlist->num_cells()) {
+        return nullptr;
+      }
+      netlist->add_sink(NetId(static_cast<std::uint32_t>(net)),
+                        CellId(static_cast<std::uint32_t>(cell)), pin);
+    } else {
+      RLCCD_LOG_WARN("netlist parse: unknown record '%s'", kind.c_str());
+      return nullptr;
+    }
+  }
+  netlist->update_wire_parasitics();
+  netlist->validate();
+  return netlist;
+}
+
+std::unique_ptr<Netlist> read_netlist_file(const Library& library,
+                                           const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return nullptr;
+  return read_netlist(library, in);
+}
+
+}  // namespace rlccd

@@ -1,0 +1,34 @@
+// Netlist text serialization: a simple line-oriented format capturing cells
+// (library variant, position) and nets (driver, sinks). Lets examples dump
+// generated designs and reload them for inspection without regenerating.
+//
+// Format (one record per line):
+//   rlccd-netlist v1
+//   tech <node-name>
+//   cell <name> <libcell-name> <x> <y>
+//   net <name>
+//   driver <net-index> <cell-index>
+//   sink <net-index> <cell-index> <input-pin>
+// Indices refer to declaration order, which matches id order.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace rlccd {
+
+void write_netlist(const Netlist& netlist, std::ostream& out);
+bool write_netlist_file(const Netlist& netlist, const std::string& path);
+
+// Reads a netlist written by write_netlist. The library must be the one the
+// netlist was built against (same technology); returns nullptr on parse
+// errors or unknown library cells.
+std::unique_ptr<Netlist> read_netlist(const Library& library,
+                                      std::istream& in);
+std::unique_ptr<Netlist> read_netlist_file(const Library& library,
+                                           const std::string& path);
+
+}  // namespace rlccd

@@ -1,0 +1,50 @@
+#include "netlist/stats.h"
+
+#include <sstream>
+
+namespace rlccd {
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats s;
+  for (const Cell& c : netlist.cells()) {
+    const LibCell& lc = netlist.library().cell(c.lib);
+    switch (lc.kind) {
+      case CellKind::Input: ++s.num_primary_inputs; break;
+      case CellKind::Output: ++s.num_primary_outputs; break;
+      case CellKind::Dff:
+        ++s.num_sequential;
+        ++s.num_cells;
+        break;
+      default:
+        ++s.num_combinational;
+        ++s.num_cells;
+        break;
+    }
+  }
+  s.num_nets = netlist.num_nets();
+  std::size_t total_sinks = 0;
+  std::size_t driven = 0;
+  for (const Net& n : netlist.nets()) {
+    if (!n.driver.valid()) continue;
+    ++driven;
+    total_sinks += n.sinks.size();
+    s.max_fanout = std::max(s.max_fanout, n.sinks.size());
+    s.total_hpwl += netlist.net_hpwl(n.id);
+  }
+  s.avg_fanout = driven ? static_cast<double>(total_sinks) /
+                              static_cast<double>(driven)
+                        : 0.0;
+  return s;
+}
+
+std::string stats_to_string(const NetlistStats& s) {
+  std::ostringstream out;
+  out << "cells=" << s.num_cells << " (comb=" << s.num_combinational
+      << " seq=" << s.num_sequential << ")"
+      << " PIs=" << s.num_primary_inputs << " POs=" << s.num_primary_outputs
+      << " nets=" << s.num_nets << " avg_fanout=" << s.avg_fanout
+      << " max_fanout=" << s.max_fanout << " hpwl_um=" << s.total_hpwl;
+  return out.str();
+}
+
+}  // namespace rlccd

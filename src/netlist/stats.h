@@ -1,0 +1,26 @@
+// Netlist summary statistics (cell counts by kind, net fanout profile,
+// sequential ratio). Used by examples and the design generator's self-check.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace rlccd {
+
+struct NetlistStats {
+  std::size_t num_cells = 0;        // excluding ports
+  std::size_t num_combinational = 0;
+  std::size_t num_sequential = 0;
+  std::size_t num_primary_inputs = 0;
+  std::size_t num_primary_outputs = 0;
+  std::size_t num_nets = 0;
+  double avg_fanout = 0.0;
+  std::size_t max_fanout = 0;
+  double total_hpwl = 0.0;  // um
+};
+
+NetlistStats compute_stats(const Netlist& netlist);
+std::string stats_to_string(const NetlistStats& stats);
+
+}  // namespace rlccd

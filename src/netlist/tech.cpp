@@ -1,0 +1,41 @@
+#include "netlist/tech.h"
+
+namespace rlccd {
+
+Tech make_tech(TechNode node) {
+  Tech t;
+  t.node = node;
+  t.name = tech_node_name(node);
+  switch (node) {
+    case TechNode::N5:
+      t.wire_cap_per_um = 0.10;
+      t.wire_res_per_um = 0.0060;
+      t.delay_scale = 0.70;
+      t.cap_scale = 0.75;
+      t.leakage_scale = 1.40;
+      t.cell_pitch_um = 0.60;
+      t.default_clock_period = 0.60;
+      break;
+    case TechNode::N7:
+      t.wire_cap_per_um = 0.09;
+      t.wire_res_per_um = 0.0050;
+      t.delay_scale = 0.85;
+      t.cap_scale = 0.85;
+      t.leakage_scale = 1.15;
+      t.cell_pitch_um = 0.80;
+      t.default_clock_period = 0.80;
+      break;
+    case TechNode::N12:
+      t.wire_cap_per_um = 0.08;
+      t.wire_res_per_um = 0.0040;
+      t.delay_scale = 1.0;
+      t.cap_scale = 1.0;
+      t.leakage_scale = 1.0;
+      t.cell_pitch_um = 1.0;
+      t.default_clock_period = 1.0;
+      break;
+  }
+  return t;
+}
+
+}  // namespace rlccd

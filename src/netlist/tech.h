@@ -1,0 +1,48 @@
+// Technology description. The paper evaluates designs in 5nm, 7nm and 12nm
+// processes; we model a technology as a small set of scaling constants that
+// drive the generic library (netlist/library.h) and the wire RC estimator.
+#pragma once
+
+#include <string>
+
+#include "common/contracts.h"
+
+namespace rlccd {
+
+enum class TechNode { N5, N7, N12 };
+
+struct Tech {
+  std::string name;
+  TechNode node = TechNode::N7;
+
+  // Wire parasitics per micron of Manhattan routing estimate.
+  double wire_cap_per_um = 0.08;   // fF / um
+  double wire_res_per_um = 0.004;  // kOhm-equivalent; delay uses res * cap
+
+  // Global scale applied to all library delays (newer node -> faster cells).
+  double delay_scale = 1.0;
+  // Global scale applied to all library capacitances.
+  double cap_scale = 1.0;
+  // Global scale applied to leakage (leakage grows at newer nodes).
+  double leakage_scale = 1.0;
+
+  // Average cell pitch used to translate cell count into die area (um).
+  double cell_pitch_um = 1.0;
+
+  // Default clock period for generated designs (ns).
+  double default_clock_period = 1.0;
+};
+
+// Canonical technology presets used by the design generator and benches.
+Tech make_tech(TechNode node);
+
+inline const char* tech_node_name(TechNode node) {
+  switch (node) {
+    case TechNode::N5: return "5nm";
+    case TechNode::N7: return "7nm";
+    case TechNode::N12: return "12nm";
+  }
+  return "?";
+}
+
+}  // namespace rlccd

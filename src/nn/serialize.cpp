@@ -1,0 +1,76 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace rlccd {
+
+namespace {
+constexpr char kMagic[8] = {'R', 'L', 'C', 'C', 'D', 'N', 'N', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool save_parameters(const std::vector<Tensor>& params,
+                     const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic)) {
+    return false;
+  }
+  const std::uint64_t count = params.size();
+  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
+  for (const Tensor& p : params) {
+    const std::uint64_t rows = p.rows();
+    const std::uint64_t cols = p.cols();
+    if (std::fwrite(&rows, sizeof(rows), 1, f.get()) != 1) return false;
+    if (std::fwrite(&cols, sizeof(cols), 1, f.get()) != 1) return false;
+    if (p.size() > 0 &&
+        std::fwrite(p.data(), sizeof(float), p.size(), f.get()) != p.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool load_parameters(std::vector<Tensor>& params, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic)) {
+    return false;
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint64_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
+  if (count != params.size()) return false;
+  for (Tensor& p : params) {
+    std::uint64_t rows = 0, cols = 0;
+    if (std::fread(&rows, sizeof(rows), 1, f.get()) != 1) return false;
+    if (std::fread(&cols, sizeof(cols), 1, f.get()) != 1) return false;
+    if (rows != p.rows() || cols != p.cols()) return false;
+    if (p.size() > 0 &&
+        std::fread(p.data(), sizeof(float), p.size(), f.get()) != p.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void copy_parameter_values(const std::vector<Tensor>& src,
+                           std::vector<Tensor>& dst) {
+  RLCCD_EXPECTS(src.size() == dst.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    RLCCD_EXPECTS(src[i].rows() == dst[i].rows() &&
+                  src[i].cols() == dst[i].cols());
+    std::memcpy(dst[i].data(), src[i].data(), src[i].size() * sizeof(float));
+  }
+}
+
+}  // namespace rlccd

@@ -1,0 +1,26 @@
+// Parameter (de)serialization: a simple self-describing binary format
+// ("RLCCDNN1" magic, then count and shape-prefixed float blobs). Used for
+// transfer learning — a pre-trained EP-GNN is saved on one design and loaded
+// on an unseen one (paper Sec. IV-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace rlccd {
+
+// Writes parameter values; returns false on I/O failure.
+bool save_parameters(const std::vector<Tensor>& params,
+                     const std::string& path);
+
+// Loads into existing tensors (shapes must match); returns false on I/O or
+// shape mismatch.
+bool load_parameters(std::vector<Tensor>& params, const std::string& path);
+
+// In-memory copy helpers (parallel training: clone <-> master).
+void copy_parameter_values(const std::vector<Tensor>& src,
+                           std::vector<Tensor>& dst);
+
+}  // namespace rlccd

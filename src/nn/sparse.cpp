@@ -1,0 +1,60 @@
+#include "nn/sparse.h"
+
+#include <algorithm>
+
+namespace rlccd {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets) {
+  SparseMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  m.row_ptr.assign(rows + 1, 0);
+  m.col_idx.reserve(triplets.size());
+  m.values.reserve(triplets.size());
+  bool have_last = false;
+  std::uint32_t last_row = 0;
+  for (const Triplet& t : triplets) {
+    RLCCD_EXPECTS(t.row < rows && t.col < cols);
+    // Duplicates (same row/col) merge by summation.
+    if (have_last && last_row == t.row && m.col_idx.back() == t.col) {
+      m.values.back() += t.value;
+      continue;
+    }
+    m.col_idx.push_back(t.col);
+    m.values.push_back(t.value);
+    ++m.row_ptr[t.row + 1];
+    last_row = t.row;
+    have_last = true;
+  }
+  for (std::size_t r = 0; r < rows; ++r) m.row_ptr[r + 1] += m.row_ptr[r];
+  return m;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  SparseMatrix t;
+  t.rows = cols;
+  t.cols = rows;
+  t.row_ptr.assign(cols + 1, 0);
+  for (std::uint32_t c : col_idx) ++t.row_ptr[c + 1];
+  for (std::size_t r = 0; r < cols; ++r) t.row_ptr[r + 1] += t.row_ptr[r];
+  t.col_idx.assign(nnz(), 0);
+  t.values.assign(nnz(), 0.0f);
+  std::vector<std::uint32_t> cursor(t.row_ptr.begin(), t.row_ptr.end() - 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      std::uint32_t c = col_idx[k];
+      std::uint32_t pos = cursor[c]++;
+      t.col_idx[pos] = static_cast<std::uint32_t>(r);
+      t.values[pos] = values[k];
+    }
+  }
+  return t;
+}
+
+}  // namespace rlccd

@@ -1,0 +1,43 @@
+// Compressed-sparse-row matrix used for graph aggregation (neighborhood
+// mean and fan-in-cone sum in EP-GNN). The sparsity pattern is fixed per
+// design; only dense operands carry gradients, so spmm() needs the transpose
+// for the backward pass — built once here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace rlccd {
+
+struct SparseMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint32_t> row_ptr;  // size rows+1
+  std::vector<std::uint32_t> col_idx;  // size nnz
+  std::vector<float> values;           // size nnz
+
+  struct Triplet {
+    std::uint32_t row;
+    std::uint32_t col;
+    float value;
+  };
+
+  static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                    std::vector<Triplet> triplets);
+
+  [[nodiscard]] SparseMatrix transposed() const;
+  [[nodiscard]] std::size_t nnz() const { return col_idx.size(); }
+};
+
+// A sparse operand bundled with its transpose for autograd.
+struct SparseOperand {
+  SparseMatrix matrix;
+  SparseMatrix matrix_t;
+
+  explicit SparseOperand(SparseMatrix m)
+      : matrix(std::move(m)), matrix_t(matrix.transposed()) {}
+};
+
+}  // namespace rlccd

@@ -1,0 +1,92 @@
+#include "nn/tensor.h"
+
+#include <unordered_set>
+
+namespace rlccd {
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols, bool requires_grad) {
+  return full(rows, cols, 0.0f, requires_grad);
+}
+
+Tensor Tensor::full(std::size_t rows, std::size_t cols, float fill,
+                    bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->value.assign(rows * cols, fill);
+  impl->requires_grad = requires_grad;
+  if (requires_grad) impl->ensure_grad();
+  return wrap(std::move(impl));
+}
+
+Tensor Tensor::from_data(std::vector<float> data, std::size_t rows,
+                         std::size_t cols, bool requires_grad) {
+  RLCCD_EXPECTS(data.size() == rows * cols);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->value = std::move(data);
+  impl->requires_grad = requires_grad;
+  if (requires_grad) impl->ensure_grad();
+  return wrap(std::move(impl));
+}
+
+Tensor Tensor::detach_copy() const {
+  return from_data(impl().value, rows(), cols(), /*requires_grad=*/false);
+}
+
+Tensor make_result(std::size_t rows, std::size_t cols,
+                   std::vector<std::shared_ptr<TensorImpl>> parents) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->value.assign(rows * cols, 0.0f);
+  for (const auto& p : parents) {
+    if (p && p->requires_grad) {
+      impl->requires_grad = true;
+      break;
+    }
+  }
+  impl->parents = std::move(parents);
+  return Tensor::wrap(std::move(impl));
+}
+
+void Tensor::backward() const {
+  RLCCD_EXPECTS(size() == 1);
+  RLCCD_EXPECTS(impl().requires_grad);
+
+  // Topological order over the requires-grad subgraph (iterative DFS).
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      TensorImpl* p = f.node->parents[f.next_parent++].get();
+      if (p != nullptr && p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->ensure_grad();
+  impl_->grad[0] += 1.0f;
+  // order is post-order (leaves first); walk it backwards so each node runs
+  // its backward_fn after all its consumers have contributed.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) node->backward_fn();
+  }
+}
+
+}  // namespace rlccd

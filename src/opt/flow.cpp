@@ -1,0 +1,159 @@
+#include "opt/flow.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace rlccd {
+
+FlowConfig default_flow_config(std::size_t num_cells, double period) {
+  FlowConfig cfg;
+  cfg.skew.max_abs_skew = 0.08 * period;
+  cfg.skew.max_sweeps = 25;
+  cfg.skew_touchup = cfg.skew;
+  cfg.skew_touchup.max_sweeps = 4;
+  cfg.pre_ccd_sizing_moves =
+      std::max(24, static_cast<int>(static_cast<double>(num_cells) * 0.015));
+  return cfg;
+}
+
+FlowResult run_placement_flow(Netlist& netlist, const StaConfig& sta_config,
+                              double clock_period, const Die& die,
+                              const std::vector<double>& pi_toggles,
+                              const FlowConfig& config,
+                              std::span<const PinId> prioritized) {
+  auto t_start = std::chrono::steady_clock::now();
+  FlowResult result;
+
+  const auto cells = static_cast<double>(netlist.num_real_cells());
+  Sta sta(&netlist, sta_config, clock_period);
+
+  // 1. Begin state.
+  sta.run();
+  result.begin = sta.summary();
+  {
+    SwitchingActivity act =
+        propagate_activity(netlist, ActivityConfig{}, pi_toggles);
+    result.power_begin = compute_power(netlist, act);
+  }
+
+  // 2. Pre-CCD coarse sizing.
+  {
+    SizingConfig pre;
+    pre.max_upsize_moves = config.pre_ccd_sizing_moves;
+    SizingResult r = run_sizing(sta, netlist, pre);
+    result.cells_upsized += r.upsized;
+  }
+
+  // 3. Prioritization margins (the RL hook). Margins are measured against
+  // the *current* slack profile, exactly Algorithm 1 line 14: worsen the
+  // selected endpoints' timing to design WNS.
+  sta.run();
+  if (!prioritized.empty()) {
+    TimingSummary pre = sta.summary();
+    for (PinId ep : prioritized) {
+      if (!sta.is_endpoint(ep)) continue;
+      double slack = sta.endpoint_slack(ep);
+      if (slack >= 1e29) continue;
+      switch (config.margin_mode) {
+        case MarginMode::OverFixToWns: {
+          double margin = slack - pre.wns;  // >= 0 for any slack above WNS
+          if (margin > 0.0) sta.margins()[ep] = margin;
+          break;
+        }
+        case MarginMode::UnderFixRelax: {
+          // Loosen the endpoint so the skew engine sees it as met and
+          // leaves it entirely to the data-path passes.
+          if (slack < 0.0) sta.margins()[ep] = slack;  // negative margin
+          break;
+        }
+      }
+    }
+  }
+
+  // 4. CCD clock-path optimization: useful skew (margins active).
+  result.skew = run_useful_skew(sta, config.skew);
+
+  // 5. Remove margins before the remaining placement optimization.
+  sta.clear_margins();
+  sta.run();
+  result.after_skew = sta.summary();
+
+  // 6. Remaining placement optimization.
+  SizingConfig sizing;
+  sizing.max_upsize_moves =
+      std::max(16, static_cast<int>(cells * config.sizing_budget_frac));
+  BufferConfig buffering;
+  buffering.max_buffers =
+      std::max(4, static_cast<int>(cells * config.buffer_budget_frac));
+  RestructureConfig restructure;
+  restructure.max_swaps =
+      std::max(8, static_cast<int>(cells * config.restructure_budget_frac));
+
+  for (int round = 0; round < config.data_rounds; ++round) {
+    SizingResult sr = run_sizing(sta, netlist, sizing);
+    result.cells_upsized += sr.upsized;
+    BufferResult br = run_buffering(sta, netlist, buffering);
+    result.buffers_inserted += br.buffers_inserted;
+    RestructureResult rr = run_restructure(sta, netlist, restructure);
+    result.pins_swapped += rr.swaps;
+  }
+
+  // CCD interleaving: a brief skew re-balance on the optimized netlist.
+  UsefulSkewResult touchup = run_useful_skew(sta, config.skew_touchup);
+  result.skew.flops_adjusted =
+      std::max(result.skew.flops_adjusted, touchup.flops_adjusted);
+
+  if (config.legalize) {
+    GlobalPlacer::legalize(netlist, die);
+  }
+
+  // Final sizing with power recovery.
+  {
+    SizingConfig fin = sizing;
+    fin.max_upsize_moves = std::max(16, fin.max_upsize_moves / 2);
+    if (config.enable_power_recovery) {
+      fin.max_downsize_moves =
+          std::max(16, static_cast<int>(cells * 0.04));
+      fin.downsize_slack_margin = 0.08 * clock_period;
+    }
+    SizingResult r = run_sizing(sta, netlist, fin);
+    result.cells_upsized += r.upsized;
+    result.cells_downsized += r.downsized;
+  }
+
+  // Hold cleanup: setup-driven sizing and legalization can shave min paths
+  // below what the skew engine guarded against; pad the residual debt
+  // (every production CCD flow ends with this step).
+  {
+    HoldFixConfig hold;
+    hold.max_buffers = std::max(16, static_cast<int>(cells * 0.02));
+    // Hold violations are fatal in silicon; pay setup slack if necessary.
+    hold.setup_guard = -10.0 * clock_period;
+    HoldFixResult hr = run_hold_fix(sta, netlist, hold);
+    result.hold_buffers = hr.buffers_inserted;
+  }
+
+  // 7. Final state.
+  sta.run();
+  result.final_ = sta.summary();
+  result.final_clock = sta.clock();
+  {
+    SwitchingActivity act =
+        propagate_activity(netlist, ActivityConfig{}, pi_toggles);
+    result.power_final = compute_power(netlist, act);
+  }
+
+  result.runtime_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  RLCCD_LOG_DEBUG(
+      "flow done: TNS %.3f -> %.3f (wns %.3f, nve %zu), %d upsized, %d bufs",
+      result.begin.tns, result.final_.tns, result.final_.wns,
+      result.final_.nve, result.cells_upsized, result.buffers_inserted);
+  return result;
+}
+
+}  // namespace rlccd

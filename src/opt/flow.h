@@ -1,0 +1,84 @@
+// Placement-stage optimization flow (the paper's Fig. 1).
+//
+// Mirrors the reference tool's recipe:
+//   1. begin STA/power (post global placement),
+//   2. pre-CCD coarse sizing,
+//   3. [RL hook] apply margins that worsen the *prioritized* endpoints'
+//      timing to design WNS (paper Fig. 2 / Algorithm 1 line 14),
+//   4. CCD clock-path optimization: useful skew,
+//   5. remove the margins,
+//   6. remaining placement optimization: data-path rounds (sizing,
+//      buffering, restructuring), a brief skew touch-up, legalization and a
+//      final sizing pass with power recovery,
+//   7. final STA + power report.
+// The default tool flow is exactly the same run with an empty prioritized
+// set; total optimization steps are identical (paper Sec. I).
+//
+// The flow mutates the given netlist; callers that need repeated rollouts
+// from the same starting point (the RL trainer) run it on a copy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "opt/buffering.h"
+#include "opt/hold_fix.h"
+#include "opt/restructure.h"
+#include "opt/sizing.h"
+#include "opt/useful_skew.h"
+#include "place/placer.h"
+#include "power/power.h"
+#include "sta/clock_schedule.h"
+#include "sta/sta.h"
+
+namespace rlccd {
+
+// How the prioritization margins are applied (Sec. III-A: the paper found
+// "over-fix" significantly better than "under-fix"; bench_ablation_overfix
+// measures both).
+enum class MarginMode {
+  OverFixToWns,   // worsen selected endpoints to WNS (paper default)
+  UnderFixRelax,  // hide selected endpoints from the skew engine
+};
+
+struct FlowConfig {
+  UsefulSkewConfig skew;             // main CCD useful-skew step
+  UsefulSkewConfig skew_touchup;     // brief CCD re-balance after data opt
+  int data_rounds = 2;
+  // Budgets as fractions of the (real) cell count, per round.
+  double sizing_budget_frac = 0.04;
+  double buffer_budget_frac = 0.010;
+  double restructure_budget_frac = 0.02;
+  int pre_ccd_sizing_moves = 48;
+  bool enable_power_recovery = true;
+  bool legalize = true;
+  MarginMode margin_mode = MarginMode::OverFixToWns;
+};
+
+// Budgets and skew bounds scaled for a design of `num_cells` with clock
+// period `period` (ns).
+FlowConfig default_flow_config(std::size_t num_cells, double period);
+
+struct FlowResult {
+  TimingSummary begin;        // post global place, before any optimization
+  TimingSummary after_skew;   // after the CCD useful-skew step (margins off)
+  TimingSummary final_;       // end of placement optimization
+  PowerReport power_begin;
+  PowerReport power_final;
+  UsefulSkewResult skew;
+  int cells_upsized = 0;
+  int cells_downsized = 0;
+  int buffers_inserted = 0;
+  int pins_swapped = 0;
+  int hold_buffers = 0;
+  double runtime_sec = 0.0;
+  ClockSchedule final_clock;  // for Fig. 5 histograms
+};
+
+FlowResult run_placement_flow(Netlist& netlist, const StaConfig& sta_config,
+                              double clock_period, const Die& die,
+                              const std::vector<double>& pi_toggles,
+                              const FlowConfig& config,
+                              std::span<const PinId> prioritized = {});
+
+}  // namespace rlccd

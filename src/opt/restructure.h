@@ -1,0 +1,24 @@
+// Local logic restructuring: commutative-pin swapping.
+//
+// Library arcs carry a small per-pin delay asymmetry (pin 0 fastest). For
+// violating multi-input gates, routing the latest-arriving signal through
+// the fastest pin shaves the worst arc. Only logically commutative kinds are
+// touched (NAND/NOR/AND/OR/XOR); MUX/AOI pin roles are not interchangeable.
+#pragma once
+
+#include "sta/sta.h"
+
+namespace rlccd {
+
+struct RestructureConfig {
+  int max_swaps = 100;
+};
+
+struct RestructureResult {
+  int swaps = 0;
+};
+
+RestructureResult run_restructure(Sta& sta, Netlist& netlist,
+                                  const RestructureConfig& config);
+
+}  // namespace rlccd

@@ -1,0 +1,64 @@
+#include "opt/useful_skew.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rlccd {
+
+namespace {
+constexpr double kInf = 1e30;
+}
+
+UsefulSkewResult run_useful_skew(Sta& sta, const UsefulSkewConfig& config) {
+  const Netlist& nl = sta.netlist();
+  std::vector<CellId> flops = nl.sequential_cells();
+  UsefulSkewResult result;
+
+  for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    sta.run();
+    double max_move = 0.0;
+    for (CellId f : flops) {
+      const Cell& c = nl.cell(f);
+      // Capture side: worst slack of the paths ending at this flop.
+      double in_slack = sta.endpoint_slack(c.inputs[0]);
+      // Launch side: worst slack of the paths starting at this flop.
+      double out_slack = sta.slack(c.output);
+      if (in_slack >= kInf && out_slack >= kInf) continue;
+      // A flop with no timed capture (or launch) side can donate freely.
+      in_slack = std::min(in_slack, 1e6);
+      out_slack = std::min(out_slack, 1e6);
+
+      double move = config.rate * 0.5 * (out_slack - in_slack);
+      double delta = sta.clock().adjustment(f);
+      // Skew bound.
+      move = std::clamp(move, -config.max_abs_skew - delta,
+                        config.max_abs_skew - delta);
+      // Delaying capture eats this flop's own hold slack.
+      if (move > 0.0) {
+        double hold = sta.endpoint_hold_slack(c.inputs[0]);
+        if (hold < kInf) {
+          move = std::min(move, std::max(0.0, hold - config.hold_guard));
+        }
+      }
+      if (std::abs(move) < config.min_move) continue;
+      sta.clock().set_adjustment(f, delta + move);
+      max_move = std::max(max_move, std::abs(move));
+    }
+    ++result.sweeps;
+    if (max_move < config.min_move) break;
+  }
+
+  sta.run();
+  for (CellId f : flops) {
+    double d = sta.clock().adjustment(f);
+    if (d != 0.0) {
+      ++result.flops_adjusted;
+      result.max_abs_adjustment = std::max(result.max_abs_adjustment,
+                                           std::abs(d));
+    }
+  }
+  return result;
+}
+
+}  // namespace rlccd

@@ -1,0 +1,178 @@
+#include "place/placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace rlccd {
+
+GlobalPlacer::GlobalPlacer(Netlist* netlist, PlacerConfig config, Rng rng)
+    : netlist_(netlist), config_(config), rng_(rng) {
+  RLCCD_EXPECTS(netlist != nullptr);
+  RLCCD_EXPECTS(config.target_utilization > 0.0 &&
+                config.target_utilization <= 1.0);
+}
+
+Die GlobalPlacer::size_die() const {
+  const Tech& tech = netlist_->library().tech();
+  double cell_area = tech.cell_pitch_um * tech.cell_pitch_um;
+  double total_area = cell_area *
+                      static_cast<double>(netlist_->num_real_cells()) /
+                      config_.target_utilization;
+  double side = std::max(10.0, std::sqrt(total_area));
+  return Die{side, side, tech.cell_pitch_um};
+}
+
+Die GlobalPlacer::run() {
+  Netlist& nl = *netlist_;
+  Die die = size_die();
+
+  // Pin ports evenly around the periphery; seed movable cells randomly.
+  std::vector<CellId> movable;
+  std::vector<CellId> ports;
+  for (const Cell& c : nl.cells()) {
+    if (nl.is_port(c.id)) {
+      ports.push_back(c.id);
+    } else {
+      movable.push_back(c.id);
+    }
+  }
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    double t = static_cast<double>(i) / static_cast<double>(ports.size());
+    double perimeter = 2.0 * (die.width + die.height);
+    double d = t * perimeter;
+    double x, y;
+    if (d < die.width) {
+      x = d; y = 0.0;
+    } else if (d < die.width + die.height) {
+      x = die.width; y = d - die.width;
+    } else if (d < 2.0 * die.width + die.height) {
+      x = 2.0 * die.width + die.height - d; y = die.height;
+    } else {
+      x = 0.0; y = perimeter - d;
+    }
+    nl.set_position(ports[i], x, y);
+  }
+  for (CellId id : movable) {
+    nl.set_position(id, rng_.uniform(0.0, die.width),
+                    rng_.uniform(0.0, die.height));
+  }
+
+  // Force-directed iterations: move each cell toward the centroid of every
+  // cell it shares a net with, with jitter for spreading.
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    double jitter = config_.spread_jitter * die.row_height *
+                    (1.0 - static_cast<double>(iter) /
+                               static_cast<double>(config_.iterations));
+    for (CellId id : movable) {
+      const Cell& c = nl.cell(id);
+      double sx = 0.0, sy = 0.0;
+      int count = 0;
+      auto account_net = [&](NetId net_id) {
+        if (!net_id.valid()) return;
+        const Net& n = nl.net(net_id);
+        // High-fanout nets (clock, reset) would collapse the placement into
+        // a single cluster; standard placers ignore them too.
+        if (n.sinks.size() > 32) return;
+        if (n.driver.valid()) {
+          const Cell& o = nl.cell(nl.pin(n.driver).cell);
+          if (o.id != id) { sx += o.x; sy += o.y; ++count; }
+        }
+        for (PinId s : n.sinks) {
+          const Cell& o = nl.cell(nl.pin(s).cell);
+          if (o.id != id) { sx += o.x; sy += o.y; ++count; }
+        }
+      };
+      for (PinId in : c.inputs) account_net(nl.pin(in).net);
+      if (c.output.valid()) account_net(nl.pin(c.output).net);
+      if (count == 0) continue;
+      double cx = sx / count + rng_.uniform(-jitter, jitter);
+      double cy = sy / count + rng_.uniform(-jitter, jitter);
+      double nx = c.x + config_.move_rate * (cx - c.x);
+      double ny = c.y + config_.move_rate * (cy - c.y);
+      nx = std::clamp(nx, 0.0, die.width);
+      ny = std::clamp(ny, 0.0, die.height);
+      nl.set_position(id, nx, ny);
+    }
+  }
+
+  nl.update_wire_parasitics();
+  return die;
+}
+
+double GlobalPlacer::legalize(Netlist& netlist, const Die& die) {
+  // Bucket movable cells into rows, then spread x positions so cells within
+  // a row sit at least one pitch apart.
+  const double pitch = die.row_height;
+  const int num_rows =
+      std::max(1, static_cast<int>(std::floor(die.height / pitch)));
+  std::vector<std::vector<CellId>> rows(static_cast<std::size_t>(num_rows));
+  for (const Cell& c : netlist.cells()) {
+    if (netlist.is_port(c.id)) continue;
+    int row = std::clamp(static_cast<int>(std::floor(c.y / pitch)), 0,
+                         num_rows - 1);
+    rows[static_cast<std::size_t>(row)].push_back(c.id);
+  }
+  // Overfull rows spill their overflow into the nearest under-full row so
+  // the per-row packing below can always honour the pitch.
+  const auto capacity = static_cast<std::size_t>(
+      std::max(1.0, std::floor(die.width / pitch)));
+  for (int r = 0; r < num_rows; ++r) {
+    auto& row = rows[static_cast<std::size_t>(r)];
+    while (row.size() > capacity) {
+      CellId spilled = row.back();
+      row.pop_back();
+      int target = -1;
+      for (int d = 1; d < num_rows; ++d) {
+        for (int cand : {r - d, r + d}) {
+          if (cand < 0 || cand >= num_rows) continue;
+          if (rows[static_cast<std::size_t>(cand)].size() < capacity) {
+            target = cand;
+            break;
+          }
+        }
+        if (target >= 0) break;
+      }
+      if (target < 0) break;  // die genuinely full; keep the overlap
+      rows[static_cast<std::size_t>(target)].push_back(spilled);
+    }
+  }
+
+  double displacement = 0.0;
+  for (int r = 0; r < num_rows; ++r) {
+    auto& row = rows[static_cast<std::size_t>(r)];
+    std::sort(row.begin(), row.end(), [&](CellId a, CellId b) {
+      return netlist.cell(a).x < netlist.cell(b).x;
+    });
+    // Forward pass enforces the pitch; if the last cell ran past the die
+    // edge, a backward pass shifts cells left to fit.
+    std::vector<double> xs(row.size());
+    double cursor = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      xs[i] = std::max(netlist.cell(row[i]).x, cursor);
+      cursor = xs[i] + pitch;
+    }
+    double limit = die.width;
+    for (std::size_t i = row.size(); i > 0; --i) {
+      xs[i - 1] = std::min(xs[i - 1], limit);
+      limit = xs[i - 1] - pitch;
+    }
+    double y = (static_cast<double>(r) + 0.5) * pitch;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const Cell& c = netlist.cell(row[i]);
+      displacement += std::abs(xs[i] - c.x) + std::abs(y - c.y);
+      netlist.set_position(row[i], xs[i], y);
+    }
+  }
+  netlist.update_wire_parasitics();
+  return displacement;
+}
+
+double GlobalPlacer::total_hpwl(const Netlist& netlist) {
+  double total = 0.0;
+  for (const Net& n : netlist.nets()) total += netlist.net_hpwl(n.id);
+  return total;
+}
+
+}  // namespace rlccd

@@ -1,0 +1,56 @@
+// Global placement and legalization.
+//
+// The paper's flow starts from a globally placed netlist; our substrate
+// provides a force-directed global placer (ports fixed on the die periphery,
+// movable cells iteratively pulled to the centroid of their connected pins
+// with a spreading term) and a row-snapping legalizer used by the flow's
+// legalization step. Quality only needs to be good enough that wire delay
+// correlates with logical proximity — which is what the Table-I location
+// features and the RC estimates consume.
+#pragma once
+
+#include "common/rng.h"
+#include "netlist/netlist.h"
+
+namespace rlccd {
+
+struct Die {
+  double width = 0.0;   // um
+  double height = 0.0;  // um
+  double row_height = 1.0;
+};
+
+struct PlacerConfig {
+  int iterations = 30;
+  double target_utilization = 0.65;
+  // Blend between centroid pull (1.0) and keeping the previous position.
+  double move_rate = 0.8;
+  // Magnitude of the random spreading jitter, in row heights.
+  double spread_jitter = 1.5;
+};
+
+class GlobalPlacer {
+ public:
+  GlobalPlacer(Netlist* netlist, PlacerConfig config, Rng rng);
+
+  // Computes a die sized for the netlist at the configured utilization.
+  [[nodiscard]] Die size_die() const;
+
+  // Random seed -> force-directed refinement; updates cell positions and the
+  // netlist wire parasitics. Ports are pinned to the periphery.
+  Die run();
+
+  // Snaps all movable cells to rows and spreads out x-overlaps within each
+  // row. Returns the total displacement (um) for reporting.
+  static double legalize(Netlist& netlist, const Die& die);
+
+  // Total half-perimeter wirelength of the current placement (um).
+  static double total_hpwl(const Netlist& netlist);
+
+ private:
+  Netlist* netlist_;
+  PlacerConfig config_;
+  Rng rng_;
+};
+
+}  // namespace rlccd

@@ -1,0 +1,65 @@
+// Switching-activity propagation and power reporting.
+//
+// Activity is a per-net toggle rate in [0, 1] (fraction of clock cycles the
+// net switches). Primary-input rates come from the design generator;
+// combinational gates attenuate/combine their input rates by kind, and flop
+// outputs are damped samples of their D input. Power is reported in three
+// components, mirroring Table I's features and Table II's "total power"
+// column:
+//   leakage   = sum of cell leakage,
+//   internal  = sum of cell internal energy x output toggle rate,
+//   switching = k * net load capacitance x toggle rate.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace rlccd {
+
+struct SwitchingActivity {
+  // Indexed by NetId; toggles in [0, 1].
+  std::vector<double> net_toggle;
+
+  [[nodiscard]] double toggle(NetId net) const {
+    if (!net.valid() || net.index() >= net_toggle.size()) return 0.0;
+    return net_toggle[net.index()];
+  }
+};
+
+struct ActivityConfig {
+  double default_pi_toggle = 0.25;
+  double flop_damping = 0.5;   // Q toggle = damping * D toggle + floor
+  double flop_floor = 0.02;
+  int sweeps = 3;              // fixed-point sweeps across flop boundaries
+};
+
+// Propagates toggle rates through the netlist. `pi_toggle` may be empty (all
+// primary inputs use the default) or hold one entry per primary input in
+// primary_inputs() order.
+SwitchingActivity propagate_activity(const Netlist& netlist,
+                                     const ActivityConfig& config,
+                                     const std::vector<double>& pi_toggle = {});
+
+struct PowerReport {
+  double leakage = 0.0;    // mW
+  double internal = 0.0;   // mW
+  double switching = 0.0;  // mW
+
+  [[nodiscard]] double total() const { return leakage + internal + switching; }
+};
+
+PowerReport compute_power(const Netlist& netlist,
+                          const SwitchingActivity& activity);
+
+// Per-cell power split used by the Table-I features.
+struct CellPower {
+  double internal = 0.0;
+  double leakage = 0.0;
+  double net_switching = 0.0;  // switching power of the cell's output net
+};
+
+CellPower compute_cell_power(const Netlist& netlist,
+                             const SwitchingActivity& activity, CellId cell);
+
+}  // namespace rlccd

@@ -1,0 +1,35 @@
+#include "rl/design_graph.h"
+
+namespace rlccd {
+
+DesignGraph::DesignGraph(const Design& design) : design_(&design) {
+  Sta sta = design.make_sta();
+  sta.run();
+  violating_ = sta.violating_endpoints();
+  begin_tns_ = sta.summary().tns;
+  slacks_.reserve(violating_.size());
+  for (PinId ep : violating_) slacks_.push_back(sta.endpoint_slack(ep));
+
+  const Netlist& nl = *design.netlist;
+  cones_ = std::make_unique<ConeIndex>(nl, violating_);
+  adj_ = std::make_unique<SparseOperand>(build_mean_adjacency(nl));
+  cone_mat_ = std::make_unique<SparseOperand>(build_cone_matrix(nl, *cones_));
+  ep_rows_ = endpoint_cell_rows(nl, violating_);
+
+  FeatureContext ctx;
+  ctx.netlist = &nl;
+  ctx.sta = &sta;
+  ctx.activity = &design.activity;
+  ctx.die = design.die;
+  ctx.clock_period = design.clock_period;
+  base_features_ = build_node_features(ctx);
+}
+
+Tensor DesignGraph::features_with_mask(
+    const std::vector<char>& cell_flag) const {
+  Tensor x = base_features_.detach_copy();
+  set_masked_column(x, cell_flag);
+  return x;
+}
+
+}  // namespace rlccd

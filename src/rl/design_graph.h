@@ -1,0 +1,55 @@
+// Frozen per-design artifacts shared by every rollout: the pristine STA
+// snapshot's Table-I features, the message-passing adjacency, the violating
+// endpoints with their fan-in cones (Eq. 3 / overlap masking), and the
+// cone-sum matrix. Built once; read-only afterwards (workers share it).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "designgen/generator.h"
+#include "gnn/features.h"
+#include "gnn/graph.h"
+#include "sta/cone.h"
+
+namespace rlccd {
+
+class DesignGraph {
+ public:
+  // Runs a pristine STA on the design and precomputes all graph artifacts.
+  explicit DesignGraph(const Design& design);
+
+  [[nodiscard]] const Design& design() const { return *design_; }
+  [[nodiscard]] const std::vector<PinId>& violating() const {
+    return violating_;
+  }
+  [[nodiscard]] std::size_t num_endpoints() const { return violating_.size(); }
+  [[nodiscard]] const ConeIndex& cones() const { return *cones_; }
+  [[nodiscard]] const SparseOperand& adjacency() const { return *adj_; }
+  [[nodiscard]] const SparseOperand& cone_matrix() const { return *cone_mat_; }
+  [[nodiscard]] const std::vector<std::size_t>& endpoint_rows() const {
+    return ep_rows_;
+  }
+  // Endpoint slack on the pristine design (env/bench reporting).
+  [[nodiscard]] const std::vector<double>& endpoint_slacks() const {
+    return slacks_;
+  }
+  [[nodiscard]] double begin_tns() const { return begin_tns_; }
+
+  // Feature matrix with the RL-masked column set from per-cell flags.
+  [[nodiscard]] Tensor features_with_mask(
+      const std::vector<char>& cell_flag) const;
+
+ private:
+  const Design* design_;
+  std::vector<PinId> violating_;
+  std::unique_ptr<ConeIndex> cones_;
+  std::unique_ptr<SparseOperand> adj_;
+  std::unique_ptr<SparseOperand> cone_mat_;
+  std::vector<std::size_t> ep_rows_;
+  std::vector<double> slacks_;
+  double begin_tns_ = 0.0;
+  Tensor base_features_;
+};
+
+}  // namespace rlccd

@@ -1,0 +1,181 @@
+#include "rl/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/log.h"
+#include "nn/serialize.h"
+
+namespace rlccd {
+
+ReinforceTrainer::ReinforceTrainer(const Design* design, Policy* policy,
+                                   TrainConfig config)
+    : design_(design), policy_(policy), config_(config), graph_(*design) {
+  RLCCD_EXPECTS(design != nullptr && policy != nullptr);
+  RLCCD_EXPECTS(config.workers >= 1);
+}
+
+FlowResult ReinforceTrainer::evaluate_selection(
+    std::span<const PinId> selection) const {
+  Netlist work = *design_->netlist;  // pristine copy
+  return run_placement_flow(work, design_->sta_config, design_->clock_period,
+                            design_->die, design_->pi_toggles, config_.flow,
+                            selection);
+}
+
+TrainStats ReinforceTrainer::train() {
+  auto t_start = std::chrono::steady_clock::now();
+  TrainStats stats;
+  stats.begin_tns = graph_.begin_tns();
+
+  FlowResult default_result = evaluate_selection({});
+  stats.default_tns = default_result.final_.tns;
+  stats.default_nve = default_result.final_.nve;
+  stats.best_tns = stats.default_tns;  // empty selection is always available
+
+  if (graph_.num_endpoints() == 0) {
+    RLCCD_LOG_INFO("no violating endpoints; nothing to train");
+    return stats;
+  }
+
+  const double reward_denom =
+      std::max({std::abs(stats.default_tns), 0.02 * std::abs(stats.begin_tns),
+                1e-3});
+
+  Adam optimizer(policy_->parameters(), config_.lr);
+  Rng root_rng(config_.seed ^ 0xABCDEF12345ull);
+  double baseline = 0.0;
+  bool baseline_init = false;
+  int stall = 0;
+
+  struct WorkerOut {
+    double tns = 0.0;
+    double reward = 0.0;
+    int steps = 0;
+    std::vector<PinId> selection;
+    std::vector<std::vector<float>> grads;  // per parameter
+  };
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    // Clone policies on the main thread (cheap, deterministic).
+    std::vector<Policy> clones;
+    clones.reserve(static_cast<std::size_t>(config_.workers));
+    for (int w = 0; w < config_.workers; ++w) clones.push_back(policy_->clone());
+
+    std::vector<WorkerOut> outs(static_cast<std::size_t>(config_.workers));
+    std::vector<std::thread> threads;
+    for (int w = 0; w < config_.workers; ++w) {
+      threads.emplace_back([&, w]() {
+        Policy& pol = clones[static_cast<std::size_t>(w)];
+        WorkerOut& out = outs[static_cast<std::size_t>(w)];
+        Rng rng = root_rng.fork(
+            static_cast<std::uint64_t>(iter) * 131 +
+            static_cast<std::uint64_t>(w));
+        SelectionEnv env(&graph_, config_.overlap_threshold);
+        // Stepwise rollout: sum_t grad(log pi_t) lands in the clone's
+        // parameter grads (zero on entry) with per-step graphs freed.
+        Policy::RolloutResult ro =
+            pol.rollout(graph_, env, rng, /*greedy=*/false,
+                        Policy::RolloutMode::StepwiseBackward);
+        out.steps = ro.steps;
+        out.selection = ro.selected;
+        FlowResult fr = evaluate_selection(ro.selected);
+        out.tns = fr.final_.tns;
+        out.reward = (out.tns - stats.default_tns) / reward_denom;
+
+        // REINFORCE: grad = -(r - b) * sum_t grad(log pi_t); the baseline
+        // is read once before the threads launch.
+        const float scale = static_cast<float>(-(out.reward - baseline));
+        std::vector<Tensor> params = pol.parameters();
+        out.grads.reserve(params.size());
+        for (Tensor& p : params) {
+          std::vector<float> g = p.grad();
+          for (float& v : g) v *= scale;
+          out.grads.push_back(std::move(g));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    // Merge gradients into the master policy (fixed order => deterministic).
+    optimizer.zero_grad();
+    std::vector<Tensor> master = policy_->parameters();
+    const float inv_w = 1.0f / static_cast<float>(config_.workers);
+    for (const WorkerOut& out : outs) {
+      for (std::size_t p = 0; p < master.size(); ++p) {
+        std::vector<float>& g = master[p].grad_mut();
+        const std::vector<float>& src = out.grads[p];
+        for (std::size_t i = 0; i < g.size(); ++i) g[i] += src[i] * inv_w;
+      }
+    }
+    clip_grad_norm(master, config_.grad_clip);
+    optimizer.step();
+
+    // Iteration bookkeeping.
+    IterationStats is;
+    double iter_best = -1e300;
+    for (const WorkerOut& out : outs) {
+      is.mean_reward += out.reward;
+      is.mean_tns += out.tns;
+      is.mean_steps += out.steps;
+      if (out.tns > iter_best) iter_best = out.tns;
+      if (out.tns > stats.best_tns) {
+        stats.best_tns = out.tns;
+        stats.best_selection = out.selection;
+        stall = -1;  // improvement this iteration
+      }
+    }
+    const double n = static_cast<double>(config_.workers);
+    is.mean_reward /= n;
+    is.mean_tns /= n;
+    is.mean_steps /= n;
+    is.iter_best_tns = iter_best;
+    is.best_tns = stats.best_tns;
+    stats.history.push_back(is);
+    stats.flow_runs += config_.workers;
+    ++stats.iterations;
+
+    if (!baseline_init) {
+      baseline = is.mean_reward;
+      baseline_init = true;
+    } else {
+      baseline = config_.baseline_decay * baseline +
+                 (1.0 - config_.baseline_decay) * is.mean_reward;
+    }
+
+    ++stall;
+    RLCCD_LOG_INFO(
+        "iter %2d: mean TNS %.3f best %.3f (default %.3f) mean |sel| %.1f",
+        iter, is.mean_tns, stats.best_tns, stats.default_tns, is.mean_steps);
+    if (iter + 1 >= config_.min_iterations && stall >= config_.patience) {
+      RLCCD_LOG_INFO("early stop: no improvement in %d iterations", stall);
+      break;
+    }
+  }
+
+  // Final greedy decode with the trained policy; keep it when it beats the
+  // best sampled trajectory (pure inference, one extra reward evaluation).
+  {
+    SelectionEnv env(&graph_, config_.overlap_threshold);
+    Rng rng(config_.seed ^ 0x5EEDull);
+    Policy::RolloutResult ro = policy_->rollout(
+        graph_, env, rng, /*greedy=*/true, Policy::RolloutMode::Inference);
+    FlowResult fr = evaluate_selection(ro.selected);
+    ++stats.flow_runs;
+    if (fr.final_.tns > stats.best_tns) {
+      stats.best_tns = fr.final_.tns;
+      stats.best_selection = ro.selected;
+      RLCCD_LOG_INFO("greedy decode improved best TNS to %.3f",
+                     stats.best_tns);
+    }
+  }
+
+  stats.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return stats;
+}
+
+}  // namespace rlccd

@@ -1,0 +1,74 @@
+// REINFORCE training loop (paper Sec. III-D, Algorithm 1).
+//
+// Each iteration rolls out `workers` trajectories in parallel (the paper
+// trains with 8 parallel processes on CPU farms; we use threads with
+// per-worker policy clones so gradient accumulation is race-free and
+// deterministic). The terminal reward of a trajectory is the final TNS of
+// the full placement flow run with the trajectory's selection, normalized
+// against the default flow's TNS; a moving-average baseline reduces
+// variance. Training stops when the best TNS has not improved for
+// `patience` consecutive iterations (the paper's criterion, 3).
+#pragma once
+
+#include <vector>
+
+#include "nn/optim.h"
+#include "opt/flow.h"
+#include "rl/policy.h"
+
+namespace rlccd {
+
+struct TrainConfig {
+  int workers = 8;
+  int max_iterations = 40;
+  int patience = 3;          // consecutive non-improving iterations
+  int min_iterations = 4;
+  double lr = 2e-3;
+  double grad_clip = 5.0;
+  double overlap_threshold = 0.3;  // rho (paper default)
+  double baseline_decay = 0.7;
+  std::uint64_t seed = 1;
+  FlowConfig flow;
+};
+
+struct IterationStats {
+  double mean_reward = 0.0;
+  double mean_tns = 0.0;
+  double iter_best_tns = 0.0;  // best trajectory this iteration
+  double best_tns = 0.0;       // best seen so far (incl. this iteration)
+  double mean_steps = 0.0;     // selection count per trajectory
+};
+
+struct TrainStats {
+  double begin_tns = 0.0;          // post global place
+  double default_tns = 0.0;        // default flow (empty selection)
+  std::size_t default_nve = 0;
+  double best_tns = 0.0;
+  std::vector<PinId> best_selection;
+  std::vector<IterationStats> history;
+  int iterations = 0;
+  int flow_runs = 0;               // reward evaluations (excl. default)
+  double train_seconds = 0.0;
+};
+
+class ReinforceTrainer {
+ public:
+  ReinforceTrainer(const Design* design, Policy* policy, TrainConfig config);
+
+  // Trains the policy in place; returns the full history and best solution.
+  TrainStats train();
+
+  // Runs the placement flow on a pristine copy with `selection`; returns
+  // the flow result (used for reward and for final reporting).
+  FlowResult evaluate_selection(std::span<const PinId> selection) const;
+
+  [[nodiscard]] const DesignGraph& graph() const { return graph_; }
+
+ private:
+  const Design* design_;
+  Policy* policy_;
+  TrainConfig config_;
+  DesignGraph graph_;
+};
+
+}  // namespace rlccd

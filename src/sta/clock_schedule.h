@@ -1,0 +1,54 @@
+// Clock schedule: per-flop clock arrival adjustments (useful skew) plus the
+// clock period. An ideal clock network is assumed — the common source
+// latency cancels in single-cycle setup/hold checks, so only the per-flop
+// adjustment delta matters. The useful-skew engine (src/opt/useful_skew.h)
+// mutates this schedule; STA reads it.
+#pragma once
+
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/ids.h"
+
+namespace rlccd {
+
+class ClockSchedule {
+ public:
+  explicit ClockSchedule(double period = 1.0) : period_(period) {}
+
+  [[nodiscard]] double period() const { return period_; }
+  void set_period(double period) {
+    RLCCD_EXPECTS(period > 0.0);
+    period_ = period;
+  }
+
+  // Clock arrival adjustment at a flop's CK pin (ns, signed).
+  [[nodiscard]] double adjustment(CellId flop) const {
+    if (flop.index() >= adjustments_.size()) return 0.0;
+    return adjustments_[flop.index()];
+  }
+
+  void set_adjustment(CellId flop, double delta) {
+    if (flop.index() >= adjustments_.size()) {
+      adjustments_.resize(flop.index() + 1, 0.0);
+    }
+    adjustments_[flop.index()] = delta;
+  }
+
+  void clear() { adjustments_.clear(); }
+
+  // All nonzero adjustments (for Fig. 5-style histograms).
+  [[nodiscard]] std::vector<double> nonzero_adjustments() const {
+    std::vector<double> out;
+    for (double d : adjustments_) {
+      if (d != 0.0) out.push_back(d);
+    }
+    return out;
+  }
+
+ private:
+  double period_;
+  std::vector<double> adjustments_;  // indexed by CellId, default 0
+};
+
+}  // namespace rlccd

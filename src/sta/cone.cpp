@@ -1,0 +1,68 @@
+#include "sta/cone.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace rlccd {
+
+FanInCone trace_fanin_cone(const Netlist& netlist, PinId endpoint) {
+  FanInCone cone;
+  std::vector<CellId> stack;
+  std::vector<char> visited(netlist.num_cells(), 0);
+
+  auto push_driver_of = [&](PinId input_pin) {
+    const Pin& p = netlist.pin(input_pin);
+    if (!p.net.valid()) return;
+    const Net& net = netlist.net(p.net);
+    if (!net.driver.valid()) return;
+    CellId drv = netlist.pin(net.driver).cell;
+    if (visited[drv.index()]) return;
+    visited[drv.index()] = 1;
+    const LibCell& lc = netlist.lib_cell(drv);
+    // Stop at startpoints: sequential cells and primary inputs are outside
+    // the cone.
+    if (lc.is_sequential() || lc.is_port()) return;
+    cone.push_back(drv);
+    stack.push_back(drv);
+  };
+
+  push_driver_of(endpoint);
+  while (!stack.empty()) {
+    CellId id = stack.back();
+    stack.pop_back();
+    for (PinId in : netlist.cell(id).inputs) push_driver_of(in);
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+double cone_overlap_ratio(const FanInCone& a, const FanInCone& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t inter = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++inter;
+      ++i;
+      ++j;
+    }
+  }
+  std::size_t uni = a.size() + b.size() - inter;
+  RLCCD_ASSERT(uni > 0);
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+ConeIndex::ConeIndex(const Netlist& netlist, std::vector<PinId> endpoints)
+    : endpoints_(std::move(endpoints)) {
+  cones_.reserve(endpoints_.size());
+  for (PinId ep : endpoints_) {
+    cones_.push_back(trace_fanin_cone(netlist, ep));
+  }
+}
+
+}  // namespace rlccd

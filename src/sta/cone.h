@@ -1,0 +1,48 @@
+// Fan-in cone extraction and overlap-ratio calculation (paper Fig. 3).
+//
+// The fan-in cone of an endpoint is the set of combinational cells reached by
+// tracing backwards from the endpoint's data pin; tracing stops at the
+// endpoint's startpoints (flop outputs and primary inputs), which are *not*
+// part of the cone. The overlap ratio between two cones divides the number
+// of overlapped cells by the total number of fan-in cone cells (the union of
+// both cones), i.e. a Jaccard ratio in [0, 1].
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "netlist/netlist.h"
+
+namespace rlccd {
+
+// Cone cells, sorted by id for fast intersection.
+using FanInCone = std::vector<CellId>;
+
+// Traces the fan-in cone of `endpoint` (a flop D pin or primary-output pin).
+FanInCone trace_fanin_cone(const Netlist& netlist, PinId endpoint);
+
+// |a ∩ b| / |a ∪ b|; 0 when both cones are empty.
+double cone_overlap_ratio(const FanInCone& a, const FanInCone& b);
+
+// Precomputed cones for a set of endpoints, with pairwise overlap queries.
+class ConeIndex {
+ public:
+  ConeIndex(const Netlist& netlist, std::vector<PinId> endpoints);
+
+  [[nodiscard]] std::size_t size() const { return endpoints_.size(); }
+  [[nodiscard]] const std::vector<PinId>& endpoints() const {
+    return endpoints_;
+  }
+  [[nodiscard]] const FanInCone& cone(std::size_t endpoint_index) const {
+    return cones_[endpoint_index];
+  }
+  [[nodiscard]] double overlap(std::size_t a, std::size_t b) const {
+    return cone_overlap_ratio(cones_[a], cones_[b]);
+  }
+
+ private:
+  std::vector<PinId> endpoints_;
+  std::vector<FanInCone> cones_;
+};
+
+}  // namespace rlccd

@@ -1,0 +1,35 @@
+// Critical-path extraction and reporting (the classic "report_timing" view).
+// Traces the max-arrival path backwards from an endpoint through the arcs
+// that realized each pin's arrival, stopping at the launching startpoint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sta/sta.h"
+
+namespace rlccd {
+
+struct PathStep {
+  PinId pin;
+  double arrival = 0.0;
+  double incr = 0.0;  // delay contributed by the arc into this pin
+};
+
+struct TimingPath {
+  PinId endpoint;
+  CellId startpoint;   // launching flop or primary input
+  double slack = 0.0;
+  std::vector<PathStep> steps;  // startpoint output first, endpoint last
+};
+
+// Worst path ending at `endpoint` (must be a timing endpoint).
+TimingPath extract_critical_path(const Sta& sta, PinId endpoint);
+
+// Worst path of the whole design; endpoint invalid if nothing is timed.
+TimingPath extract_worst_path(const Sta& sta);
+
+// Multi-line human-readable report.
+std::string path_to_string(const Netlist& netlist, const TimingPath& path);
+
+}  // namespace rlccd

@@ -1,0 +1,326 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace rlccd {
+
+namespace {
+constexpr double kInf = 1e30;
+// kOhm * fF = ps; convert wire Elmore products to ns.
+constexpr double kPsToNs = 1e-3;
+// Fraction of wire delay added to the propagated transition.
+constexpr double kWireSlewFactor = 0.3;
+}  // namespace
+
+Sta::Sta(const Netlist* netlist, StaConfig config, double clock_period)
+    : netlist_(netlist), config_(config), clock_(clock_period) {
+  RLCCD_EXPECTS(netlist != nullptr);
+  RLCCD_EXPECTS(clock_period > 0.0);
+}
+
+double Sta::wire_delay(PinId sink) const {
+  const Netlist& nl = *netlist_;
+  const Pin& p = nl.pin(sink);
+  const Tech& tech = nl.library().tech();
+  double dist = nl.sink_distance(sink);
+  const LibCell& lc = nl.lib_cell(p.cell);
+  double sink_cap = (lc.is_sequential() && p.index == 1) ? lc.clock_pin_cap
+                                                         : lc.input_cap;
+  double r = tech.wire_res_per_um * dist;
+  double c = tech.wire_cap_per_um * dist;
+  return kPsToNs * r * (0.5 * c + sink_cap);
+}
+
+void Sta::build_topology() {
+  const Netlist& nl = *netlist_;
+  const std::size_t n_cells = nl.num_cells();
+
+  topo_order_.clear();
+  endpoints_.clear();
+  endpoint_flag_.assign(nl.num_pins(), 0);
+
+  // Combinational-cell dependency counts: an input pin driven by another
+  // combinational cell is an ordering dependency; flops, primary inputs and
+  // undriven nets are sources.
+  std::vector<std::uint32_t> indeg(n_cells, 0);
+  std::vector<char> is_comb(n_cells, 0);
+  for (const Cell& c : nl.cells()) {
+    const LibCell& lc = nl.library().cell(c.lib);
+    if (lc.is_port() || lc.is_sequential()) continue;
+    is_comb[c.id.index()] = 1;
+    for (PinId in : c.inputs) {
+      const Pin& p = nl.pin(in);
+      if (!p.net.valid()) continue;
+      const Net& net = nl.net(p.net);
+      if (!net.driver.valid()) continue;
+      CellId drv = nl.pin(net.driver).cell;
+      const LibCell& dlc = nl.lib_cell(drv);
+      if (!dlc.is_port() && !dlc.is_sequential()) ++indeg[c.id.index()];
+    }
+  }
+
+  std::deque<CellId> ready;
+  for (const Cell& c : nl.cells()) {
+    if (is_comb[c.id.index()] && indeg[c.id.index()] == 0) ready.push_back(c.id);
+  }
+  while (!ready.empty()) {
+    CellId id = ready.front();
+    ready.pop_front();
+    topo_order_.push_back(id);
+    const Cell& c = nl.cell(id);
+    if (!c.output.valid()) continue;
+    const Pin& out = nl.pin(c.output);
+    if (!out.net.valid()) continue;
+    for (PinId sink : nl.net(out.net).sinks) {
+      CellId consumer = nl.pin(sink).cell;
+      if (!is_comb[consumer.index()]) continue;
+      if (--indeg[consumer.index()] == 0) ready.push_back(consumer);
+    }
+  }
+  std::size_t comb_total = 0;
+  for (char f : is_comb) comb_total += static_cast<std::size_t>(f);
+  // A shortfall means a combinational loop — the generator never produces
+  // one, and optimization passes cannot create one.
+  RLCCD_ASSERT(topo_order_.size() == comb_total);
+
+  // Endpoints: flop D pins and primary-output pins, in pin-index order.
+  for (const Cell& c : nl.cells()) {
+    const LibCell& lc = nl.library().cell(c.lib);
+    if (lc.is_sequential()) {
+      PinId d = c.inputs[0];
+      endpoints_.push_back(d);
+      endpoint_flag_[d.index()] = 1;
+    } else if (lc.kind == CellKind::Output) {
+      PinId in = c.inputs[0];
+      endpoints_.push_back(in);
+      endpoint_flag_[in.index()] = 1;
+    }
+  }
+  std::sort(endpoints_.begin(), endpoints_.end());
+  built_num_cells_ = n_cells;
+}
+
+void Sta::run() {
+  if (built_num_cells_ != netlist_->num_cells() ||
+      endpoint_flag_.size() != netlist_->num_pins()) {
+    build_topology();
+  }
+  forward_pass();
+  backward_pass();
+}
+
+void Sta::forward_pass() {
+  const Netlist& nl = *netlist_;
+  timing_.assign(nl.num_pins(), PinTiming{});
+
+  // Launch from startpoints: primary inputs and flop CK->Q arcs.
+  for (const Cell& c : nl.cells()) {
+    const LibCell& lc = nl.library().cell(c.lib);
+    if (lc.kind == CellKind::Input) {
+      PinTiming& t = timing_[c.output.index()];
+      const Pin& out = nl.pin(c.output);
+      double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
+      t.arrival_max = config_.input_delay;
+      t.arrival_min = config_.input_delay;
+      t.slew = lc.output_slew(load);
+      t.reachable = true;
+    } else if (lc.is_sequential()) {
+      double ck_arrival = clock_arrival(c.id);
+      // CK pin timing (informational).
+      PinTiming& ck = timing_[c.inputs[1].index()];
+      ck.arrival_max = ck.arrival_min = ck_arrival;
+      ck.slew = config_.clock_slew;
+      ck.reachable = true;
+      // Q launch.
+      PinTiming& q = timing_[c.output.index()];
+      const Pin& out = nl.pin(c.output);
+      double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
+      double d = lc.arc_delay(/*input_pin=*/1, load, config_.clock_slew);
+      q.arrival_max = ck_arrival + d;
+      q.arrival_min = ck_arrival + d;
+      q.slew = lc.output_slew(load);
+      q.reachable = true;
+    }
+  }
+
+  // Fill one input pin's timing from its driving net; returns reachability.
+  auto propagate_to_sink = [&](PinId sink) -> bool {
+    const Pin& p = nl.pin(sink);
+    if (!p.net.valid()) return false;
+    const Net& net = nl.net(p.net);
+    if (!net.driver.valid()) return false;
+    const PinTiming& drv = timing_[net.driver.index()];
+    if (!drv.reachable) return false;
+    double wd = wire_delay(sink);
+    PinTiming& t = timing_[sink.index()];
+    t.arrival_max = drv.arrival_max + wd;
+    t.arrival_min = drv.arrival_min + wd;
+    t.slew = drv.slew + kWireSlewFactor * wd;
+    t.reachable = true;
+    return true;
+  };
+
+  // Combinational propagation in topological order.
+  for (CellId id : topo_order_) {
+    const Cell& c = nl.cell(id);
+    const LibCell& lc = nl.library().cell(c.lib);
+    const Pin& out_pin = nl.pin(c.output);
+    double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
+    PinTiming& out = timing_[c.output.index()];
+    out.arrival_max = -kInf;
+    out.arrival_min = kInf;
+    out.reachable = false;
+    for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+      if (!propagate_to_sink(c.inputs[i])) continue;
+      const PinTiming& in = timing_[c.inputs[i].index()];
+      double d = lc.arc_delay(static_cast<int>(i), load, in.slew);
+      out.arrival_max = std::max(out.arrival_max, in.arrival_max + d);
+      out.arrival_min = std::min(out.arrival_min, in.arrival_min + d);
+      out.reachable = true;
+    }
+    if (out.reachable) {
+      out.slew = lc.output_slew(load);
+    } else {
+      out.arrival_max = 0.0;
+      out.arrival_min = 0.0;
+    }
+  }
+
+  // Endpoint pins (flop D, primary-output inputs) receive their net arcs.
+  for (const Cell& c : nl.cells()) {
+    const LibCell& lc = nl.library().cell(c.lib);
+    if (lc.is_sequential() || lc.kind == CellKind::Output) {
+      propagate_to_sink(c.inputs[0]);
+    }
+  }
+}
+
+void Sta::backward_pass() {
+  const Netlist& nl = *netlist_;
+  for (PinTiming& t : timing_) t.required = kInf;
+
+  // Seed endpoint required times.
+  const double period = clock_.period();
+  for (PinId ep : endpoints_) {
+    const Pin& p = nl.pin(ep);
+    const LibCell& lc = nl.lib_cell(p.cell);
+    double margin = 0.0;
+    if (auto it = margins_.find(ep); it != margins_.end()) margin = it->second;
+    double req;
+    if (lc.is_sequential()) {
+      req = period + clock_arrival(p.cell) - lc.setup_time - margin;
+    } else {
+      req = period - config_.output_delay - margin;
+    }
+    timing_[ep.index()].required = req;
+  }
+
+  // Required time of a driver pin from its net's sinks.
+  auto pull_from_sinks = [&](PinId driver_pin) {
+    const Pin& p = nl.pin(driver_pin);
+    if (!p.net.valid()) return;
+    double req = kInf;
+    for (PinId sink : nl.net(p.net).sinks) {
+      double sink_req = timing_[sink.index()].required;
+      if (sink_req >= kInf) continue;
+      req = std::min(req, sink_req - wire_delay(sink));
+    }
+    timing_[driver_pin.index()].required = req;
+  };
+
+  // Reverse topological order: consumers' input requireds exist before the
+  // producing cell pulls them through its output net.
+  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+    const Cell& c = nl.cell(*it);
+    const LibCell& lc = nl.library().cell(c.lib);
+    pull_from_sinks(c.output);
+    const Pin& out_pin = nl.pin(c.output);
+    double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
+    double out_req = timing_[c.output.index()].required;
+    for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+      PinTiming& in = timing_[c.inputs[i].index()];
+      if (out_req >= kInf) continue;
+      double d = lc.arc_delay(static_cast<int>(i), load, in.slew);
+      in.required = out_req - d;
+    }
+  }
+
+  // Startpoint output pins (flop Q, primary inputs).
+  for (const Cell& c : nl.cells()) {
+    const LibCell& lc = nl.library().cell(c.lib);
+    if (lc.is_sequential() || lc.kind == CellKind::Input) {
+      pull_from_sinks(c.output);
+    }
+  }
+}
+
+double Sta::slack(PinId pin) const {
+  const PinTiming& t = timing(pin);
+  if (!t.reachable || t.required >= kInf) return kInf;
+  return t.required - t.arrival_max;
+}
+
+double Sta::cell_worst_slack(CellId cell_id) const {
+  const Netlist& nl = *netlist_;
+  const Cell& c = nl.cell(cell_id);
+  const LibCell& lc = nl.library().cell(c.lib);
+  if (lc.kind == CellKind::Output) return slack(c.inputs[0]);
+  double s = slack(c.output);
+  if (lc.is_sequential()) s = std::min(s, endpoint_slack(c.inputs[0]));
+  return s;
+}
+
+bool Sta::is_endpoint(PinId pin) const {
+  return pin.index() < endpoint_flag_.size() &&
+         endpoint_flag_[pin.index()] != 0;
+}
+
+double Sta::endpoint_slack(PinId endpoint) const {
+  RLCCD_EXPECTS(is_endpoint(endpoint));
+  const PinTiming& t = timing(endpoint);
+  if (!t.reachable) return kInf;
+  return t.required - t.arrival_max;
+}
+
+double Sta::endpoint_hold_slack(PinId endpoint) const {
+  RLCCD_EXPECTS(is_endpoint(endpoint));
+  const Netlist& nl = *netlist_;
+  const Pin& p = nl.pin(endpoint);
+  const PinTiming& t = timing(endpoint);
+  if (!t.reachable) return kInf;
+  const LibCell& lc = nl.lib_cell(p.cell);
+  if (!lc.is_sequential()) return kInf;  // no hold check at primary outputs
+  double capture = clock_arrival(p.cell);
+  return t.arrival_min - (capture + lc.hold_time);
+}
+
+std::vector<PinId> Sta::violating_endpoints() const {
+  std::vector<PinId> out;
+  for (PinId ep : endpoints_) {
+    double s = endpoint_slack(ep);
+    if (s < 0.0 && s > -kInf) out.push_back(ep);
+  }
+  return out;
+}
+
+TimingSummary Sta::summary() const {
+  TimingSummary s;
+  s.num_endpoints = endpoints_.size();
+  s.worst_hold_slack = kInf;
+  for (PinId ep : endpoints_) {
+    double sl = endpoint_slack(ep);
+    if (sl >= kInf) continue;
+    if (sl < 0.0) {
+      s.wns = std::min(s.wns, sl);
+      s.tns += sl;
+      ++s.nve;
+    }
+    double hs = endpoint_hold_slack(ep);
+    s.worst_hold_slack = std::min(s.worst_hold_slack, hs);
+  }
+  return s;
+}
+
+}  // namespace rlccd

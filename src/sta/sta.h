@@ -1,0 +1,117 @@
+// Graph-based static timing analysis over the netlist.
+//
+// Full min/max analysis with slew propagation:
+//   * forward pass — arrival times (max for setup, min for hold) and output
+//     transitions, launched from primary inputs and flop CK->Q arcs,
+//   * backward pass — setup required times, so slack is defined at every pin
+//     (slack at a flop's Q pin = worst slack among paths *launched* by that
+//     flop, which is exactly what the useful-skew engine balances against the
+//     flop's capture-side endpoint slack).
+//
+// Endpoints are flop D pins (setup/hold checked against the same flop's
+// adjusted clock arrival) and primary-output pins. Endpoint *margins*
+// (src/sta/sta.h: EndpointMargins) tighten an endpoint's required time; this
+// is the mechanism the paper uses to make the useful-skew engine "over-fix"
+// the RL-selected endpoints.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "netlist/netlist.h"
+#include "sta/clock_schedule.h"
+
+namespace rlccd {
+
+struct StaConfig {
+  double input_delay = 0.0;    // arrival at primary inputs (ns)
+  double output_delay = 0.0;   // external margin at primary outputs (ns)
+  double clock_slew = 0.02;    // transition at flop CK pins (ns)
+};
+
+struct PinTiming {
+  double arrival_max = 0.0;
+  double arrival_min = 0.0;
+  double slew = 0.0;           // worst (max) transition at the pin
+  double required = 0.0;       // setup required time (max analysis)
+  bool reachable = false;      // on a timed path from a startpoint
+};
+
+struct TimingSummary {
+  double wns = 0.0;       // worst negative slack (0 when all met)
+  double tns = 0.0;       // total negative slack (sum of negative endpoint slacks)
+  std::size_t nve = 0;    // number of violating endpoints
+  std::size_t num_endpoints = 0;
+  double worst_hold_slack = 0.0;
+};
+
+// Per-endpoint margins: extra required-time tightening (>= 0, ns).
+using EndpointMargins = std::unordered_map<PinId, double>;
+
+class Sta {
+ public:
+  Sta(const Netlist* netlist, StaConfig config, double clock_period);
+
+  // Non-owning view of the analyzed netlist.
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+
+  [[nodiscard]] ClockSchedule& clock() { return clock_; }
+  [[nodiscard]] const ClockSchedule& clock() const { return clock_; }
+
+  [[nodiscard]] EndpointMargins& margins() { return margins_; }
+  void clear_margins() { margins_.clear(); }
+
+  // Recomputes all timing. Rebuilds the topological order automatically if
+  // the netlist gained cells/pins since the last run (buffer insertion).
+  void run();
+
+  // -- results (valid after run()) -------------------------------------------
+  [[nodiscard]] const PinTiming& timing(PinId pin) const {
+    RLCCD_EXPECTS(pin.index() < timing_.size());
+    return timing_[pin.index()];
+  }
+  // Setup slack at a pin: required - arrival_max.
+  [[nodiscard]] double slack(PinId pin) const;
+  // Worst setup slack among all paths through a cell (slack at output pin,
+  // or at the endpoint pin for flops/output ports).
+  [[nodiscard]] double cell_worst_slack(CellId cell) const;
+
+  // All timing endpoints, in stable (pin-index) order.
+  [[nodiscard]] std::span<const PinId> endpoints() const { return endpoints_; }
+  [[nodiscard]] bool is_endpoint(PinId pin) const;
+
+  [[nodiscard]] double endpoint_slack(PinId endpoint) const;
+  [[nodiscard]] double endpoint_hold_slack(PinId endpoint) const;
+  // Endpoints with slack < 0, in stable order.
+  [[nodiscard]] std::vector<PinId> violating_endpoints() const;
+
+  [[nodiscard]] TimingSummary summary() const;
+
+  // Wire arc delay from a net's driver to a specific sink pin (ns).
+  [[nodiscard]] double wire_delay(PinId sink) const;
+
+ private:
+  void build_topology();
+  void forward_pass();
+  void backward_pass();
+  [[nodiscard]] double clock_arrival(CellId flop) const {
+    return clock_.adjustment(flop);
+  }
+
+  const Netlist* netlist_;
+  StaConfig config_;
+  ClockSchedule clock_;
+  EndpointMargins margins_;
+
+  // Topology cache.
+  std::size_t built_num_cells_ = 0;
+  std::vector<CellId> topo_order_;  // combinational cells, sources first
+  std::vector<PinId> endpoints_;
+  std::vector<char> endpoint_flag_;  // indexed by pin
+
+  std::vector<PinTiming> timing_;  // indexed by pin
+};
+
+}  // namespace rlccd

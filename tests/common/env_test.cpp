@@ -1,0 +1,41 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace rlccd {
+namespace {
+
+TEST(Env, StringFallsBackWhenUnset) {
+  unsetenv("RLCCD_TEST_VAR");
+  EXPECT_EQ(env_string("RLCCD_TEST_VAR", "dflt"), "dflt");
+  setenv("RLCCD_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("RLCCD_TEST_VAR", "dflt"), "hello");
+  unsetenv("RLCCD_TEST_VAR");
+}
+
+TEST(Env, IntParsesAndFallsBack) {
+  unsetenv("RLCCD_TEST_INT");
+  EXPECT_EQ(env_int("RLCCD_TEST_INT", 7), 7);
+  setenv("RLCCD_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("RLCCD_TEST_INT", 7), 42);
+  setenv("RLCCD_TEST_INT", "junk", 1);
+  EXPECT_EQ(env_int("RLCCD_TEST_INT", 7), 7);
+  unsetenv("RLCCD_TEST_INT");
+}
+
+TEST(Env, FlagRecognizesTruthyValues) {
+  unsetenv("RLCCD_TEST_FLAG");
+  EXPECT_FALSE(env_flag("RLCCD_TEST_FLAG"));
+  for (const char* v : {"1", "true", "yes", "on"}) {
+    setenv("RLCCD_TEST_FLAG", v, 1);
+    EXPECT_TRUE(env_flag("RLCCD_TEST_FLAG")) << v;
+  }
+  setenv("RLCCD_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("RLCCD_TEST_FLAG"));
+  unsetenv("RLCCD_TEST_FLAG");
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace rlccd {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(before);
+}
+
+TEST(Log, OrderingMatchesSeverity) {
+  EXPECT_LT(LogLevel::Debug, LogLevel::Info);
+  EXPECT_LT(LogLevel::Info, LogLevel::Warn);
+  EXPECT_LT(LogLevel::Warn, LogLevel::Error);
+  EXPECT_LT(LogLevel::Error, LogLevel::Off);
+}
+
+TEST(Log, SuppressedMessagesDoNotCrash) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::Off);
+  RLCCD_LOG_ERROR("suppressed %d", 1);
+  RLCCD_LOG_DEBUG("suppressed %s", "too");
+  set_log_level(before);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rlccd

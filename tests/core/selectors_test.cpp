@@ -1,0 +1,77 @@
+#include "core/selectors.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+
+namespace rlccd {
+namespace {
+
+struct Fixture {
+  Design design;
+  Sta sta;
+
+  Fixture() : design(make()), sta(design.make_sta()) { sta.run(); }
+
+  static Design make() {
+    GeneratorConfig cfg;
+    cfg.target_cells = 500;
+    cfg.seed = 111;
+    cfg.clock_tightness = 0.75;
+    return generate_design(cfg);
+  }
+};
+
+TEST(Selectors, WorstKPicksMostNegative) {
+  Fixture f;
+  std::vector<PinId> all = select_all_violating(f.sta);
+  ASSERT_GT(all.size(), 5u);
+  std::vector<PinId> worst = select_worst_k(f.sta, 5);
+  ASSERT_EQ(worst.size(), 5u);
+  double worst_max = -1e30;
+  for (PinId ep : worst) {
+    worst_max = std::max(worst_max, f.sta.endpoint_slack(ep));
+  }
+  // Every non-selected violating endpoint has slack >= the worst-k maximum.
+  for (PinId ep : all) {
+    if (std::find(worst.begin(), worst.end(), ep) != worst.end()) continue;
+    EXPECT_GE(f.sta.endpoint_slack(ep), worst_max - 1e-12);
+  }
+}
+
+TEST(Selectors, WorstKClampsToAvailable) {
+  Fixture f;
+  std::vector<PinId> all = select_all_violating(f.sta);
+  EXPECT_EQ(select_worst_k(f.sta, all.size() + 100).size(), all.size());
+}
+
+TEST(Selectors, RandomKIsDeterministicPerRng) {
+  Fixture f;
+  Rng r1(5), r2(5), r3(6);
+  std::vector<PinId> a = select_random_k(f.sta, 8, r1);
+  std::vector<PinId> b = select_random_k(f.sta, 8, r2);
+  std::vector<PinId> c = select_random_k(f.sta, 8, r3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 8u);
+}
+
+TEST(Selectors, AllViolatingMatchesStaReport) {
+  Fixture f;
+  EXPECT_EQ(select_all_violating(f.sta), f.sta.violating_endpoints());
+}
+
+TEST(Selectors, SelectionsContainOnlyViolatingEndpoints) {
+  Fixture f;
+  Rng rng(7);
+  for (const auto& sel :
+       {select_worst_k(f.sta, 6), select_random_k(f.sta, 6, rng)}) {
+    for (PinId ep : sel) {
+      EXPECT_TRUE(f.sta.is_endpoint(ep));
+      EXPECT_LT(f.sta.endpoint_slack(ep), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlccd

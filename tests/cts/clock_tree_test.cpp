@@ -1,0 +1,136 @@
+#include "cts/clock_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+#include "opt/useful_skew.h"
+
+namespace rlccd {
+namespace {
+
+Design placed_design(std::size_t cells = 800, std::uint64_t seed = 151) {
+  GeneratorConfig cfg;
+  cfg.target_cells = cells;
+  cfg.seed = seed;
+  cfg.clock_tightness = 0.8;
+  return generate_design(cfg);
+}
+
+TEST(ClockTree, CoversEveryFlopWithPositiveInsertionDelay) {
+  Design d = placed_design();
+  ClockSchedule zero(d.clock_period);
+  ClockTree tree = ClockTree::build(*d.netlist, zero, CtsConfig{});
+  EXPECT_EQ(tree.flops().size(), d.netlist->sequential_cells().size());
+  for (CellId f : tree.flops()) {
+    EXPECT_GT(tree.realized_arrival(f), 0.0);
+  }
+  const CtsReport& rep = tree.report();
+  EXPECT_GT(rep.num_tree_buffers, 0u);
+  EXPECT_GT(rep.depth, 1);
+  EXPECT_GT(rep.total_wirelength, 0.0);
+  EXPECT_GT(rep.clock_power, 0.0);
+  EXPECT_GT(rep.max_insertion_delay, 0.0);
+}
+
+TEST(ClockTree, ZeroSkewScheduleRealizesWithBoundedError) {
+  Design d = placed_design();
+  ClockSchedule zero(d.clock_period);
+  CtsConfig cfg;
+  ClockTree tree = ClockTree::build(*d.netlist, zero, cfg);
+  // Quantization bounds: each flop's error is at most half a quantum, so
+  // the worst pairwise spread is at most one quantum.
+  EXPECT_LE(tree.report().skew_error_max, cfg.pad_quantum + 1e-9);
+  EXPECT_LE(tree.report().skew_error_avg, 0.5 * cfg.pad_quantum + 1e-9);
+}
+
+TEST(ClockTree, RealizesUsefulSkewDeltas) {
+  Design d = placed_design();
+  Sta sta = d.make_sta();
+  UsefulSkewConfig skew_cfg;
+  skew_cfg.max_abs_skew = 0.1 * d.clock_period;
+  run_useful_skew(sta, skew_cfg);
+
+  CtsConfig cfg;
+  ClockTree tree = ClockTree::build(*d.netlist, sta.clock(), cfg);
+  // Relative realized arrivals track the requested deltas within quantum.
+  const auto& flops = tree.flops();
+  ASSERT_GE(flops.size(), 2u);
+  for (std::size_t i = 1; i < std::min<std::size_t>(flops.size(), 20); ++i) {
+    double want = sta.clock().adjustment(flops[i]) -
+                  sta.clock().adjustment(flops[0]);
+    double got = tree.realized_arrival(flops[i]) -
+                 tree.realized_arrival(flops[0]);
+    EXPECT_NEAR(got, want, cfg.pad_quantum + 1e-9);
+  }
+}
+
+TEST(ClockTree, ApplyToPreservesMeanAndRelativeArrivals) {
+  Design d = placed_design();
+  Sta sta = d.make_sta();
+  UsefulSkewConfig skew_cfg;
+  skew_cfg.max_abs_skew = 0.08 * d.clock_period;
+  run_useful_skew(sta, skew_cfg);
+
+  double want_mean = 0.0;
+  std::vector<CellId> flops = d.netlist->sequential_cells();
+  for (CellId f : flops) want_mean += sta.clock().adjustment(f);
+  want_mean /= static_cast<double>(flops.size());
+
+  ClockTree tree = ClockTree::build(*d.netlist, sta.clock(), CtsConfig{});
+  ClockSchedule realized(d.clock_period);
+  tree.apply_to(realized);
+
+  double got_mean = 0.0;
+  for (CellId f : flops) got_mean += realized.adjustment(f);
+  got_mean /= static_cast<double>(flops.size());
+  EXPECT_NEAR(got_mean, want_mean, 1e-6);
+}
+
+TEST(ClockTree, PostCtsTimingStaysCloseToIdealSkew) {
+  Design d = placed_design(1000, 153);
+  Sta sta = d.make_sta();
+  UsefulSkewConfig skew_cfg;
+  skew_cfg.max_abs_skew = 0.1 * d.clock_period;
+  run_useful_skew(sta, skew_cfg);
+  double ideal_tns = sta.summary().tns;
+
+  ClockTree tree = ClockTree::build(*d.netlist, sta.clock(), CtsConfig{});
+  Sta post(d.netlist.get(), d.sta_config, d.clock_period);
+  tree.apply_to(post.clock());
+  post.run();
+  // Quantization can cost a little TNS but not a blow-up.
+  EXPECT_GT(post.summary().tns,
+            ideal_tns - 0.2 * std::abs(ideal_tns) - 0.05);
+}
+
+TEST(ClockTree, BiggerSkewRequestsNeedMorePadBuffers) {
+  Design d = placed_design();
+  ClockSchedule zero(d.clock_period);
+  ClockTree base = ClockTree::build(*d.netlist, zero, CtsConfig{});
+
+  Sta sta = d.make_sta();
+  UsefulSkewConfig skew_cfg;
+  skew_cfg.max_abs_skew = 0.15 * d.clock_period;
+  run_useful_skew(sta, skew_cfg);
+  ClockTree skewed = ClockTree::build(*d.netlist, sta.clock(), CtsConfig{});
+
+  EXPECT_GE(skewed.report().num_pad_buffers, base.report().num_pad_buffers);
+  EXPECT_GE(skewed.report().clock_power, base.report().clock_power);
+}
+
+TEST(ClockTree, LeafSizeControlsDepth) {
+  Design d = placed_design();
+  ClockSchedule zero(d.clock_period);
+  CtsConfig small_leaves;
+  small_leaves.max_leaf_sinks = 2;
+  CtsConfig big_leaves;
+  big_leaves.max_leaf_sinks = 32;
+  ClockTree deep = ClockTree::build(*d.netlist, zero, small_leaves);
+  ClockTree shallow = ClockTree::build(*d.netlist, zero, big_leaves);
+  EXPECT_GT(deep.report().depth, shallow.report().depth);
+  EXPECT_GT(deep.report().num_tree_buffers,
+            shallow.report().num_tree_buffers);
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,56 @@
+// Cross-module integration: useful skew -> CTS realization -> hold cleanup.
+// Realizing an aggressive skew schedule through a quantized clock tree can
+// create hold violations the ideal schedule did not have; run_hold_fix must
+// clean them without destroying the setup picture.
+#include <gtest/gtest.h>
+
+#include "cts/clock_tree.h"
+#include "designgen/generator.h"
+#include "opt/hold_fix.h"
+#include "opt/useful_skew.h"
+
+namespace rlccd {
+namespace {
+
+TEST(CtsHoldIntegration, RealizedScheduleIsHoldCleanAfterFixing) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 900;
+  cfg.seed = 161;
+  cfg.clock_tightness = 0.78;
+  Design d = generate_design(cfg);
+
+  // Aggressive skew with zero hold guard: lives dangerously on purpose.
+  Sta sta = d.make_sta();
+  UsefulSkewConfig skew_cfg;
+  skew_cfg.max_abs_skew = 0.12 * d.clock_period;
+  skew_cfg.hold_guard = 0.0;
+  run_useful_skew(sta, skew_cfg);
+  double ideal_tns = sta.summary().tns;
+
+  // Realize through CTS (coarse pads to provoke quantization error).
+  CtsConfig cts_cfg;
+  cts_cfg.pad_quantum = 0.02;
+  ClockTree tree = ClockTree::build(*d.netlist, sta.clock(), cts_cfg);
+  Sta post(d.netlist.get(), d.sta_config, d.clock_period);
+  tree.apply_to(post.clock());
+  post.run();
+
+  // Clean any hold debt the realization introduced. Hold violations are
+  // fatal in silicon, so allow the pass to trade setup slack for them
+  // (setup_guard below any realistic slack).
+  HoldFixConfig hold_cfg;
+  hold_cfg.max_buffers = 500;
+  hold_cfg.setup_guard = -10.0;
+  HoldFixResult hr = run_hold_fix(post, *d.netlist, hold_cfg);
+
+  TimingSummary final_summary = post.summary();
+  EXPECT_GE(final_summary.worst_hold_slack, -1e-9)
+      << "hold must be clean after fixing (" << hr.buffers_inserted
+      << " pads)";
+  // Setup cannot have collapsed: stay within a band of the ideal schedule.
+  EXPECT_GT(final_summary.tns, ideal_tns - 0.5 * std::abs(ideal_tns) - 0.1);
+  d.netlist->validate();
+}
+
+}  // namespace
+}  // namespace rlccd

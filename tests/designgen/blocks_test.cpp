@@ -1,0 +1,74 @@
+#include "designgen/blocks.h"
+
+#include <gtest/gtest.h>
+
+#include "sta/sta.h"
+
+namespace rlccd {
+namespace {
+
+TEST(Blocks, AllNineteenPresentInTableOrder) {
+  const auto& blocks = paper_blocks();
+  ASSERT_EQ(blocks.size(), 19u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].name, "block" + std::to_string(i + 1));
+  }
+}
+
+TEST(Blocks, PaperRowsMatchKnownTableValues) {
+  const BlockSpec& b4 = find_block("block4");
+  EXPECT_EQ(b4.paper_cells, 370000u);
+  EXPECT_DOUBLE_EQ(b4.paper.begin_tns, -4590.85);
+  EXPECT_DOUBLE_EQ(b4.paper.rl_tns_gain_pct, 64.4);
+
+  const BlockSpec& b11 = find_block("block11");
+  EXPECT_EQ(b11.paper_cells, 180000u);
+  EXPECT_EQ(b11.paper.def_vio, 149);
+}
+
+TEST(Blocks, TechnologyMixCoversAllNodes) {
+  bool n5 = false, n7 = false, n12 = false;
+  for (const BlockSpec& b : paper_blocks()) {
+    n5 |= b.tech == TechNode::N5;
+    n7 |= b.tech == TechNode::N7;
+    n12 |= b.tech == TechNode::N12;
+  }
+  EXPECT_TRUE(n5 && n7 && n12);
+}
+
+TEST(Blocks, GeneratorConfigScalesCells) {
+  const BlockSpec& b1 = find_block("block1");
+  GeneratorConfig cfg = to_generator_config(b1, 0.01);
+  EXPECT_EQ(cfg.target_cells, 5770u);
+  GeneratorConfig half = to_generator_config(b1, 0.005);
+  EXPECT_EQ(half.target_cells, 2885u);
+}
+
+TEST(Blocks, TighterBeginWnsMeansTighterClock) {
+  // block4 (begin WNS -0.46) must get a tighter clock than block9 (-0.11),
+  // both relative to their node periods.
+  GeneratorConfig hard = to_generator_config(find_block("block4"));
+  GeneratorConfig easy = to_generator_config(find_block("block9"));
+  EXPECT_LT(hard.clock_tightness, easy.clock_tightness);
+}
+
+TEST(Blocks, GeneratedBlockHasPaperLikeViolationProfile) {
+  // Small scale keeps this test fast; the begin profile must show real
+  // violations whose count is within a sane band of the scaled paper value.
+  const BlockSpec& spec = find_block("block11");
+  Design d = generate_design(to_generator_config(spec, 0.01));
+  Sta sta = d.make_sta();
+  sta.run();
+  TimingSummary s = sta.summary();
+  EXPECT_LT(s.wns, 0.0);
+  double scaled_vio = static_cast<double>(spec.paper.begin_vio) * 0.01;
+  EXPECT_GT(static_cast<double>(s.nve), 0.3 * scaled_vio);
+  EXPECT_LT(static_cast<double>(s.nve), 3.0 * scaled_vio);
+}
+
+TEST(Blocks, FindBlockAbortsOnUnknownName) {
+  EXPECT_DEATH(find_block("not_a_block"), "unknown block");
+}
+
+}  // namespace
+}  // namespace rlccd

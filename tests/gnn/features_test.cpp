@@ -1,0 +1,101 @@
+#include "gnn/features.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+
+namespace rlccd {
+namespace {
+
+struct Fixture {
+  Design design;
+  Sta sta;
+  FeatureContext ctx;
+
+  Fixture() : design(make_design()), sta(design.make_sta()) {
+    sta.run();
+    ctx.netlist = design.netlist.get();
+    ctx.sta = &sta;
+    ctx.activity = &design.activity;
+    ctx.die = design.die;
+    ctx.clock_period = design.clock_period;
+  }
+
+  static Design make_design() {
+    GeneratorConfig cfg;
+    cfg.target_cells = 500;
+    cfg.seed = 51;
+    return generate_design(cfg);
+  }
+};
+
+TEST(Features, ShapeIsCellsByThirteen) {
+  Fixture f;
+  Tensor x = build_node_features(f.ctx);
+  EXPECT_EQ(x.rows(), f.design.netlist->num_cells());
+  EXPECT_EQ(x.cols(), kNumNodeFeatures);
+  EXPECT_EQ(kNumNodeFeatures, 13u);  // Table I: 13 dims total
+}
+
+TEST(Features, MaskColumnStartsZeroAndUpdates) {
+  Fixture f;
+  Tensor x = build_node_features(f.ctx);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_FLOAT_EQ(x.at(r, kMaskedFeature), 0.0f);
+  }
+  std::vector<char> flags(x.rows(), 0);
+  flags[3] = 1;
+  flags[7] = 1;
+  set_masked_column(x, flags);
+  EXPECT_FLOAT_EQ(x.at(3, kMaskedFeature), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(7, kMaskedFeature), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(4, kMaskedFeature), 0.0f);
+}
+
+TEST(Features, LocationsNormalizedToDie) {
+  Fixture f;
+  Tensor x = build_node_features(f.ctx);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_GE(x.at(r, 1), 0.0f);
+    EXPECT_LE(x.at(r, 1), 1.0f + 1e-6);
+    EXPECT_GE(x.at(r, 2), 0.0f);
+    EXPECT_LE(x.at(r, 2), 1.0f + 1e-6);
+  }
+}
+
+TEST(Features, AllValuesBounded) {
+  // Normalization clamps everything to a sane range so the GNN never sees
+  // exploding inputs, regardless of design.
+  Fixture f;
+  Tensor x = build_node_features(f.ctx);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(std::abs(x.data()[i]), 4.0f + 1e-6);
+  }
+}
+
+TEST(Features, ViolatingCellsShowNegativeSlackFeature) {
+  Fixture f;
+  Tensor x = build_node_features(f.ctx);
+  std::vector<PinId> vio = f.sta.violating_endpoints();
+  ASSERT_FALSE(vio.empty());
+  for (PinId ep : vio) {
+    CellId cell = f.design.netlist->pin(ep).cell;
+    EXPECT_LT(x.at(cell.index(), 10), 0.0f)
+        << "wst-slack feature of a violating endpoint cell";
+  }
+}
+
+TEST(Features, ToggleFeatureMatchesActivity) {
+  Fixture f;
+  Tensor x = build_node_features(f.ctx);
+  const Netlist& nl = *f.design.netlist;
+  for (const Cell& c : nl.cells()) {
+    if (!c.output.valid()) continue;
+    NetId net = nl.pin(c.output).net;
+    EXPECT_FLOAT_EQ(x.at(c.id.index(), 9),
+                    static_cast<float>(f.design.activity.toggle(net)));
+  }
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,104 @@
+#include "gnn/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+#include "helpers/test_circuits.h"
+#include "sta/sta.h"
+
+namespace rlccd {
+namespace {
+
+using testing::TestCircuit;
+
+TEST(Graph, AdjacencyConnectsDriverAndSinksSymmetrically) {
+  TestCircuit c;
+  CellId drv = c.add(CellKind::Inv);
+  CellId s1 = c.add(CellKind::Buf);
+  CellId s2 = c.add(CellKind::Buf);
+  c.link(drv, {{s1, 0}, {s2, 0}});
+  SparseOperand adj = build_mean_adjacency(*c.nl);
+
+  auto entry = [&](CellId r, CellId col) -> float {
+    const SparseMatrix& m = adj.matrix;
+    for (std::uint32_t k = m.row_ptr[r.index()]; k < m.row_ptr[r.index() + 1];
+         ++k) {
+      if (m.col_idx[k] == col.index()) return m.values[k];
+    }
+    return 0.0f;
+  };
+  // drv has degree 2 -> each neighbor weighted 1/2; sinks have degree 1.
+  EXPECT_FLOAT_EQ(entry(drv, s1), 0.5f);
+  EXPECT_FLOAT_EQ(entry(drv, s2), 0.5f);
+  EXPECT_FLOAT_EQ(entry(s1, drv), 1.0f);
+  EXPECT_FLOAT_EQ(entry(s2, drv), 1.0f);
+  EXPECT_FLOAT_EQ(entry(s1, s2), 0.0f);  // sinks not connected to each other
+}
+
+TEST(Graph, RowsSumToOneForConnectedCells) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 400;
+  cfg.seed = 61;
+  Design d = generate_design(cfg);
+  SparseOperand adj = build_mean_adjacency(*d.netlist);
+  const SparseMatrix& m = adj.matrix;
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    if (m.row_ptr[r] == m.row_ptr[r + 1]) continue;  // isolated cell
+    float sum = 0.0f;
+    for (std::uint32_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+      sum += m.values[k];
+    }
+    ASSERT_NEAR(sum, 1.0f, 1e-4) << "row " << r;
+  }
+}
+
+TEST(Graph, HighFanoutNetsAreSkipped) {
+  TestCircuit c;
+  CellId clk_like = c.add(CellKind::Buf);
+  NetId big = c.nl->add_net("big");
+  c.nl->set_driver(big, clk_like);
+  std::vector<CellId> ffs;
+  for (int i = 0; i < 70; ++i) {
+    CellId ff = c.add(CellKind::Dff);
+    c.nl->add_sink(big, ff, 1);
+    ffs.push_back(ff);
+  }
+  SparseOperand adj = build_mean_adjacency(*c.nl, /*max_fanout=*/64);
+  EXPECT_EQ(adj.matrix.nnz(), 0u);
+}
+
+TEST(Graph, ConeMatrixRowsMatchConeSizes) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 400;
+  cfg.seed = 63;
+  Design d = generate_design(cfg);
+  Sta sta = d.make_sta();
+  sta.run();
+  std::vector<PinId> vio = sta.violating_endpoints();
+  ASSERT_FALSE(vio.empty());
+  ConeIndex cones(*d.netlist, vio);
+  SparseOperand mat = build_cone_matrix(*d.netlist, cones);
+  EXPECT_EQ(mat.matrix.rows, vio.size());
+  for (std::size_t e = 0; e < cones.size(); ++e) {
+    EXPECT_EQ(mat.matrix.row_ptr[e + 1] - mat.matrix.row_ptr[e],
+              cones.cone(e).size());
+  }
+}
+
+TEST(Graph, EndpointRowsPointToOwningCells) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 400;
+  cfg.seed = 65;
+  Design d = generate_design(cfg);
+  Sta sta = d.make_sta();
+  sta.run();
+  std::vector<PinId> eps(sta.endpoints().begin(), sta.endpoints().end());
+  std::vector<std::size_t> rows = endpoint_cell_rows(*d.netlist, eps);
+  ASSERT_EQ(rows.size(), eps.size());
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    EXPECT_EQ(rows[i], d.netlist->pin(eps[i]).cell.index());
+  }
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,94 @@
+// Hand-built miniature circuits for unit tests. Cells default to a single
+// location (zero wire length) so expected delays can be computed from
+// library arcs alone; tests that exercise wires place cells explicitly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace rlccd::testing {
+
+struct TestCircuit {
+  std::unique_ptr<Library> lib;
+  std::unique_ptr<Netlist> nl;
+
+  explicit TestCircuit(TechNode node = TechNode::N12) {
+    lib = std::make_unique<Library>(Library::make_generic(make_tech(node)));
+    nl = std::make_unique<Netlist>(lib.get());
+  }
+
+  CellId add(CellKind kind, int size = 0, double x = 0.0, double y = 0.0) {
+    CellId id = nl->add_cell(lib->pick(kind, size),
+                             std::string(cell_kind_name(kind)) + "_" +
+                                 std::to_string(nl->num_cells()));
+    nl->set_position(id, x, y);
+    return id;
+  }
+
+  // Creates a net driven by `from`'s output and feeding each (cell, pin).
+  NetId link(CellId from, std::initializer_list<std::pair<CellId, int>> tos) {
+    NetId n = nl->add_net("n" + std::to_string(nl->num_nets()));
+    nl->set_driver(n, from);
+    for (auto [cell, pin] : tos) nl->add_sink(n, cell, pin);
+    return n;
+  }
+};
+
+// PI -> (n_front bufs) -> FF1 -> (n_mid bufs) -> FF2 -> (n_back bufs) -> PO.
+// All cells co-located; returns the circuit plus named handles.
+struct Pipeline {
+  TestCircuit c;
+  CellId pi, po, ff1, ff2;
+  std::vector<CellId> mid_bufs;
+
+  explicit Pipeline(int n_front = 1, int n_mid = 3, int n_back = 1) {
+    pi = c.add(CellKind::Input);
+    po = c.add(CellKind::Output);
+    ff1 = c.add(CellKind::Dff);
+    ff2 = c.add(CellKind::Dff);
+
+    auto chain = [&](CellId from, CellId to, int to_pin, int n,
+                     std::vector<CellId>* keep) {
+      CellId cur = from;
+      for (int i = 0; i < n; ++i) {
+        CellId buf = c.add(CellKind::Buf);
+        c.link(cur, {{buf, 0}});
+        if (keep != nullptr) keep->push_back(buf);
+        cur = buf;
+      }
+      c.link(cur, {{to, to_pin}});
+    };
+    chain(pi, ff1, /*D=*/0, n_front, nullptr);
+    chain(ff1, ff2, /*D=*/0, n_mid, &mid_bufs);
+    chain(ff2, po, 0, n_back, nullptr);
+    c.nl->update_wire_parasitics();
+    c.nl->validate();
+  }
+};
+
+// A flop whose D cone is a buffer chain launched from its own Q — the
+// self-loop structure useful skew cannot improve.
+struct SelfLoop {
+  TestCircuit c;
+  CellId ff;
+  std::vector<CellId> bufs;
+
+  explicit SelfLoop(int n_bufs = 4) {
+    ff = c.add(CellKind::Dff);
+    CellId cur = ff;
+    for (int i = 0; i < n_bufs; ++i) {
+      CellId buf = c.add(CellKind::Buf);
+      c.link(cur, {{buf, 0}});
+      bufs.push_back(buf);
+      cur = buf;
+    }
+    c.link(cur, {{ff, 0}});
+    c.nl->update_wire_parasitics();
+    c.nl->validate();
+  }
+};
+
+}  // namespace rlccd::testing

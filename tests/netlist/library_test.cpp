@@ -1,0 +1,98 @@
+#include "netlist/library.h"
+
+#include <gtest/gtest.h>
+
+namespace rlccd {
+namespace {
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  Library lib_ = Library::make_generic(make_tech(TechNode::N12));
+};
+
+TEST_F(LibraryTest, EveryCombKindHasAFullSizeLadder) {
+  for (CellKind kind : {CellKind::Buf, CellKind::Inv, CellKind::Nand2,
+                        CellKind::Nor2, CellKind::And2, CellKind::Or2,
+                        CellKind::Xor2, CellKind::Aoi21, CellKind::Mux2}) {
+    const auto& ladder = lib_.sizes(kind);
+    ASSERT_EQ(ladder.size(), 4u) << cell_kind_name(kind);
+    for (std::size_t s = 0; s < ladder.size(); ++s) {
+      EXPECT_EQ(lib_.cell(ladder[s]).size_index, static_cast<int>(s));
+    }
+  }
+  EXPECT_EQ(lib_.sizes(CellKind::Dff).size(), 2u);
+}
+
+TEST_F(LibraryTest, UpsizingLowersDriveResistanceRaisesInputCap) {
+  for (CellKind kind : {CellKind::Nand2, CellKind::Inv, CellKind::Buf}) {
+    const auto& ladder = lib_.sizes(kind);
+    for (std::size_t s = 0; s + 1 < ladder.size(); ++s) {
+      const LibCell& small = lib_.cell(ladder[s]);
+      const LibCell& big = lib_.cell(ladder[s + 1]);
+      EXPECT_LT(big.drive_res, small.drive_res);
+      EXPECT_GT(big.input_cap, small.input_cap);
+      EXPECT_GT(big.leakage, small.leakage);
+    }
+  }
+}
+
+TEST_F(LibraryTest, UpsizeDownsizeAreInverse) {
+  LibCellId x1 = lib_.pick(CellKind::Nand2, 0);
+  LibCellId x2 = lib_.upsize(x1);
+  ASSERT_TRUE(x2.valid());
+  EXPECT_EQ(lib_.downsize(x2), x1);
+  // Ladder ends.
+  EXPECT_FALSE(lib_.downsize(x1).valid());
+  LibCellId top = lib_.pick(CellKind::Nand2, 3);
+  EXPECT_FALSE(lib_.upsize(top).valid());
+}
+
+TEST_F(LibraryTest, PickClampsOutOfRangeSizes) {
+  EXPECT_EQ(lib_.cell(lib_.pick(CellKind::Inv, -5)).size_index, 0);
+  EXPECT_EQ(lib_.cell(lib_.pick(CellKind::Inv, 99)).size_index, 3);
+}
+
+TEST_F(LibraryTest, ArcDelayGrowsWithLoadAndSlew) {
+  const LibCell& nand = lib_.cell(lib_.pick(CellKind::Nand2, 0));
+  double base = nand.arc_delay(0, 1.0, 0.01);
+  EXPECT_GT(nand.arc_delay(0, 5.0, 0.01), base);
+  EXPECT_GT(nand.arc_delay(0, 1.0, 0.10), base);
+}
+
+TEST_F(LibraryTest, PinAsymmetryMakesPinZeroFastest) {
+  const LibCell& nand = lib_.cell(lib_.pick(CellKind::Nand2, 0));
+  EXPECT_LT(nand.arc_delay(0, 1.0, 0.01), nand.arc_delay(1, 1.0, 0.01));
+}
+
+TEST_F(LibraryTest, DffCarriesSequentialData) {
+  const LibCell& ff = lib_.cell(lib_.pick(CellKind::Dff, 0));
+  EXPECT_TRUE(ff.is_sequential());
+  EXPECT_GT(ff.setup_time, 0.0);
+  EXPECT_GT(ff.hold_time, 0.0);
+  EXPECT_GT(ff.clk_to_q, 0.0);
+  EXPECT_GT(ff.clock_pin_cap, 0.0);
+  EXPECT_EQ(ff.num_inputs, 2);
+}
+
+TEST_F(LibraryTest, TechnologyScalingOrdersDelays) {
+  Library n5 = Library::make_generic(make_tech(TechNode::N5));
+  Library n12 = Library::make_generic(make_tech(TechNode::N12));
+  const LibCell& fast = n5.cell(n5.pick(CellKind::Nand2, 0));
+  const LibCell& slow = n12.cell(n12.pick(CellKind::Nand2, 0));
+  EXPECT_LT(fast.intrinsic_delay, slow.intrinsic_delay);
+  EXPECT_LT(fast.input_cap, slow.input_cap);
+  EXPECT_GT(fast.leakage, slow.leakage);  // leakage grows at newer nodes
+}
+
+TEST_F(LibraryTest, PortCellsAreZeroDelayPseudoCells) {
+  const LibCell& in = lib_.cell(lib_.pick(CellKind::Input, 0));
+  const LibCell& out = lib_.cell(lib_.pick(CellKind::Output, 0));
+  EXPECT_TRUE(in.is_port());
+  EXPECT_TRUE(out.is_port());
+  EXPECT_EQ(in.num_inputs, 0);
+  EXPECT_EQ(out.num_inputs, 1);
+  EXPECT_DOUBLE_EQ(in.intrinsic_delay, 0.0);
+}
+
+}  // namespace
+}  // namespace rlccd

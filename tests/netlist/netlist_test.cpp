@@ -1,0 +1,135 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+using testing::TestCircuit;
+
+TEST(Netlist, AddCellCreatesPinsPerLibDefinition) {
+  TestCircuit c;
+  CellId nand = c.add(CellKind::Nand2);
+  const Cell& cell = c.nl->cell(nand);
+  EXPECT_EQ(cell.inputs.size(), 2u);
+  EXPECT_TRUE(cell.output.valid());
+  EXPECT_EQ(c.nl->pin(cell.inputs[0]).index, 0);
+  EXPECT_EQ(c.nl->pin(cell.inputs[1]).index, 1);
+  EXPECT_EQ(c.nl->pin(cell.output).dir, PinDir::Output);
+}
+
+TEST(Netlist, OutputPortHasNoOutputPin) {
+  TestCircuit c;
+  CellId po = c.add(CellKind::Output);
+  EXPECT_FALSE(c.nl->cell(po).output.valid());
+  EXPECT_EQ(c.nl->cell(po).inputs.size(), 1u);
+}
+
+TEST(Netlist, ConnectivityRoundTrip) {
+  TestCircuit c;
+  CellId inv = c.add(CellKind::Inv);
+  CellId buf = c.add(CellKind::Buf);
+  NetId n = c.link(inv, {{buf, 0}});
+  EXPECT_EQ(c.nl->net(n).driver, c.nl->cell(inv).output);
+  ASSERT_EQ(c.nl->net(n).sinks.size(), 1u);
+  EXPECT_EQ(c.nl->net(n).sinks[0], c.nl->cell(buf).inputs[0]);
+  c.nl->validate();
+}
+
+TEST(Netlist, MoveSinkRetargetsPin) {
+  TestCircuit c;
+  CellId a = c.add(CellKind::Inv);
+  CellId b = c.add(CellKind::Inv);
+  CellId sink = c.add(CellKind::Buf);
+  NetId na = c.link(a, {{sink, 0}});
+  NetId nb = c.nl->add_net("nb");
+  c.nl->set_driver(nb, b);
+
+  PinId pin = c.nl->cell(sink).inputs[0];
+  c.nl->move_sink(pin, nb);
+  EXPECT_TRUE(c.nl->net(na).sinks.empty());
+  ASSERT_EQ(c.nl->net(nb).sinks.size(), 1u);
+  EXPECT_EQ(c.nl->net(nb).sinks[0], pin);
+  c.nl->validate();
+}
+
+TEST(Netlist, SwapInputNetsExchangesConnections) {
+  TestCircuit c;
+  CellId a = c.add(CellKind::Inv);
+  CellId b = c.add(CellKind::Inv);
+  CellId nand = c.add(CellKind::Nand2);
+  NetId na = c.link(a, {{nand, 0}});
+  NetId nb = c.link(b, {{nand, 1}});
+
+  c.nl->swap_input_nets(nand, 0, 1);
+  EXPECT_EQ(c.nl->pin(c.nl->cell(nand).inputs[0]).net, nb);
+  EXPECT_EQ(c.nl->pin(c.nl->cell(nand).inputs[1]).net, na);
+  c.nl->validate();
+}
+
+TEST(Netlist, ResizeKeepsKindChangesVariant) {
+  TestCircuit c;
+  CellId inv = c.add(CellKind::Inv, 0);
+  LibCellId bigger = c.lib->upsize(c.nl->cell(inv).lib);
+  c.nl->resize_cell(inv, bigger);
+  EXPECT_EQ(c.nl->lib_cell(inv).size_index, 1);
+  EXPECT_EQ(c.nl->lib_cell(inv).kind, CellKind::Inv);
+  c.nl->validate();
+}
+
+TEST(Netlist, NetLoadCapSumsWireAndPinCaps) {
+  TestCircuit c;
+  CellId drv = c.add(CellKind::Inv, 0, 0.0, 0.0);
+  CellId s1 = c.add(CellKind::Buf, 0, 10.0, 0.0);
+  CellId s2 = c.add(CellKind::Nand2, 0, 0.0, 10.0);
+  NetId n = c.link(drv, {{s1, 0}, {s2, 1}});
+  c.nl->update_wire_parasitics();
+
+  double expected = c.nl->net(n).wire_cap +
+                    c.nl->lib_cell(s1).input_cap +
+                    c.nl->lib_cell(s2).input_cap;
+  EXPECT_DOUBLE_EQ(c.nl->net_load_cap(n), expected);
+  EXPECT_GT(c.nl->net(n).wire_cap, 0.0);
+}
+
+TEST(Netlist, ClockPinUsesClockCap) {
+  TestCircuit c;
+  CellId drv = c.add(CellKind::Buf);
+  CellId ff = c.add(CellKind::Dff);
+  NetId n = c.link(drv, {{ff, 1}});  // CK pin
+  EXPECT_DOUBLE_EQ(c.nl->net_load_cap(n), c.nl->lib_cell(ff).clock_pin_cap);
+}
+
+TEST(Netlist, HpwlIsBoundingBoxHalfPerimeter) {
+  TestCircuit c;
+  CellId drv = c.add(CellKind::Inv, 0, 0.0, 0.0);
+  CellId s1 = c.add(CellKind::Buf, 0, 30.0, 0.0);
+  CellId s2 = c.add(CellKind::Buf, 0, 10.0, 20.0);
+  NetId n = c.link(drv, {{s1, 0}, {s2, 0}});
+  EXPECT_DOUBLE_EQ(c.nl->net_hpwl(n), 30.0 + 20.0);
+}
+
+TEST(Netlist, SinkDistanceIsManhattan) {
+  TestCircuit c;
+  CellId drv = c.add(CellKind::Inv, 0, 1.0, 2.0);
+  CellId snk = c.add(CellKind::Buf, 0, 4.0, 6.0);
+  c.link(drv, {{snk, 0}});
+  EXPECT_DOUBLE_EQ(c.nl->sink_distance(c.nl->cell(snk).inputs[0]), 3.0 + 4.0);
+}
+
+TEST(Netlist, RealCellCountExcludesPorts) {
+  TestCircuit c;
+  c.add(CellKind::Input);
+  c.add(CellKind::Output);
+  c.add(CellKind::Inv);
+  c.add(CellKind::Dff);
+  EXPECT_EQ(c.nl->num_real_cells(), 2u);
+  EXPECT_EQ(c.nl->primary_inputs().size(), 1u);
+  EXPECT_EQ(c.nl->primary_outputs().size(), 1u);
+  EXPECT_EQ(c.nl->sequential_cells().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,77 @@
+#include "netlist/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "designgen/generator.h"
+#include "helpers/test_circuits.h"
+#include "sta/sta.h"
+
+namespace rlccd {
+namespace {
+
+using testing::Pipeline;
+
+TEST(NetlistSerialize, RoundTripPreservesStructure) {
+  Pipeline p;
+  std::stringstream buf;
+  write_netlist(*p.c.nl, buf);
+  std::unique_ptr<Netlist> loaded = read_netlist(*p.c.lib, buf);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->num_cells(), p.c.nl->num_cells());
+  EXPECT_EQ(loaded->num_nets(), p.c.nl->num_nets());
+  EXPECT_EQ(loaded->num_pins(), p.c.nl->num_pins());
+  for (const Cell& c : p.c.nl->cells()) {
+    const Cell& l = loaded->cell(c.id);
+    EXPECT_EQ(l.name, c.name);
+    EXPECT_EQ(l.lib, c.lib);
+    EXPECT_DOUBLE_EQ(l.x, c.x);
+  }
+}
+
+TEST(NetlistSerialize, RoundTripPreservesTiming) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 400;
+  cfg.seed = 131;
+  Design d = generate_design(cfg);
+  std::stringstream buf;
+  write_netlist(*d.netlist, buf);
+  std::unique_ptr<Netlist> loaded = read_netlist(*d.library, buf);
+  ASSERT_NE(loaded, nullptr);
+
+  Sta orig(d.netlist.get(), d.sta_config, d.clock_period);
+  Sta copy(loaded.get(), d.sta_config, d.clock_period);
+  orig.run();
+  copy.run();
+  EXPECT_NEAR(orig.summary().tns, copy.summary().tns, 1e-9);
+  EXPECT_EQ(orig.summary().nve, copy.summary().nve);
+}
+
+TEST(NetlistSerialize, RejectsBadHeader) {
+  Pipeline p;
+  std::stringstream buf("not a netlist\n");
+  EXPECT_EQ(read_netlist(*p.c.lib, buf), nullptr);
+}
+
+TEST(NetlistSerialize, RejectsTechMismatch) {
+  Pipeline p;  // N12
+  std::stringstream buf;
+  write_netlist(*p.c.nl, buf);
+  Library n5 = Library::make_generic(make_tech(TechNode::N5));
+  EXPECT_EQ(read_netlist(n5, buf), nullptr);
+}
+
+TEST(NetlistSerialize, FileRoundTrip) {
+  Pipeline p;
+  std::string path = std::string(::testing::TempDir()) + "/netlist.txt";
+  ASSERT_TRUE(write_netlist_file(*p.c.nl, path));
+  std::unique_ptr<Netlist> loaded = read_netlist_file(*p.c.lib, path);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->num_cells(), p.c.nl->num_cells());
+  std::remove(path.c_str());
+  EXPECT_EQ(read_netlist_file(*p.c.lib, path), nullptr);
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,43 @@
+#include "netlist/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+using testing::Pipeline;
+
+TEST(Stats, CountsByCategory) {
+  Pipeline p(/*n_front=*/2, /*n_mid=*/3, /*n_back=*/1);
+  NetlistStats s = compute_stats(*p.c.nl);
+  EXPECT_EQ(s.num_sequential, 2u);
+  EXPECT_EQ(s.num_combinational, 6u);
+  EXPECT_EQ(s.num_cells, 8u);
+  EXPECT_EQ(s.num_primary_inputs, 1u);
+  EXPECT_EQ(s.num_primary_outputs, 1u);
+  EXPECT_GT(s.num_nets, 0u);
+}
+
+TEST(Stats, FanoutProfile) {
+  testing::TestCircuit c;
+  CellId drv = c.add(CellKind::Inv);
+  CellId a = c.add(CellKind::Buf);
+  CellId b = c.add(CellKind::Buf);
+  CellId x = c.add(CellKind::Nand2);
+  c.link(drv, {{a, 0}, {b, 0}, {x, 0}, {x, 1}});
+  NetlistStats s = compute_stats(*c.nl);
+  EXPECT_EQ(s.max_fanout, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_fanout, 4.0);  // single driven net
+}
+
+TEST(Stats, ToStringMentionsKeyNumbers) {
+  Pipeline p;
+  std::string s = stats_to_string(compute_stats(*p.c.nl));
+  EXPECT_NE(s.find("cells="), std::string::npos);
+  EXPECT_NE(s.find("seq=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rlccd

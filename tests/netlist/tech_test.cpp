@@ -1,0 +1,32 @@
+#include "netlist/tech.h"
+
+#include <gtest/gtest.h>
+
+namespace rlccd {
+namespace {
+
+TEST(Tech, PresetsExistForAllNodes) {
+  for (TechNode node : {TechNode::N5, TechNode::N7, TechNode::N12}) {
+    Tech t = make_tech(node);
+    EXPECT_EQ(t.node, node);
+    EXPECT_GT(t.wire_cap_per_um, 0.0);
+    EXPECT_GT(t.wire_res_per_um, 0.0);
+    EXPECT_GT(t.delay_scale, 0.0);
+    EXPECT_GT(t.default_clock_period, 0.0);
+    EXPECT_STREQ(t.name.c_str(), tech_node_name(node));
+  }
+}
+
+TEST(Tech, NewerNodesAreFasterDenserLeakier) {
+  Tech n5 = make_tech(TechNode::N5);
+  Tech n7 = make_tech(TechNode::N7);
+  Tech n12 = make_tech(TechNode::N12);
+  EXPECT_LT(n5.delay_scale, n7.delay_scale);
+  EXPECT_LT(n7.delay_scale, n12.delay_scale);
+  EXPECT_LT(n5.cell_pitch_um, n12.cell_pitch_um);
+  EXPECT_GT(n5.leakage_scale, n12.leakage_scale);
+  EXPECT_LT(n5.default_clock_period, n12.default_clock_period);
+}
+
+}  // namespace
+}  // namespace rlccd

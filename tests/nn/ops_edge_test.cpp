@@ -1,0 +1,100 @@
+// Edge cases for the autograd ops: degenerate shapes, saturated
+// nonlinearities, single-valid-entry softmax, empty-ish sparse operands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace rlccd {
+namespace {
+
+TEST(OpsEdge, OneByOneMatmul) {
+  Tensor a = Tensor::scalar(3.0f, true);
+  Tensor b = Tensor::scalar(-2.0f, true);
+  Tensor c = ops::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.item(), -6.0f);
+  c.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], -2.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 3.0f);
+}
+
+TEST(OpsEdge, MatmulWithZeroRowSkipsWork) {
+  // The forward loop skips zero entries; results must still be exact.
+  Tensor a = Tensor::from_data({0, 0, 1, 2}, 2, 2);
+  Tensor b = Tensor::from_data({5, 6, 7, 8}, 2, 2);
+  Tensor c = ops::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 19.0f);
+}
+
+TEST(OpsEdge, SigmoidSaturatesWithoutNan) {
+  Tensor x = Tensor::from_data({-500.0f, 500.0f}, 1, 2, true);
+  Tensor y = ops::sigmoid(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 1.0f);
+  ops::sum(y).backward();
+  for (float g : x.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(OpsEdge, SingleValidEntrySoftmaxIsCertain) {
+  Tensor scores = Tensor::from_data({5.0f, -1.0f, 2.0f}, 3, 1, true);
+  std::vector<char> valid = {0, 1, 0};
+  Tensor lp = ops::masked_log_softmax(scores, valid);
+  EXPECT_NEAR(lp.at(1, 0), 0.0f, 1e-6);  // log(1)
+  // Gradient of a certain outcome w.r.t. its own score is zero.
+  ops::pick(lp, 1, 0).backward();
+  EXPECT_NEAR(scores.grad()[1], 0.0f, 1e-6);
+}
+
+TEST(OpsEdge, GatherSameRowTwiceAccumulates) {
+  Tensor a = Tensor::from_data({1, 2}, 1, 2, true);
+  Tensor g = ops::gather_rows(a, {0, 0, 0});
+  EXPECT_EQ(g.rows(), 3u);
+  ops::sum(g).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 3.0f);
+}
+
+TEST(OpsEdge, SpmmWithEmptyRows) {
+  SparseOperand sp(SparseMatrix::from_triplets(3, 3, {{1, 1, 2.0f}}));
+  Tensor x = Tensor::from_data({1, 2, 3, 4, 5, 6}, 3, 2, true);
+  Tensor y = ops::spmm(sp, x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y.at(2, 1), 0.0f);
+  ops::sum(y).backward();
+  EXPECT_FLOAT_EQ(x.grad()[2], 2.0f);  // row 1 contributes through A^T
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(OpsEdge, AffineIdentityAndNegation) {
+  Tensor x = Tensor::from_data({1.5f}, 1, 1, true);
+  EXPECT_FLOAT_EQ(ops::affine(x, 1.0f, 0.0f).item(), 1.5f);
+  Tensor neg = ops::affine(x, -1.0f, 0.0f);
+  EXPECT_FLOAT_EQ(neg.item(), -1.5f);
+  neg.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], -1.0f);
+}
+
+TEST(OpsEdge, MeanOfSingleElement) {
+  Tensor x = Tensor::scalar(7.0f, true);
+  Tensor m = ops::mean(x);
+  EXPECT_FLOAT_EQ(m.item(), 7.0f);
+  m.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+}
+
+TEST(OpsEdge, ChainOfHundredOpsBackpropagates) {
+  // Deep linear chains must not overflow the iterative DFS in backward().
+  Tensor x = Tensor::scalar(1.0f, true);
+  Tensor y = x;
+  for (int i = 0; i < 100; ++i) {
+    y = ops::affine(y, 1.01f, 0.0f);
+  }
+  y.backward();
+  EXPECT_NEAR(x.grad()[0], std::pow(1.01, 100.0), 1e-2);
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,86 @@
+// End-to-end sanity of the policy-gradient machinery on a problem with a
+// known answer: a 4-armed bandit. The policy is a softmax over learnable
+// logits; REINFORCE with a moving baseline — exactly the ops and update
+// rule the RL-CCD trainer uses (masked_log_softmax + pick + backward +
+// Adam) — must concentrate probability on the best arm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/optim.h"
+#include "nn/ops.h"
+
+namespace rlccd {
+namespace {
+
+TEST(ReinforceBandit, ConvergesToBestArm) {
+  constexpr std::size_t kArms = 4;
+  const double reward_mean[kArms] = {0.1, 0.9, 0.3, 0.5};  // arm 1 is best
+  std::vector<char> valid(kArms, 1);
+
+  Tensor logits = Tensor::zeros(kArms, 1, /*requires_grad=*/true);
+  Adam opt({logits}, 0.05);
+  Rng rng(42);
+  double baseline = 0.0;
+
+  for (int step = 0; step < 600; ++step) {
+    Tensor log_probs = ops::masked_log_softmax(logits, valid);
+    std::vector<float> probs(kArms);
+    for (std::size_t a = 0; a < kArms; ++a) {
+      probs[a] = std::exp(log_probs.at(a, 0));
+    }
+    std::size_t action = rng.sample_probabilities(probs);
+    double reward = reward_mean[action] + rng.normal(0.0, 0.1);
+
+    opt.zero_grad();
+    Tensor loss = ops::affine(ops::pick(log_probs, action, 0),
+                              static_cast<float>(-(reward - baseline)), 0.0f);
+    loss.backward();
+    opt.step();
+    baseline = 0.9 * baseline + 0.1 * reward;
+  }
+
+  Tensor final_probs = ops::masked_log_softmax(logits, valid);
+  double p_best = std::exp(final_probs.at(1, 0));
+  EXPECT_GT(p_best, 0.8) << "policy should concentrate on the best arm";
+}
+
+TEST(ReinforceBandit, MaskedArmIsNeverChosen) {
+  constexpr std::size_t kArms = 3;
+  std::vector<char> valid = {1, 0, 1};  // arm 1 invalid
+  Tensor logits =
+      Tensor::from_data({0.0f, 100.0f, 0.0f}, kArms, 1, true);
+  Tensor log_probs = ops::masked_log_softmax(logits, valid);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<float> probs(kArms);
+    for (std::size_t a = 0; a < kArms; ++a) {
+      probs[a] = valid[a] ? std::exp(log_probs.at(a, 0)) : 0.0f;
+    }
+    EXPECT_NE(rng.sample_probabilities(probs), 1u);
+  }
+}
+
+TEST(ReinforceBandit, AdvantageSignFlipsGradientDirection) {
+  // Positive advantage on an action must raise its logit; negative must
+  // lower it — the core REINFORCE direction check.
+  std::vector<char> valid(3, 1);
+  for (double advantage : {+1.0, -1.0}) {
+    Tensor logits = Tensor::zeros(3, 1, true);
+    Tensor log_probs = ops::masked_log_softmax(logits, valid);
+    Tensor loss = ops::affine(ops::pick(log_probs, 0, 0),
+                              static_cast<float>(-advantage), 0.0f);
+    loss.backward();
+    // Gradient descent step direction on logit 0: -grad.
+    double delta = -logits.grad()[0];
+    if (advantage > 0) {
+      EXPECT_GT(delta, 0.0);
+    } else {
+      EXPECT_LT(delta, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,85 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/modules.h"
+
+namespace rlccd {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Serialize, RoundTripPreservesValues) {
+  Rng rng(7);
+  Linear lin(4, 3, rng);
+  std::vector<Tensor> params = lin.parameters();
+  std::string path = temp_path("params.bin");
+  ASSERT_TRUE(save_parameters(params, path));
+
+  Linear fresh(4, 3, rng);  // different random init
+  std::vector<Tensor> loaded = fresh.parameters();
+  ASSERT_TRUE(load_parameters(loaded, path));
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::size_t i = 0; i < params[p].size(); ++i) {
+      EXPECT_FLOAT_EQ(loaded[p].data()[i], params[p].data()[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  Rng rng(8);
+  Linear small(2, 2, rng);
+  Linear big(3, 3, rng);
+  std::string path = temp_path("mismatch.bin");
+  std::vector<Tensor> sp = small.parameters();
+  ASSERT_TRUE(save_parameters(sp, path));
+  std::vector<Tensor> bp = big.parameters();
+  EXPECT_FALSE(load_parameters(bp, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  std::string path = temp_path("junk.bin");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fputs("not a parameter file", f);
+  fclose(f);
+  Rng rng(9);
+  Linear lin(2, 2, rng);
+  std::vector<Tensor> params = lin.parameters();
+  EXPECT_FALSE(load_parameters(params, path));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFails) {
+  Rng rng(10);
+  Linear lin(2, 2, rng);
+  std::vector<Tensor> params = lin.parameters();
+  EXPECT_FALSE(load_parameters(params, "/nonexistent/dir/params.bin"));
+  EXPECT_FALSE(save_parameters(params, "/nonexistent/dir/params.bin"));
+}
+
+TEST(Serialize, CopyParameterValues) {
+  Rng rng(11);
+  Linear a(3, 3, rng);
+  Linear b(3, 3, rng);
+  std::vector<Tensor> src = a.parameters();
+  std::vector<Tensor> dst = b.parameters();
+  copy_parameter_values(src, dst);
+  for (std::size_t p = 0; p < src.size(); ++p) {
+    for (std::size_t i = 0; i < src[p].size(); ++i) {
+      EXPECT_FLOAT_EQ(dst[p].data()[i], src[p].data()[i]);
+    }
+  }
+  // Storage must stay independent.
+  dst[0].data()[0] += 1.0f;
+  EXPECT_NE(dst[0].data()[0], src[0].data()[0]);
+}
+
+}  // namespace
+}  // namespace rlccd

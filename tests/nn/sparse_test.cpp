@@ -1,0 +1,60 @@
+#include "nn/sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace rlccd {
+namespace {
+
+TEST(Sparse, FromTripletsBuildsCsr) {
+  SparseMatrix m = SparseMatrix::from_triplets(
+      3, 3, {{2, 0, 1.0f}, {0, 1, 2.0f}, {0, 0, 3.0f}});
+  ASSERT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.row_ptr[0], 0u);
+  EXPECT_EQ(m.row_ptr[1], 2u);  // row 0 has two entries
+  EXPECT_EQ(m.row_ptr[2], 2u);  // row 1 empty
+  EXPECT_EQ(m.row_ptr[3], 3u);
+  // Row 0 sorted by column.
+  EXPECT_EQ(m.col_idx[0], 0u);
+  EXPECT_FLOAT_EQ(m.values[0], 3.0f);
+  EXPECT_EQ(m.col_idx[1], 1u);
+  EXPECT_FLOAT_EQ(m.values[1], 2.0f);
+}
+
+TEST(Sparse, DuplicatesMergeBySummation) {
+  SparseMatrix m = SparseMatrix::from_triplets(
+      2, 2, {{0, 1, 1.0f}, {0, 1, 2.5f}});
+  ASSERT_EQ(m.nnz(), 1u);
+  EXPECT_FLOAT_EQ(m.values[0], 3.5f);
+}
+
+TEST(Sparse, TransposeRoundTrip) {
+  SparseMatrix m = SparseMatrix::from_triplets(
+      2, 3, {{0, 2, 1.0f}, {1, 0, 2.0f}, {1, 2, 3.0f}});
+  SparseMatrix t = m.transposed();
+  EXPECT_EQ(t.rows, 3u);
+  EXPECT_EQ(t.cols, 2u);
+  EXPECT_EQ(t.nnz(), 3u);
+
+  SparseMatrix back = t.transposed();
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  EXPECT_EQ(back.values, m.values);
+}
+
+TEST(Sparse, EmptyMatrix) {
+  SparseMatrix m = SparseMatrix::from_triplets(4, 4, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_EQ(m.row_ptr.size(), 5u);
+  SparseMatrix t = m.transposed();
+  EXPECT_EQ(t.nnz(), 0u);
+}
+
+TEST(Sparse, OperandCarriesConsistentTranspose) {
+  SparseOperand op(SparseMatrix::from_triplets(
+      2, 2, {{0, 1, 4.0f}, {1, 1, 5.0f}}));
+  EXPECT_EQ(op.matrix.nnz(), op.matrix_t.nnz());
+  EXPECT_EQ(op.matrix_t.rows, op.matrix.cols);
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,95 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace rlccd {
+namespace {
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t = Tensor::from_data({1, 2, 3, 4, 5, 6}, 2, 3);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 6.0f);
+  t.set(1, 2, -1.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), -1.0f);
+}
+
+TEST(Tensor, ZerosAndFull) {
+  Tensor z = Tensor::zeros(3, 2);
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_FLOAT_EQ(z.data()[i], 0.0f);
+  Tensor f = Tensor::full(2, 2, 1.5f);
+  for (std::size_t i = 0; i < f.size(); ++i) EXPECT_FLOAT_EQ(f.data()[i], 1.5f);
+}
+
+TEST(Tensor, ScalarItem) {
+  Tensor s = Tensor::scalar(2.5f);
+  EXPECT_FLOAT_EQ(s.item(), 2.5f);
+}
+
+TEST(Tensor, HandleSemanticsShareStorage) {
+  Tensor a = Tensor::zeros(1, 1);
+  Tensor b = a;
+  b.set(0, 0, 3.0f);
+  EXPECT_FLOAT_EQ(a.item(), 3.0f);
+}
+
+TEST(Tensor, DetachCopyDropsGraphAndIndependentStorage) {
+  Tensor a = Tensor::scalar(1.0f, /*requires_grad=*/true);
+  Tensor b = ops::affine(a, 2.0f, 0.0f);
+  Tensor d = b.detach_copy();
+  EXPECT_FALSE(d.requires_grad());
+  d.set(0, 0, 99.0f);
+  EXPECT_FLOAT_EQ(b.item(), 2.0f);
+}
+
+TEST(Tensor, BackwardAccumulatesThroughSharedSubexpression) {
+  // y = x + x => dy/dx = 2.
+  Tensor x = Tensor::scalar(3.0f, true);
+  Tensor y = ops::add(x, x);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(Tensor, BackwardThroughDiamondGraph) {
+  // y = (x*x) + (x*x) reusing the same intermediate: dy/dx = 2*2x = 4x.
+  Tensor x = Tensor::scalar(2.0f, true);
+  Tensor sq = ops::mul(x, x);
+  Tensor y = ops::add(sq, sq);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f);
+}
+
+TEST(Tensor, ZeroGradClearsAccumulation) {
+  Tensor x = Tensor::scalar(1.0f, true);
+  Tensor y = ops::affine(x, 3.0f, 0.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(Tensor, SecondBackwardAccumulates) {
+  Tensor x = Tensor::scalar(1.0f, true);
+  Tensor y1 = ops::affine(x, 2.0f, 0.0f);
+  y1.backward();
+  Tensor y2 = ops::affine(x, 5.0f, 0.0f);
+  y2.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+TEST(Tensor, ConstantsGetNoGrad) {
+  Tensor c = Tensor::scalar(2.0f, false);
+  Tensor x = Tensor::scalar(3.0f, true);
+  Tensor y = ops::mul(c, x);
+  EXPECT_TRUE(y.requires_grad());
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FALSE(c.requires_grad());
+}
+
+}  // namespace
+}  // namespace rlccd

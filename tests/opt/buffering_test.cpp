@@ -1,0 +1,100 @@
+#include "opt/buffering.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+using testing::TestCircuit;
+
+// A long net with near and far sinks, violating under a tight clock.
+struct LongNet {
+  TestCircuit c;
+  CellId ff_src, ff_near, ff_far1, ff_far2;
+  NetId net;
+
+  LongNet() {
+    ff_src = c.add(CellKind::Dff, 0, 0.0, 0.0);
+    ff_near = c.add(CellKind::Dff, 0, 5.0, 0.0);
+    ff_far1 = c.add(CellKind::Dff, 0, 400.0, 0.0);
+    ff_far2 = c.add(CellKind::Dff, 0, 400.0, 30.0);
+    net = c.link(ff_src, {{ff_near, 0}, {ff_far1, 0}, {ff_far2, 0}});
+    c.nl->update_wire_parasitics();
+  }
+};
+
+TEST(Buffering, SplitsFarSinksBehindBuffer) {
+  LongNet l;
+  Sta sta(l.c.nl.get(), StaConfig{}, 0.12);
+  sta.run();
+  double far_before = sta.endpoint_slack(l.c.nl->cell(l.ff_far1).inputs[0]);
+  ASSERT_LT(far_before, 0.0);
+  std::size_t cells_before = l.c.nl->num_cells();
+
+  BufferConfig cfg;
+  cfg.max_buffers = 4;
+  cfg.min_hpwl = 50.0;
+  BufferResult r = run_buffering(sta, *l.c.nl, cfg);
+  EXPECT_GE(r.buffers_inserted, 1);
+  EXPECT_GT(l.c.nl->num_cells(), cells_before);
+
+  // The original net lost its far sinks.
+  EXPECT_LT(l.c.nl->net(l.net).sinks.size(), 3u);
+  l.c.nl->validate();
+}
+
+TEST(Buffering, ReducesDriverLoad) {
+  LongNet l;
+  double load_before = l.c.nl->net_load_cap(l.net);
+  Sta sta(l.c.nl.get(), StaConfig{}, 0.12);
+  BufferConfig cfg;
+  cfg.max_buffers = 4;
+  cfg.min_hpwl = 50.0;
+  run_buffering(sta, *l.c.nl, cfg);
+  EXPECT_LT(l.c.nl->net_load_cap(l.net), load_before);
+}
+
+TEST(Buffering, SkipsNetsWithPositiveSlack) {
+  LongNet l;
+  Sta sta(l.c.nl.get(), StaConfig{}, 5.0);  // loose clock: nothing violates
+  BufferConfig cfg;
+  cfg.max_buffers = 4;
+  cfg.min_hpwl = 50.0;
+  BufferResult r = run_buffering(sta, *l.c.nl, cfg);
+  EXPECT_EQ(r.buffers_inserted, 0);
+}
+
+TEST(Buffering, RespectsBudget) {
+  GeneratorConfig gcfg;
+  gcfg.target_cells = 800;
+  gcfg.seed = 41;
+  gcfg.clock_tightness = 0.7;
+  Design d = generate_design(gcfg);
+  Sta sta = d.make_sta();
+  BufferConfig cfg;
+  cfg.max_buffers = 3;
+  cfg.min_hpwl = 5.0;
+  cfg.min_fanout = 2;
+  BufferResult r = run_buffering(sta, *d.netlist, cfg);
+  EXPECT_LE(r.buffers_inserted, 3);
+  d.netlist->validate();
+}
+
+TEST(Buffering, StaStaysConsistentAfterInsertion) {
+  LongNet l;
+  Sta sta(l.c.nl.get(), StaConfig{}, 0.12);
+  BufferConfig cfg;
+  cfg.max_buffers = 2;
+  cfg.min_hpwl = 50.0;
+  run_buffering(sta, *l.c.nl, cfg);
+  // A fresh STA over the modified netlist agrees with the incremental one.
+  Sta fresh(l.c.nl.get(), StaConfig{}, 0.12);
+  fresh.run();
+  EXPECT_NEAR(fresh.summary().tns, sta.summary().tns, 1e-9);
+}
+
+}  // namespace
+}  // namespace rlccd

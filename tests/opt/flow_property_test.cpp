@@ -1,0 +1,67 @@
+// Flow-level invariants swept across several paper blocks (tiny scale):
+// the placement flow must never make timing worse than the input, must be
+// deterministic, and prioritization must preserve the hold picture.
+#include <gtest/gtest.h>
+
+#include "designgen/blocks.h"
+#include "opt/flow.h"
+
+namespace rlccd {
+namespace {
+
+class FlowSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  static Design make(const std::string& name) {
+    return generate_design(to_generator_config(find_block(name), 0.003));
+  }
+  static FlowResult run(Design& d, std::span<const PinId> prio = {}) {
+    Netlist work = *d.netlist;
+    FlowConfig cfg =
+        default_flow_config(work.num_real_cells(), d.clock_period);
+    return run_placement_flow(work, d.sta_config, d.clock_period, d.die,
+                              d.pi_toggles, cfg, prio);
+  }
+};
+
+TEST_P(FlowSweep, NeverWorsensTiming) {
+  Design d = make(GetParam());
+  FlowResult r = run(d);
+  EXPECT_GE(r.final_.tns, r.begin.tns);
+  EXPECT_GE(r.final_.wns, r.begin.wns);
+  EXPECT_LE(r.final_.nve, r.begin.nve);
+}
+
+TEST_P(FlowSweep, HoldStaysClean) {
+  Design d = make(GetParam());
+  FlowResult r = run(d);
+  EXPECT_GE(r.final_.worst_hold_slack, -1e-9)
+      << "the skew engine must never trade setup for hold violations";
+}
+
+TEST_P(FlowSweep, DeterministicWithAndWithoutPrioritization) {
+  Design d = make(GetParam());
+  FlowResult a = run(d);
+  FlowResult b = run(d);
+  EXPECT_DOUBLE_EQ(a.final_.tns, b.final_.tns);
+
+  // Prioritized runs are deterministic too.
+  Netlist probe = *d.netlist;
+  Sta sta(&probe, d.sta_config, d.clock_period);
+  sta.run();
+  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> sel(vio.begin(),
+                         vio.begin() + std::min<std::size_t>(5, vio.size()));
+  FlowResult c = run(d, sel);
+  FlowResult e = run(d, sel);
+  EXPECT_DOUBLE_EQ(c.final_.tns, e.final_.tns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, FlowSweep,
+                         ::testing::Values("block3", "block9", "block10",
+                                           "block17"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+}  // namespace
+}  // namespace rlccd

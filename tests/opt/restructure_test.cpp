@@ -1,0 +1,117 @@
+#include "opt/restructure.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+using testing::TestCircuit;
+
+// NAND whose pin 1 (slow pin) carries the late signal: swapping pays.
+struct SwappableGate {
+  TestCircuit c;
+  CellId ff_early, ff_late, gate, ff_out;
+  std::vector<CellId> late_chain;
+
+  SwappableGate() {
+    ff_early = c.add(CellKind::Dff);
+    ff_late = c.add(CellKind::Dff);
+    gate = c.add(CellKind::Nand2);
+    ff_out = c.add(CellKind::Dff);
+
+    c.link(ff_early, {{gate, 0}});  // early on fast pin 0 (bad assignment)
+    CellId cur = ff_late;
+    for (int i = 0; i < 5; ++i) {
+      CellId buf = c.add(CellKind::Buf);
+      c.link(cur, {{buf, 0}});
+      late_chain.push_back(buf);
+      cur = buf;
+    }
+    c.link(cur, {{gate, 1}});  // late signal on slow pin 1
+    c.link(gate, {{ff_out, 0}});
+    c.nl->update_wire_parasitics();
+  }
+};
+
+TEST(Restructure, SwapsLateSignalOntoFastPin) {
+  SwappableGate g;
+  Sta sta(g.c.nl.get(), StaConfig{}, 0.22);
+  sta.run();
+  PinId d = g.c.nl->cell(g.ff_out).inputs[0];
+  double before = sta.timing(d).arrival_max;
+  ASSERT_LT(sta.endpoint_slack(d), 0.0) << "premise: gate is critical";
+
+  RestructureConfig cfg;
+  RestructureResult r = run_restructure(sta, *g.c.nl, cfg);
+  EXPECT_EQ(r.swaps, 1);
+  EXPECT_LT(sta.timing(d).arrival_max, before);
+  g.c.nl->validate();
+}
+
+TEST(Restructure, IdempotentSecondPassDoesNothing) {
+  SwappableGate g;
+  Sta sta(g.c.nl.get(), StaConfig{}, 0.22);
+  run_restructure(sta, *g.c.nl, RestructureConfig{});
+  RestructureResult second = run_restructure(sta, *g.c.nl, RestructureConfig{});
+  EXPECT_EQ(second.swaps, 0);
+}
+
+TEST(Restructure, LeavesWellAssignedGatesAlone) {
+  SwappableGate g;
+  // Pre-swap so the late signal already sits on the fast pin.
+  g.c.nl->swap_input_nets(g.gate, 0, 1);
+  Sta sta(g.c.nl.get(), StaConfig{}, 0.22);
+  RestructureResult r = run_restructure(sta, *g.c.nl, RestructureConfig{});
+  EXPECT_EQ(r.swaps, 0);
+}
+
+TEST(Restructure, SkipsNonCommutativeKinds) {
+  TestCircuit c;
+  CellId ff_a = c.add(CellKind::Dff);
+  CellId ff_b = c.add(CellKind::Dff);
+  CellId ff_s = c.add(CellKind::Dff);
+  CellId mux = c.add(CellKind::Mux2);
+  CellId out = c.add(CellKind::Dff);
+  c.link(ff_a, {{mux, 0}});
+  c.link(ff_b, {{mux, 1}});
+  c.link(ff_s, {{mux, 2}});
+  c.link(mux, {{out, 0}});
+  c.nl->update_wire_parasitics();
+
+  Sta sta(c.nl.get(), StaConfig{}, 0.05);  // everything violates
+  RestructureResult r = run_restructure(sta, *c.nl, RestructureConfig{});
+  EXPECT_EQ(r.swaps, 0) << "MUX select/data pins are not interchangeable";
+}
+
+TEST(Restructure, RespectsBudget) {
+  // Many swappable gates; budget of 1 must stop after one swap.
+  TestCircuit c;
+  std::vector<CellId> gates;
+  for (int k = 0; k < 4; ++k) {
+    CellId ff_e = c.add(CellKind::Dff);
+    CellId ff_l = c.add(CellKind::Dff);
+    CellId gate = c.add(CellKind::Nand2);
+    CellId out = c.add(CellKind::Dff);
+    c.link(ff_e, {{gate, 0}});
+    CellId cur = ff_l;
+    for (int i = 0; i < 4; ++i) {
+      CellId buf = c.add(CellKind::Buf);
+      c.link(cur, {{buf, 0}});
+      cur = buf;
+    }
+    c.link(cur, {{gate, 1}});
+    c.link(gate, {{out, 0}});
+    gates.push_back(gate);
+  }
+  c.nl->update_wire_parasitics();
+  Sta sta(c.nl.get(), StaConfig{}, 0.2);
+  RestructureConfig cfg;
+  cfg.max_swaps = 1;
+  RestructureResult r = run_restructure(sta, *c.nl, cfg);
+  EXPECT_EQ(r.swaps, 1);
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,123 @@
+#include "opt/sizing.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+using testing::TestCircuit;
+
+// A weak driver with a heavy load: upsizing is clearly profitable.
+struct HeavyLoad {
+  TestCircuit c;
+  CellId ff_in, drv, ff_out;
+  std::vector<CellId> loads;
+
+  HeavyLoad() {
+    ff_in = c.add(CellKind::Dff);
+    drv = c.add(CellKind::Inv, 0);
+    ff_out = c.add(CellKind::Dff);
+    c.link(ff_in, {{drv, 0}});
+    NetId out = c.nl->add_net("heavy");
+    c.nl->set_driver(out, drv);
+    c.nl->add_sink(out, ff_out, 0);
+    for (int i = 0; i < 6; ++i) {
+      CellId ld = c.add(CellKind::Buf, 3);  // big input caps
+      loads.push_back(ld);
+      c.nl->add_sink(out, ld, 0);
+      NetId dangle = c.nl->add_net("d" + std::to_string(i));
+      c.nl->set_driver(dangle, ld);
+    }
+    c.nl->update_wire_parasitics();
+  }
+};
+
+TEST(Sizing, EstimateNegativeForProfitableUpsize) {
+  HeavyLoad h;
+  Sta sta(h.c.nl.get(), StaConfig{}, 0.2);
+  sta.run();
+  LibCellId up = h.c.lib->upsize(h.c.nl->cell(h.drv).lib);
+  ASSERT_TRUE(up.valid());
+  EXPECT_LT(estimate_resize_delta(sta, *h.c.nl, h.drv, up), 0.0);
+}
+
+TEST(Sizing, EstimatePositiveForDownsizeUnderLoad) {
+  HeavyLoad h;
+  h.c.nl->resize_cell(h.drv, h.c.lib->pick(CellKind::Inv, 3));
+  Sta sta(h.c.nl.get(), StaConfig{}, 0.2);
+  sta.run();
+  LibCellId dn = h.c.lib->downsize(h.c.nl->cell(h.drv).lib);
+  ASSERT_TRUE(dn.valid());
+  EXPECT_GT(estimate_resize_delta(sta, *h.c.nl, h.drv, dn), 0.0);
+}
+
+TEST(Sizing, UpsizesCriticalDriver) {
+  HeavyLoad h;
+  Sta sta(h.c.nl.get(), StaConfig{}, 0.2);
+  sta.run();
+  double before = sta.endpoint_slack(h.c.nl->cell(h.ff_out).inputs[0]);
+  ASSERT_LT(before, 0.0);
+
+  SizingConfig cfg;
+  cfg.max_upsize_moves = 10;
+  SizingResult r = run_sizing(sta, *h.c.nl, cfg);
+  EXPECT_GT(r.upsized, 0);
+  EXPECT_GT(sta.endpoint_slack(h.c.nl->cell(h.ff_out).inputs[0]), before);
+}
+
+TEST(Sizing, RespectsMoveBudget) {
+  GeneratorConfig gcfg;
+  gcfg.target_cells = 800;
+  gcfg.seed = 31;
+  gcfg.clock_tightness = 0.7;
+  Design d = generate_design(gcfg);
+  Sta sta = d.make_sta();
+
+  SizingConfig cfg;
+  cfg.max_upsize_moves = 5;
+  SizingResult r = run_sizing(sta, *d.netlist, cfg);
+  EXPECT_LE(r.upsized, 5);
+}
+
+TEST(Sizing, PowerRecoveryDownsizesOnlyComfortableCells) {
+  GeneratorConfig gcfg;
+  gcfg.target_cells = 600;
+  gcfg.seed = 33;
+  gcfg.clock_tightness = 0.95;  // mostly met -> room to recover
+  Design d = generate_design(gcfg);
+  Sta sta = d.make_sta();
+  sta.run();
+  double wns_before = sta.summary().wns;
+
+  SizingConfig cfg;
+  cfg.max_upsize_moves = 0;
+  cfg.max_downsize_moves = 100;
+  cfg.downsize_slack_margin = 0.1 * d.clock_period;
+  SizingResult r = run_sizing(sta, *d.netlist, cfg);
+  EXPECT_GT(r.downsized, 0);
+  // Downsizing must not create meaningfully worse WNS.
+  EXPECT_GE(sta.summary().wns, wns_before - 0.05 * d.clock_period);
+}
+
+TEST(Sizing, ImprovesGeneratedDesignTns) {
+  GeneratorConfig gcfg;
+  gcfg.target_cells = 800;
+  gcfg.seed = 35;
+  gcfg.clock_tightness = 0.75;
+  Design d = generate_design(gcfg);
+  Sta sta = d.make_sta();
+  sta.run();
+  double before = sta.summary().tns;
+  ASSERT_LT(before, 0.0);
+
+  SizingConfig cfg;
+  cfg.max_upsize_moves = 200;
+  run_sizing(sta, *d.netlist, cfg);
+  EXPECT_GT(sta.summary().tns, before);
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,120 @@
+#include "opt/useful_skew.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+using testing::Pipeline;
+using testing::SelfLoop;
+
+// An unbalanced two-stage pipeline: short front path into FF1, long mid path
+// into FF2. Skewing FF2's capture later (and/or FF1 earlier) balances slack.
+TEST(UsefulSkew, BalancesUnbalancedPipeline) {
+  Pipeline p(/*n_front=*/1, /*n_mid=*/10, /*n_back=*/1);
+  // Period chosen so the mid path violates but total slack is recoverable.
+  Sta sta(p.c.nl.get(), StaConfig{}, 0.45);
+  sta.run();
+  PinId d2 = p.c.nl->cell(p.ff2).inputs[0];
+  double before = sta.endpoint_slack(d2);
+  ASSERT_LT(before, 0.0) << "test premise: mid path must start violating";
+
+  UsefulSkewConfig cfg;
+  cfg.max_abs_skew = 0.15;
+  UsefulSkewResult r = run_useful_skew(sta, cfg);
+  EXPECT_GT(r.flops_adjusted, 0);
+  EXPECT_GT(sta.endpoint_slack(d2), before);
+  // The WNS of the whole design must improve.
+  EXPECT_GT(sta.summary().wns, before);
+}
+
+TEST(UsefulSkew, RespectsSkewBound) {
+  Pipeline p(1, 10, 1);
+  Sta sta(p.c.nl.get(), StaConfig{}, 0.45);
+  UsefulSkewConfig cfg;
+  cfg.max_abs_skew = 0.03;
+  run_useful_skew(sta, cfg);
+  for (CellId f : p.c.nl->sequential_cells()) {
+    EXPECT_LE(std::abs(sta.clock().adjustment(f)), cfg.max_abs_skew + 1e-9);
+  }
+}
+
+TEST(UsefulSkew, NeverBreaksHold) {
+  Pipeline p(1, 10, 1);
+  Sta sta(p.c.nl.get(), StaConfig{}, 0.45);
+  UsefulSkewConfig cfg;
+  cfg.max_abs_skew = 0.2;
+  cfg.hold_guard = 0.0;
+  run_useful_skew(sta, cfg);
+  sta.run();
+  EXPECT_GE(sta.summary().worst_hold_slack, -1e-9);
+}
+
+TEST(UsefulSkew, CannotFixSelfLoop) {
+  SelfLoop loop(8);
+  // Period below the loop delay: irreducibly negative.
+  Sta sta(loop.c.nl.get(), StaConfig{}, 0.2);
+  sta.run();
+  PinId d = loop.c.nl->cell(loop.ff).inputs[0];
+  double before = sta.endpoint_slack(d);
+  ASSERT_LT(before, 0.0);
+
+  UsefulSkewConfig cfg;
+  cfg.max_abs_skew = 0.5;
+  run_useful_skew(sta, cfg);
+  EXPECT_NEAR(sta.endpoint_slack(d), before, 1e-6)
+      << "skew must not change a self-loop's slack";
+}
+
+TEST(UsefulSkew, MarginAttractsExtraSkew) {
+  // With a margin pinned to an endpoint, the balancer over-fixes it: after
+  // removing the margin its real slack exceeds the no-margin balanced value.
+  auto balanced_slack = [](bool with_margin) {
+    Pipeline p(1, 10, 1);
+    Sta sta(p.c.nl.get(), StaConfig{}, 0.45);
+    sta.run();
+    PinId d2 = p.c.nl->cell(p.ff2).inputs[0];
+    if (with_margin) {
+      sta.margins()[d2] = 0.08;
+    }
+    UsefulSkewConfig cfg;
+    cfg.max_abs_skew = 0.15;
+    run_useful_skew(sta, cfg);
+    sta.clear_margins();
+    sta.run();
+    return sta.endpoint_slack(d2);
+  };
+  EXPECT_GT(balanced_slack(true), balanced_slack(false));
+}
+
+TEST(UsefulSkew, ImprovesGeneratedDesignTns) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 800;
+  cfg.seed = 21;
+  cfg.clock_tightness = 0.8;
+  Design d = generate_design(cfg);
+  Sta sta = d.make_sta();
+  sta.run();
+  double before = sta.summary().tns;
+  ASSERT_LT(before, 0.0);
+
+  UsefulSkewConfig skew_cfg;
+  skew_cfg.max_abs_skew = 0.1 * d.clock_period;
+  run_useful_skew(sta, skew_cfg);
+  EXPECT_GT(sta.summary().tns, before);
+}
+
+TEST(UsefulSkew, ConvergesWithinSweepLimit) {
+  Pipeline p(1, 10, 1);
+  Sta sta(p.c.nl.get(), StaConfig{}, 0.45);
+  UsefulSkewConfig cfg;
+  cfg.max_sweeps = 50;
+  UsefulSkewResult r = run_useful_skew(sta, cfg);
+  EXPECT_LT(r.sweeps, 50) << "balancer should converge before the cap";
+}
+
+}  // namespace
+}  // namespace rlccd

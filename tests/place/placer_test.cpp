@@ -1,0 +1,105 @@
+#include "place/placer.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed = 5) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 600;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Placer, DieScalesWithCellCount) {
+  Design small = generate_design(small_config());
+  GeneratorConfig big_cfg = small_config();
+  big_cfg.target_cells = 2400;
+  Design big = generate_design(big_cfg);
+  EXPECT_GT(big.die.width, small.die.width);
+}
+
+TEST(Placer, AllCellsInsideDie) {
+  Design d = generate_design(small_config());
+  for (const Cell& c : d.netlist->cells()) {
+    EXPECT_GE(c.x, 0.0);
+    EXPECT_GE(c.y, 0.0);
+    EXPECT_LE(c.x, d.die.width + 1e-9);
+    EXPECT_LE(c.y, d.die.height + 1e-9);
+  }
+}
+
+TEST(Placer, RefinementBeatsRandomPlacement) {
+  // Compare the force-directed result against a pure random seed (zero
+  // iterations): total HPWL must come down substantially.
+  GeneratorConfig cfg = small_config();
+  cfg.placer.iterations = 0;
+  Design random_placed = generate_design(cfg);
+  double random_hpwl = GlobalPlacer::total_hpwl(*random_placed.netlist);
+
+  cfg.placer.iterations = 30;
+  Design refined = generate_design(cfg);
+  double refined_hpwl = GlobalPlacer::total_hpwl(*refined.netlist);
+
+  EXPECT_LT(refined_hpwl, 0.7 * random_hpwl);
+}
+
+TEST(Placer, LegalizeSnapsToRowsWithoutOverlap) {
+  Design d = generate_design(small_config());
+  Netlist& nl = *d.netlist;
+  GlobalPlacer::legalize(nl, d.die);
+
+  const double pitch = d.die.row_height;
+  std::map<int, std::vector<double>> rows;
+  for (const Cell& c : nl.cells()) {
+    if (nl.is_port(c.id)) continue;
+    double row_pos = c.y / pitch - 0.5;
+    EXPECT_NEAR(row_pos, std::round(row_pos), 1e-6)
+        << "cell not on a row center";
+    rows[static_cast<int>(std::round(row_pos))].push_back(c.x);
+  }
+  for (auto& [row, xs] : rows) {
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      EXPECT_GE(xs[i] - xs[i - 1], pitch - 1e-6)
+          << "cells overlap in row " << row;
+    }
+  }
+}
+
+TEST(Placer, LegalizeIsIdempotentModuloPitch) {
+  Design d = generate_design(small_config());
+  Netlist& nl = *d.netlist;
+  GlobalPlacer::legalize(nl, d.die);
+  double second = GlobalPlacer::legalize(nl, d.die);
+  EXPECT_NEAR(second, 0.0, 1e-6);
+}
+
+TEST(Placer, UpdatesWireParasitics) {
+  Design d = generate_design(small_config());
+  // Every driven multi-terminal net with spread terminals has nonzero cap.
+  std::size_t with_cap = 0;
+  for (const Net& n : d.netlist->nets()) {
+    if (n.wire_cap > 0.0) ++with_cap;
+  }
+  EXPECT_GT(with_cap, d.netlist->num_nets() / 2);
+}
+
+TEST(Placer, PortsStayOnPeriphery) {
+  Design d = generate_design(small_config());
+  const Netlist& nl = *d.netlist;
+  for (CellId pi : nl.primary_inputs()) {
+    const Cell& c = nl.cell(pi);
+    bool on_edge = c.x < 1e-6 || c.y < 1e-6 ||
+                   std::abs(c.x - d.die.width) < 1e-6 ||
+                   std::abs(c.y - d.die.height) < 1e-6;
+    EXPECT_TRUE(on_edge) << "port " << c.name << " at " << c.x << "," << c.y;
+  }
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,126 @@
+#include "power/power.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+using testing::Pipeline;
+using testing::TestCircuit;
+
+TEST(Activity, BufferPassesToggleThrough) {
+  TestCircuit c;
+  CellId pi = c.add(CellKind::Input);
+  CellId buf = c.add(CellKind::Buf);
+  CellId inv = c.add(CellKind::Inv);
+  NetId n0 = c.link(pi, {{buf, 0}});
+  NetId n1 = c.link(buf, {{inv, 0}});
+  NetId n2 = c.nl->add_net("out");
+  c.nl->set_driver(n2, inv);
+
+  SwitchingActivity act =
+      propagate_activity(*c.nl, ActivityConfig{}, {0.4});
+  EXPECT_DOUBLE_EQ(act.toggle(n0), 0.4);
+  EXPECT_DOUBLE_EQ(act.toggle(n1), 0.4);
+  EXPECT_DOUBLE_EQ(act.toggle(n2), 0.4);
+}
+
+TEST(Activity, AndGateAttenuates) {
+  TestCircuit c;
+  CellId p1 = c.add(CellKind::Input);
+  CellId p2 = c.add(CellKind::Input);
+  CellId g = c.add(CellKind::And2);
+  c.link(p1, {{g, 0}});
+  c.link(p2, {{g, 1}});
+  NetId out = c.nl->add_net("out");
+  c.nl->set_driver(out, g);
+
+  SwitchingActivity act =
+      propagate_activity(*c.nl, ActivityConfig{}, {0.4, 0.4});
+  EXPECT_LT(act.toggle(out), 0.4);
+  EXPECT_GT(act.toggle(out), 0.0);
+}
+
+TEST(Activity, FlopDampsItsInput) {
+  TestCircuit c;
+  CellId pi = c.add(CellKind::Input);
+  CellId ff = c.add(CellKind::Dff);
+  c.link(pi, {{ff, 0}});
+  NetId q = c.nl->add_net("q");
+  c.nl->set_driver(q, ff);
+
+  ActivityConfig cfg;
+  SwitchingActivity act = propagate_activity(*c.nl, ActivityConfig{}, {0.8});
+  EXPECT_NEAR(act.toggle(q), cfg.flop_damping * 0.8 + cfg.flop_floor, 1e-9);
+}
+
+TEST(Activity, TogglesStayInUnitRange) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 500;
+  cfg.seed = 3;
+  Design d = generate_design(cfg);
+  for (double t : d.activity.net_toggle) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+TEST(Power, ComponentsAreNonNegativeAndSumToTotal) {
+  Pipeline p;
+  SwitchingActivity act = propagate_activity(*p.c.nl, ActivityConfig{});
+  PowerReport r = compute_power(*p.c.nl, act);
+  EXPECT_GT(r.leakage, 0.0);
+  EXPECT_GE(r.internal, 0.0);
+  EXPECT_GE(r.switching, 0.0);
+  EXPECT_DOUBLE_EQ(r.total(), r.leakage + r.internal + r.switching);
+}
+
+TEST(Power, UpsizingIncreasesLeakage) {
+  Pipeline p;
+  SwitchingActivity act = propagate_activity(*p.c.nl, ActivityConfig{});
+  PowerReport before = compute_power(*p.c.nl, act);
+  for (CellId buf : p.mid_bufs) {
+    LibCellId up = p.c.lib->upsize(p.c.nl->cell(buf).lib);
+    if (up.valid()) p.c.nl->resize_cell(buf, up);
+  }
+  PowerReport after = compute_power(*p.c.nl, act);
+  EXPECT_GT(after.leakage, before.leakage);
+}
+
+TEST(Power, CellPowerMatchesAggregate) {
+  Pipeline p;
+  SwitchingActivity act = propagate_activity(*p.c.nl, ActivityConfig{});
+  PowerReport total = compute_power(*p.c.nl, act);
+  double leak = 0.0, internal = 0.0, sw = 0.0;
+  for (const Cell& c : p.c.nl->cells()) {
+    if (p.c.nl->is_port(c.id)) continue;
+    CellPower cp = compute_cell_power(*p.c.nl, act, c.id);
+    leak += cp.leakage;
+    internal += cp.internal;
+    sw += cp.net_switching;
+  }
+  EXPECT_NEAR(total.leakage, leak, 1e-12);
+  EXPECT_NEAR(total.internal, internal, 1e-12);
+  EXPECT_NEAR(total.switching, sw, 1e-12);
+}
+
+TEST(Power, HigherActivityMeansMoreDynamicPower) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 400;
+  cfg.seed = 9;
+  cfg.pi_toggle = 0.1;
+  Design quiet = generate_design(cfg);
+  PowerReport quiet_p = compute_power(*quiet.netlist, quiet.activity);
+
+  cfg.pi_toggle = 0.8;
+  Design busy = generate_design(cfg);
+  PowerReport busy_p = compute_power(*busy.netlist, busy.activity);
+  EXPECT_GT(busy_p.internal + busy_p.switching,
+            quiet_p.internal + quiet_p.switching);
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,49 @@
+#include "rl/design_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace rlccd {
+namespace {
+
+Design small_design(std::uint64_t seed = 71) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 500;
+  cfg.seed = seed;
+  cfg.clock_tightness = 0.75;
+  return generate_design(cfg);
+}
+
+TEST(DesignGraph, CollectsViolatingEndpointsWithSlacks) {
+  Design d = small_design();
+  DesignGraph g(d);
+  EXPECT_GT(g.num_endpoints(), 0u);
+  EXPECT_EQ(g.endpoint_slacks().size(), g.num_endpoints());
+  for (double s : g.endpoint_slacks()) EXPECT_LT(s, 0.0);
+  EXPECT_LT(g.begin_tns(), 0.0);
+}
+
+TEST(DesignGraph, ArtifactShapesAgree) {
+  Design d = small_design();
+  DesignGraph g(d);
+  EXPECT_EQ(g.cones().size(), g.num_endpoints());
+  EXPECT_EQ(g.cone_matrix().matrix.rows, g.num_endpoints());
+  EXPECT_EQ(g.cone_matrix().matrix.cols, d.netlist->num_cells());
+  EXPECT_EQ(g.adjacency().matrix.rows, d.netlist->num_cells());
+  EXPECT_EQ(g.endpoint_rows().size(), g.num_endpoints());
+}
+
+TEST(DesignGraph, FeaturesWithMaskAreFreshCopies) {
+  Design d = small_design();
+  DesignGraph g(d);
+  std::vector<char> none(d.netlist->num_cells(), 0);
+  std::vector<char> all(d.netlist->num_cells(), 1);
+  Tensor a = g.features_with_mask(none);
+  Tensor b = g.features_with_mask(all);
+  EXPECT_FLOAT_EQ(a.at(0, kMaskedFeature), 0.0f);
+  EXPECT_FLOAT_EQ(b.at(0, kMaskedFeature), 1.0f);
+  // a unaffected by b's mask (independent storage).
+  EXPECT_FLOAT_EQ(a.at(0, kMaskedFeature), 0.0f);
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,44 @@
+#include "sta/clock_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace rlccd {
+namespace {
+
+TEST(ClockSchedule, DefaultsToZeroAdjustment) {
+  ClockSchedule clk(1.0);
+  EXPECT_DOUBLE_EQ(clk.adjustment(CellId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(clk.adjustment(CellId(12345)), 0.0);
+  EXPECT_DOUBLE_EQ(clk.period(), 1.0);
+}
+
+TEST(ClockSchedule, StoresSparseAdjustments) {
+  ClockSchedule clk(0.8);
+  clk.set_adjustment(CellId(7), 0.05);
+  clk.set_adjustment(CellId(100), -0.02);
+  EXPECT_DOUBLE_EQ(clk.adjustment(CellId(7)), 0.05);
+  EXPECT_DOUBLE_EQ(clk.adjustment(CellId(100)), -0.02);
+  EXPECT_DOUBLE_EQ(clk.adjustment(CellId(50)), 0.0);
+}
+
+TEST(ClockSchedule, NonzeroAdjustmentsCollectsExactlyTheSetOnes) {
+  ClockSchedule clk(1.0);
+  clk.set_adjustment(CellId(1), 0.1);
+  clk.set_adjustment(CellId(2), 0.0);  // explicit zero is not "adjusted"
+  clk.set_adjustment(CellId(3), -0.3);
+  std::vector<double> nz = clk.nonzero_adjustments();
+  ASSERT_EQ(nz.size(), 2u);
+  EXPECT_DOUBLE_EQ(nz[0], 0.1);
+  EXPECT_DOUBLE_EQ(nz[1], -0.3);
+}
+
+TEST(ClockSchedule, ClearResetsEverything) {
+  ClockSchedule clk(1.0);
+  clk.set_adjustment(CellId(4), 0.2);
+  clk.clear();
+  EXPECT_DOUBLE_EQ(clk.adjustment(CellId(4)), 0.0);
+  EXPECT_TRUE(clk.nonzero_adjustments().empty());
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,105 @@
+#include "sta/cone.h"
+
+#include <gtest/gtest.h>
+
+#include "sta/sta.h"
+
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+using testing::Pipeline;
+using testing::TestCircuit;
+
+TEST(Cone, TracesCombinationalCellsOnly) {
+  Pipeline p(/*n_front=*/2, /*n_mid=*/3, /*n_back=*/1);
+  const Netlist& nl = *p.c.nl;
+  PinId d2 = nl.cell(p.ff2).inputs[0];
+  FanInCone cone = trace_fanin_cone(nl, d2);
+  // The mid chain has 3 buffers; tracing stops at FF1 (startpoint).
+  EXPECT_EQ(cone.size(), 3u);
+  for (CellId cell : cone) {
+    EXPECT_FALSE(nl.is_sequential(cell));
+    EXPECT_FALSE(nl.is_port(cell));
+  }
+}
+
+TEST(Cone, StopsAtStartpoints) {
+  Pipeline p(/*n_front=*/4, /*n_mid=*/2, /*n_back=*/0);
+  const Netlist& nl = *p.c.nl;
+  // FF2's cone must not leak past FF1 into the front chain.
+  FanInCone cone = trace_fanin_cone(nl, nl.cell(p.ff2).inputs[0]);
+  EXPECT_EQ(cone.size(), 2u);
+  // FF1's cone is the front chain.
+  FanInCone front = trace_fanin_cone(nl, nl.cell(p.ff1).inputs[0]);
+  EXPECT_EQ(front.size(), 4u);
+  // The two cones are disjoint.
+  EXPECT_DOUBLE_EQ(cone_overlap_ratio(cone, front), 0.0);
+}
+
+TEST(Cone, OverlapRatioMatchesFigureThreeDefinition) {
+  // Build two endpoints with a shared sub-cone:
+  //   shared chain S (2 cells) feeds both AND gates a and b.
+  TestCircuit c;
+  CellId ff_src = c.add(CellKind::Dff);
+  CellId s1 = c.add(CellKind::Buf);
+  CellId s2 = c.add(CellKind::Buf);
+  CellId a = c.add(CellKind::And2);
+  CellId b = c.add(CellKind::And2);
+  CellId ff_a = c.add(CellKind::Dff);
+  CellId ff_b = c.add(CellKind::Dff);
+  CellId pi = c.add(CellKind::Input);
+
+  c.link(ff_src, {{s1, 0}});
+  c.link(s1, {{s2, 0}});
+  c.link(s2, {{a, 0}, {b, 0}});
+  c.link(pi, {{a, 1}, {b, 1}});
+  c.link(a, {{ff_a, 0}});
+  c.link(b, {{ff_b, 0}});
+  c.nl->validate();
+
+  FanInCone cone_a = trace_fanin_cone(*c.nl, c.nl->cell(ff_a).inputs[0]);
+  FanInCone cone_b = trace_fanin_cone(*c.nl, c.nl->cell(ff_b).inputs[0]);
+  ASSERT_EQ(cone_a.size(), 3u);  // s1, s2, a
+  ASSERT_EQ(cone_b.size(), 3u);  // s1, s2, b
+  // overlap = |{s1,s2}| / |{s1,s2,a,b}| = 2/4.
+  EXPECT_DOUBLE_EQ(cone_overlap_ratio(cone_a, cone_b), 0.5);
+}
+
+TEST(Cone, OverlapIsSymmetricAndBounded) {
+  Pipeline p;
+  const Netlist& nl = *p.c.nl;
+  FanInCone a = trace_fanin_cone(nl, nl.cell(p.ff1).inputs[0]);
+  FanInCone b = trace_fanin_cone(nl, nl.cell(p.ff2).inputs[0]);
+  EXPECT_DOUBLE_EQ(cone_overlap_ratio(a, b), cone_overlap_ratio(b, a));
+  EXPECT_DOUBLE_EQ(cone_overlap_ratio(a, a), 1.0);
+  EXPECT_GE(cone_overlap_ratio(a, b), 0.0);
+  EXPECT_LE(cone_overlap_ratio(a, b), 1.0);
+}
+
+TEST(Cone, EmptyConesOverlapZero) {
+  TestCircuit c;
+  CellId ff1 = c.add(CellKind::Dff);
+  CellId ff2 = c.add(CellKind::Dff);
+  c.link(ff1, {{ff2, 0}});  // direct flop-to-flop: empty cone
+  FanInCone cone = trace_fanin_cone(*c.nl, c.nl->cell(ff2).inputs[0]);
+  EXPECT_TRUE(cone.empty());
+  EXPECT_DOUBLE_EQ(cone_overlap_ratio(cone, cone), 0.0);
+}
+
+TEST(ConeIndex, PrecomputesAllEndpointCones) {
+  Pipeline p;
+  const Netlist& nl = *p.c.nl;
+  Sta sta(p.c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  std::vector<PinId> eps(sta.endpoints().begin(), sta.endpoints().end());
+  ConeIndex index(nl, eps);
+  EXPECT_EQ(index.size(), 3u);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    EXPECT_EQ(index.cone(i), trace_fanin_cone(nl, eps[i]));
+  }
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,89 @@
+#include "sta/path.h"
+
+#include <gtest/gtest.h>
+
+#include "designgen/generator.h"
+#include "helpers/test_circuits.h"
+
+namespace rlccd {
+namespace {
+
+using testing::Pipeline;
+
+TEST(Path, TracesChainFromLaunchFlop) {
+  Pipeline p(/*n_front=*/1, /*n_mid=*/4, /*n_back=*/1);
+  Sta sta(p.c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  PinId d2 = p.c.nl->cell(p.ff2).inputs[0];
+  TimingPath path = extract_critical_path(sta, d2);
+
+  EXPECT_EQ(path.endpoint, d2);
+  EXPECT_EQ(path.startpoint, p.ff1);
+  // FF1.Q + 4 buffers x (in,out) + FF2.D = 1 + 8 + 1 pins.
+  EXPECT_EQ(path.steps.size(), 10u);
+  EXPECT_EQ(path.steps.front().pin, p.c.nl->cell(p.ff1).output);
+  EXPECT_EQ(path.steps.back().pin, d2);
+}
+
+TEST(Path, ArrivalsAreMonotoneAndIncrementsSum) {
+  Pipeline p(1, 6, 1);
+  Sta sta(p.c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  TimingPath path = extract_worst_path(sta);
+  ASSERT_GE(path.steps.size(), 2u);
+  double sum = path.steps.front().arrival;
+  for (std::size_t i = 1; i < path.steps.size(); ++i) {
+    EXPECT_GE(path.steps[i].arrival, path.steps[i - 1].arrival - 1e-12);
+    sum += path.steps[i].incr;
+  }
+  EXPECT_NEAR(sum, path.steps.back().arrival, 1e-6);
+}
+
+TEST(Path, WorstPathMatchesWnsEndpoint) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 500;
+  cfg.seed = 141;
+  cfg.clock_tightness = 0.75;
+  Design d = generate_design(cfg);
+  Sta sta = d.make_sta();
+  sta.run();
+  TimingPath path = extract_worst_path(sta);
+  EXPECT_NEAR(path.slack, sta.summary().wns, 1e-9);
+  EXPECT_TRUE(path.startpoint.valid());
+}
+
+TEST(Path, ReportMentionsEndpointAndSlack) {
+  Pipeline p(1, 3, 1);
+  Sta sta(p.c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  TimingPath path =
+      extract_critical_path(sta, p.c.nl->cell(p.ff2).inputs[0]);
+  std::string report = path_to_string(*p.c.nl, path);
+  EXPECT_NE(report.find("slack"), std::string::npos);
+  EXPECT_NE(report.find(p.c.nl->cell(p.ff2).name), std::string::npos);
+  EXPECT_NE(report.find(p.c.nl->cell(p.ff1).name), std::string::npos);
+}
+
+TEST(Path, GeneratedDesignPathsRespectArcRecomputation) {
+  GeneratorConfig cfg;
+  cfg.target_cells = 600;
+  cfg.seed = 143;
+  Design d = generate_design(cfg);
+  Sta sta = d.make_sta();
+  sta.run();
+  // Check the five worst endpoints: each extracted path must start at a
+  // startpoint and end at the endpoint with consistent increments.
+  std::vector<PinId> vio = sta.violating_endpoints();
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, vio.size()); ++i) {
+    TimingPath path = extract_critical_path(sta, vio[i]);
+    ASSERT_GE(path.steps.size(), 2u);
+    double sum = path.steps.front().arrival;
+    for (std::size_t s = 1; s < path.steps.size(); ++s) {
+      sum += path.steps[s].incr;
+    }
+    EXPECT_NEAR(sum, sta.timing(vio[i]).arrival_max, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,130 @@
+// STA edge cases: degenerate netlists the optimizer passes can produce.
+#include <gtest/gtest.h>
+
+#include "helpers/test_circuits.h"
+#include "sta/sta.h"
+
+namespace rlccd {
+namespace {
+
+using testing::TestCircuit;
+
+TEST(StaEdge, EmptyNetlist) {
+  TestCircuit c;
+  Sta sta(c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  TimingSummary s = sta.summary();
+  EXPECT_EQ(s.num_endpoints, 0u);
+  EXPECT_EQ(s.tns, 0.0);
+}
+
+TEST(StaEdge, PurelyCombinationalDesign) {
+  TestCircuit c;
+  CellId pi = c.add(CellKind::Input);
+  CellId inv = c.add(CellKind::Inv);
+  CellId po = c.add(CellKind::Output);
+  c.link(pi, {{inv, 0}});
+  c.link(inv, {{po, 0}});
+  c.nl->update_wire_parasitics();
+  Sta sta(c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  EXPECT_EQ(sta.summary().num_endpoints, 1u);  // the PO
+  EXPECT_GT(sta.endpoint_slack(c.nl->cell(po).inputs[0]), 0.0);
+}
+
+TEST(StaEdge, DanglingCombOutputIsHarmless) {
+  TestCircuit c;
+  CellId pi = c.add(CellKind::Input);
+  CellId inv = c.add(CellKind::Inv);
+  c.link(pi, {{inv, 0}});
+  // inv's output drives nothing (not even a net).
+  Sta sta(c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  EXPECT_EQ(sta.summary().nve, 0u);
+  EXPECT_TRUE(sta.timing(c.nl->cell(inv).output).reachable);
+}
+
+TEST(StaEdge, FlopWithUnconnectedClockStillTimed) {
+  // Our clock model is ideal (schedule-driven), so CK connectivity is
+  // optional; the flop must still launch and capture.
+  TestCircuit c;
+  CellId ff1 = c.add(CellKind::Dff);
+  CellId ff2 = c.add(CellKind::Dff);
+  c.link(ff1, {{ff2, 0}});
+  c.nl->update_wire_parasitics();
+  Sta sta(c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  EXPECT_TRUE(sta.timing(c.nl->cell(ff2).inputs[0]).reachable);
+  EXPECT_LT(sta.endpoint_slack(c.nl->cell(ff2).inputs[0]), 1.0);
+}
+
+TEST(StaEdge, ReconvergentFanoutTakesWorstArrival) {
+  // PI -> (short branch | long branch) -> AND: arrival at the AND output
+  // must reflect the long branch.
+  TestCircuit c;
+  CellId ff = c.add(CellKind::Dff);
+  CellId gate = c.add(CellKind::And2);
+  CellId b1 = c.add(CellKind::Buf);
+  CellId b2 = c.add(CellKind::Buf);
+  CellId b3 = c.add(CellKind::Buf);
+  CellId out_ff = c.add(CellKind::Dff);
+  NetId src = c.link(ff, {{gate, 0}, {b1, 0}});
+  c.link(b1, {{b2, 0}});
+  c.link(b2, {{b3, 0}});
+  c.link(b3, {{gate, 1}});
+  c.link(gate, {{out_ff, 0}});
+  c.nl->update_wire_parasitics();
+  (void)src;
+
+  Sta sta(c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  const PinTiming& in0 = sta.timing(c.nl->cell(gate).inputs[0]);
+  const PinTiming& in1 = sta.timing(c.nl->cell(gate).inputs[1]);
+  EXPECT_GT(in1.arrival_max, in0.arrival_max);
+  // min arrival at the output follows the short branch, max the long one.
+  const PinTiming& out = sta.timing(c.nl->cell(gate).output);
+  EXPECT_GT(out.arrival_max, out.arrival_min);
+}
+
+TEST(StaEdge, NegativeAdjustmentAdvancesCapture) {
+  TestCircuit c;
+  CellId ff1 = c.add(CellKind::Dff);
+  CellId ff2 = c.add(CellKind::Dff);
+  c.link(ff1, {{ff2, 0}});
+  c.nl->update_wire_parasitics();
+  Sta sta(c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  PinId d = c.nl->cell(ff2).inputs[0];
+  double base_setup = sta.endpoint_slack(d);
+  double base_hold = sta.endpoint_hold_slack(d);
+
+  sta.clock().set_adjustment(ff2, -0.05);
+  sta.run();
+  EXPECT_NEAR(sta.endpoint_slack(d), base_setup - 0.05, 1e-9);
+  EXPECT_NEAR(sta.endpoint_hold_slack(d), base_hold + 0.05, 1e-9);
+}
+
+TEST(StaEdge, MultipleMarginsAreIndependent) {
+  TestCircuit c;
+  CellId ff1 = c.add(CellKind::Dff);
+  CellId ff2 = c.add(CellKind::Dff);
+  CellId ff3 = c.add(CellKind::Dff);
+  c.link(ff1, {{ff2, 0}});
+  c.link(ff2, {{ff3, 0}});
+  c.nl->update_wire_parasitics();
+  Sta sta(c.nl.get(), StaConfig{}, 1.0);
+  sta.run();
+  PinId d2 = c.nl->cell(ff2).inputs[0];
+  PinId d3 = c.nl->cell(ff3).inputs[0];
+  double s2 = sta.endpoint_slack(d2);
+  double s3 = sta.endpoint_slack(d3);
+
+  sta.margins()[d2] = 0.1;
+  sta.margins()[d3] = 0.2;
+  sta.run();
+  EXPECT_NEAR(sta.endpoint_slack(d2), s2 - 0.1, 1e-9);
+  EXPECT_NEAR(sta.endpoint_slack(d3), s3 - 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace rlccd

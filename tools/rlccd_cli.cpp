@@ -1,0 +1,183 @@
+// rlccd_cli — command-line driver for the library.
+//
+//   rlccd_cli generate <block|cells> [--scale S] [--seed N] [--out FILE]
+//   rlccd_cli sta      <block> [--scale S]          # timing report
+//   rlccd_cli flow     <block> [--scale S]          # default placement flow
+//   rlccd_cli train    <block> [--scale S] [--iters N] [--workers N]
+//                      [--rho R] [--gnn-in FILE] [--gnn-out FILE]
+//
+// Blocks are the paper's Table-II names (block1..block19); a plain number
+// generates an anonymous design with that many cells.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.h"
+#include "core/rlccd.h"
+#include "designgen/blocks.h"
+#include "netlist/serialize.h"
+#include "netlist/stats.h"
+#include "sta/path.h"
+
+using namespace rlccd;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string target;
+  double scale = 0.01;
+  std::uint64_t seed = 1;
+  int iters = 8;
+  int workers = 6;
+  double rho = 0.3;
+  std::string out;
+  std::string gnn_in;
+  std::string gnn_out;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  if (argc < 3) return false;
+  args.command = argv[1];
+  args.target = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--scale" && (v = next())) {
+      args.scale = std::atof(v);
+    } else if (flag == "--seed" && (v = next())) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--iters" && (v = next())) {
+      args.iters = std::atoi(v);
+    } else if (flag == "--workers" && (v = next())) {
+      args.workers = std::atoi(v);
+    } else if (flag == "--rho" && (v = next())) {
+      args.rho = std::atof(v);
+    } else if (flag == "--out" && (v = next())) {
+      args.out = v;
+    } else if (flag == "--gnn-in" && (v = next())) {
+      args.gnn_in = v;
+    } else if (flag == "--gnn-out" && (v = next())) {
+      args.gnn_out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Design make_design(const Args& args) {
+  char* end = nullptr;
+  long cells = std::strtol(args.target.c_str(), &end, 10);
+  if (end != args.target.c_str() && *end == '\0' && cells > 0) {
+    GeneratorConfig cfg;
+    cfg.name = "cli";
+    cfg.target_cells = static_cast<std::size_t>(cells);
+    cfg.seed = args.seed;
+    return generate_design(cfg);
+  }
+  GeneratorConfig cfg = to_generator_config(find_block(args.target),
+                                            args.scale);
+  if (args.seed != 1) cfg.seed = args.seed;
+  return generate_design(cfg);
+}
+
+int cmd_generate(const Args& args) {
+  Design d = make_design(args);
+  std::printf("%s: %s\n", d.name.c_str(),
+              stats_to_string(compute_stats(*d.netlist)).c_str());
+  std::printf("period %.3f ns, die %.0f x %.0f um\n", d.clock_period,
+              d.die.width, d.die.height);
+  if (!args.out.empty()) {
+    if (!write_netlist_file(*d.netlist, args.out)) {
+      std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+      return 1;
+    }
+    std::printf("netlist written to %s\n", args.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_sta(const Args& args) {
+  Design d = make_design(args);
+  Sta sta = d.make_sta();
+  sta.run();
+  TimingSummary s = sta.summary();
+  std::printf("%s @ %.3f ns: WNS %.3f  TNS %.2f  NVE %zu/%zu\n",
+              d.name.c_str(), d.clock_period, s.wns, s.tns, s.nve,
+              s.num_endpoints);
+  TimingPath worst = extract_worst_path(sta);
+  if (worst.endpoint.valid()) {
+    std::fputs(path_to_string(*d.netlist, worst).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_flow(const Args& args) {
+  Design d = make_design(args);
+  Netlist work = *d.netlist;
+  FlowConfig cfg =
+      default_flow_config(work.num_real_cells(), d.clock_period);
+  FlowResult r = run_placement_flow(work, d.sta_config, d.clock_period,
+                                    d.die, d.pi_toggles, cfg, {});
+  std::printf("begin : WNS %.3f  TNS %.2f  NVE %zu  power %.2f mW\n",
+              r.begin.wns, r.begin.tns, r.begin.nve, r.power_begin.total());
+  std::printf("final : WNS %.3f  TNS %.2f  NVE %zu  power %.2f mW\n",
+              r.final_.wns, r.final_.tns, r.final_.nve,
+              r.power_final.total());
+  std::printf("moves : %d upsized, %d downsized, %d buffers, %d swaps "
+              "(%.2f s)\n",
+              r.cells_upsized, r.cells_downsized, r.buffers_inserted,
+              r.pins_swapped, r.runtime_sec);
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  Design d = make_design(args);
+  RlCcdConfig cfg = RlCcdConfig::for_design(d);
+  cfg.train.max_iterations = args.iters;
+  cfg.train.workers = args.workers;
+  cfg.train.overlap_threshold = args.rho;
+  cfg.pretrained_gnn = args.gnn_in;
+  RlCcd agent(&d, cfg);
+  RlCcdResult r = agent.run();
+  std::printf("default: TNS %.3f  NVE %zu\n", r.default_flow.final_.tns,
+              r.default_flow.final_.nve);
+  std::printf("RL-CCD : TNS %.3f  NVE %zu  (|sel| %zu, %.1f%% TNS gain, "
+              "%.1f%% NVE gain, runtime x%.0f)\n",
+              r.rl_flow.final_.tns, r.rl_flow.final_.nve, r.selection.size(),
+              r.tns_gain_pct(), r.nve_gain_pct(), r.runtime_factor);
+  if (!args.gnn_out.empty()) {
+    if (!agent.save_gnn(args.gnn_out)) {
+      std::fprintf(stderr, "cannot write %s\n", args.gnn_out.c_str());
+      return 1;
+    }
+    std::printf("EP-GNN weights written to %s\n", args.gnn_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Warn);
+  Args args;
+  if (!parse(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: rlccd_cli <generate|sta|flow|train> <block|cells> "
+                 "[--scale S] [--seed N] [--iters N] [--workers N] [--rho R] "
+                 "[--out FILE] [--gnn-in FILE] [--gnn-out FILE]\n");
+    return 2;
+  }
+  if (args.command == "generate") return cmd_generate(args);
+  if (args.command == "sta") return cmd_sta(args);
+  if (args.command == "flow") return cmd_flow(args);
+  if (args.command == "train") return cmd_train(args);
+  std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+  return 2;
+}

@@ -1,0 +1,97 @@
+// Developer smoke test: generates a block, runs the default flow and two
+// naive prioritization strategies, prints summaries. Not installed; used to
+// calibrate the substrate while developing.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "designgen/blocks.h"
+#include "designgen/generator.h"
+#include "opt/flow.h"
+
+using namespace rlccd;
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Info);
+  std::string block_name = argc > 1 ? argv[1] : "block11";
+  double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+
+  Design design = generate_design(
+      to_generator_config(find_block(block_name), scale));
+  Netlist& nl = *design.netlist;
+  std::printf("design %s: %zu cells, period %.3f ns, die %.0f um\n",
+              design.name.c_str(), nl.num_real_cells(), design.clock_period,
+              design.die.width);
+
+  Sta sta0 = design.make_sta();
+  sta0.run();
+  TimingSummary begin = sta0.summary();
+  std::printf("begin: WNS %.3f TNS %.2f NVE %zu / %zu endpoints\n",
+              begin.wns, begin.tns, begin.nve, begin.num_endpoints);
+
+  FlowConfig cfg = default_flow_config(nl.num_real_cells(),
+                                       design.clock_period);
+  auto run_with = [&](const char* tag, std::span<const PinId> prio) {
+    Netlist work = nl;  // pristine copy per run
+    FlowResult r = run_placement_flow(work, design.sta_config,
+                                      design.clock_period, design.die,
+                                      design.pi_toggles, cfg, prio);
+    std::printf(
+        "%-12s final WNS %.3f TNS %8.2f NVE %4zu | after_skew TNS %8.2f | "
+        "power %.2f->%.2f mW | up %d dn %d buf %d swap %d | %.2fs\n",
+        tag, r.final_.wns, r.final_.tns, r.final_.nve, r.after_skew.tns,
+        r.power_begin.total(), r.power_final.total(), r.cells_upsized,
+        r.cells_downsized, r.buffers_inserted, r.pins_swapped, r.runtime_sec);
+    return r;
+  };
+
+  run_with("default", {});
+
+  // Worst-slack-k prioritization.
+  std::vector<PinId> vio = sta0.violating_endpoints();
+  std::sort(vio.begin(), vio.end(), [&](PinId a, PinId b) {
+    return sta0.endpoint_slack(a) < sta0.endpoint_slack(b);
+  });
+  std::vector<PinId> worst(vio.begin(),
+                           vio.begin() + std::min<std::size_t>(vio.size(),
+                                                               vio.size() / 3));
+  run_with("worst-k", worst);
+
+  // Random-k prioritization.
+  Rng rng(7);
+  std::vector<PinId> shuffled = vio;
+  rng.shuffle(shuffled);
+  std::vector<PinId> randk(
+      shuffled.begin(),
+      shuffled.begin() + std::min<std::size_t>(shuffled.size(),
+                                               shuffled.size() / 3));
+  run_with("random-k", randk);
+
+  // All violating endpoints.
+  run_with("all-vio", vio);
+
+  // Random search: does a good selection exist at all?
+  int trials = argc > 3 ? std::atoi(argv[3]) : 0;
+  double best_tns = -1e30;
+  std::vector<PinId> best_sel;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<PinId> sel;
+    double keep = rng.uniform(0.05, 0.6);
+    for (PinId ep : vio) {
+      if (rng.uniform() < keep) sel.push_back(ep);
+    }
+    Netlist work = nl;
+    FlowResult r = run_placement_flow(work, design.sta_config,
+                                      design.clock_period, design.die,
+                                      design.pi_toggles, cfg, sel);
+    if (r.final_.tns > best_tns) {
+      best_tns = r.final_.tns;
+      best_sel = sel;
+      std::printf("  trial %3d: TNS %8.3f (|sel|=%zu) <-- new best\n", i,
+                  r.final_.tns, sel.size());
+    }
+  }
+  return 0;
+}
