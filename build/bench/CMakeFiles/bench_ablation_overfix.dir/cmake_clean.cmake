@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_overfix.dir/bench_ablation_overfix.cpp.o"
+  "CMakeFiles/bench_ablation_overfix.dir/bench_ablation_overfix.cpp.o.d"
+  "bench_ablation_overfix"
+  "bench_ablation_overfix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overfix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clock_network.dir/bench_clock_network.cpp.o"
+  "CMakeFiles/bench_clock_network.dir/bench_clock_network.cpp.o.d"
+  "bench_clock_network"
+  "bench_clock_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clock_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

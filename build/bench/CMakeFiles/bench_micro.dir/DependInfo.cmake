@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro.cpp" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_micro.dir/bench_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rlccd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/rlccd_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/rlccd_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rlccd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/rlccd_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/designgen/CMakeFiles/rlccd_designgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/rlccd_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rlccd_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/rlccd_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rlccd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rlccd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_rlccd.dir/train_rlccd.cpp.o"
+  "CMakeFiles/train_rlccd.dir/train_rlccd.cpp.o.d"
+  "train_rlccd"
+  "train_rlccd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_rlccd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

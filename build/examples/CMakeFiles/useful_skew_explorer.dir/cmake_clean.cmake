@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/useful_skew_explorer.dir/useful_skew_explorer.cpp.o"
+  "CMakeFiles/useful_skew_explorer.dir/useful_skew_explorer.cpp.o.d"
+  "useful_skew_explorer"
+  "useful_skew_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/useful_skew_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("netlist")
+subdirs("sta")
+subdirs("place")
+subdirs("power")
+subdirs("designgen")
+subdirs("opt")
+subdirs("cts")
+subdirs("nn")
+subdirs("gnn")
+subdirs("rl")
+subdirs("core")

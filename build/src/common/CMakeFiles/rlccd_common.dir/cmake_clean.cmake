@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_common.dir/env.cpp.o"
+  "CMakeFiles/rlccd_common.dir/env.cpp.o.d"
+  "CMakeFiles/rlccd_common.dir/log.cpp.o"
+  "CMakeFiles/rlccd_common.dir/log.cpp.o.d"
+  "CMakeFiles/rlccd_common.dir/rng.cpp.o"
+  "CMakeFiles/rlccd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rlccd_common.dir/table.cpp.o"
+  "CMakeFiles/rlccd_common.dir/table.cpp.o.d"
+  "librlccd_common.a"
+  "librlccd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_core.dir/rlccd.cpp.o"
+  "CMakeFiles/rlccd_core.dir/rlccd.cpp.o.d"
+  "CMakeFiles/rlccd_core.dir/selectors.cpp.o"
+  "CMakeFiles/rlccd_core.dir/selectors.cpp.o.d"
+  "librlccd_core.a"
+  "librlccd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_cts.dir/clock_tree.cpp.o"
+  "CMakeFiles/rlccd_cts.dir/clock_tree.cpp.o.d"
+  "librlccd_cts.a"
+  "librlccd_cts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_cts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

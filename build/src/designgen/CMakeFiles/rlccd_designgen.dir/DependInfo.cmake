@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designgen/blocks.cpp" "src/designgen/CMakeFiles/rlccd_designgen.dir/blocks.cpp.o" "gcc" "src/designgen/CMakeFiles/rlccd_designgen.dir/blocks.cpp.o.d"
+  "/root/repo/src/designgen/generator.cpp" "src/designgen/CMakeFiles/rlccd_designgen.dir/generator.cpp.o" "gcc" "src/designgen/CMakeFiles/rlccd_designgen.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/rlccd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/rlccd_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rlccd_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/rlccd_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rlccd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

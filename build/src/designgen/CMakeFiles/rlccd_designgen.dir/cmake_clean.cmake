@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_designgen.dir/blocks.cpp.o"
+  "CMakeFiles/rlccd_designgen.dir/blocks.cpp.o.d"
+  "CMakeFiles/rlccd_designgen.dir/generator.cpp.o"
+  "CMakeFiles/rlccd_designgen.dir/generator.cpp.o.d"
+  "librlccd_designgen.a"
+  "librlccd_designgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_designgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_gnn.dir/ep_gnn.cpp.o"
+  "CMakeFiles/rlccd_gnn.dir/ep_gnn.cpp.o.d"
+  "CMakeFiles/rlccd_gnn.dir/features.cpp.o"
+  "CMakeFiles/rlccd_gnn.dir/features.cpp.o.d"
+  "CMakeFiles/rlccd_gnn.dir/graph.cpp.o"
+  "CMakeFiles/rlccd_gnn.dir/graph.cpp.o.d"
+  "librlccd_gnn.a"
+  "librlccd_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

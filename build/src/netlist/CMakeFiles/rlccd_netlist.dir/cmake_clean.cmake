@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_netlist.dir/library.cpp.o"
+  "CMakeFiles/rlccd_netlist.dir/library.cpp.o.d"
+  "CMakeFiles/rlccd_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/rlccd_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/rlccd_netlist.dir/serialize.cpp.o"
+  "CMakeFiles/rlccd_netlist.dir/serialize.cpp.o.d"
+  "CMakeFiles/rlccd_netlist.dir/stats.cpp.o"
+  "CMakeFiles/rlccd_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/rlccd_netlist.dir/tech.cpp.o"
+  "CMakeFiles/rlccd_netlist.dir/tech.cpp.o.d"
+  "librlccd_netlist.a"
+  "librlccd_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

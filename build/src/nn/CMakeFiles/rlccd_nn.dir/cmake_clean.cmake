@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_nn.dir/modules.cpp.o"
+  "CMakeFiles/rlccd_nn.dir/modules.cpp.o.d"
+  "CMakeFiles/rlccd_nn.dir/ops.cpp.o"
+  "CMakeFiles/rlccd_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/rlccd_nn.dir/optim.cpp.o"
+  "CMakeFiles/rlccd_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/rlccd_nn.dir/serialize.cpp.o"
+  "CMakeFiles/rlccd_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/rlccd_nn.dir/sparse.cpp.o"
+  "CMakeFiles/rlccd_nn.dir/sparse.cpp.o.d"
+  "CMakeFiles/rlccd_nn.dir/tensor.cpp.o"
+  "CMakeFiles/rlccd_nn.dir/tensor.cpp.o.d"
+  "librlccd_nn.a"
+  "librlccd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

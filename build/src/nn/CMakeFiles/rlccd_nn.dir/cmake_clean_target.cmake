@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librlccd_nn.a"
+)

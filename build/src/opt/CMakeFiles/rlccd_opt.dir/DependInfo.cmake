@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/buffering.cpp" "src/opt/CMakeFiles/rlccd_opt.dir/buffering.cpp.o" "gcc" "src/opt/CMakeFiles/rlccd_opt.dir/buffering.cpp.o.d"
+  "/root/repo/src/opt/flow.cpp" "src/opt/CMakeFiles/rlccd_opt.dir/flow.cpp.o" "gcc" "src/opt/CMakeFiles/rlccd_opt.dir/flow.cpp.o.d"
+  "/root/repo/src/opt/hold_fix.cpp" "src/opt/CMakeFiles/rlccd_opt.dir/hold_fix.cpp.o" "gcc" "src/opt/CMakeFiles/rlccd_opt.dir/hold_fix.cpp.o.d"
+  "/root/repo/src/opt/restructure.cpp" "src/opt/CMakeFiles/rlccd_opt.dir/restructure.cpp.o" "gcc" "src/opt/CMakeFiles/rlccd_opt.dir/restructure.cpp.o.d"
+  "/root/repo/src/opt/sizing.cpp" "src/opt/CMakeFiles/rlccd_opt.dir/sizing.cpp.o" "gcc" "src/opt/CMakeFiles/rlccd_opt.dir/sizing.cpp.o.d"
+  "/root/repo/src/opt/useful_skew.cpp" "src/opt/CMakeFiles/rlccd_opt.dir/useful_skew.cpp.o" "gcc" "src/opt/CMakeFiles/rlccd_opt.dir/useful_skew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/rlccd_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/rlccd_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/rlccd_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/rlccd_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rlccd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

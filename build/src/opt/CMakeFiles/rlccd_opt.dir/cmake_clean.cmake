@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_opt.dir/buffering.cpp.o"
+  "CMakeFiles/rlccd_opt.dir/buffering.cpp.o.d"
+  "CMakeFiles/rlccd_opt.dir/flow.cpp.o"
+  "CMakeFiles/rlccd_opt.dir/flow.cpp.o.d"
+  "CMakeFiles/rlccd_opt.dir/hold_fix.cpp.o"
+  "CMakeFiles/rlccd_opt.dir/hold_fix.cpp.o.d"
+  "CMakeFiles/rlccd_opt.dir/restructure.cpp.o"
+  "CMakeFiles/rlccd_opt.dir/restructure.cpp.o.d"
+  "CMakeFiles/rlccd_opt.dir/sizing.cpp.o"
+  "CMakeFiles/rlccd_opt.dir/sizing.cpp.o.d"
+  "CMakeFiles/rlccd_opt.dir/useful_skew.cpp.o"
+  "CMakeFiles/rlccd_opt.dir/useful_skew.cpp.o.d"
+  "librlccd_opt.a"
+  "librlccd_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

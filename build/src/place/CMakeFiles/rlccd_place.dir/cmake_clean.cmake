@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_place.dir/placer.cpp.o"
+  "CMakeFiles/rlccd_place.dir/placer.cpp.o.d"
+  "librlccd_place.a"
+  "librlccd_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

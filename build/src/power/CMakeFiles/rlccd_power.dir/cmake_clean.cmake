@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_power.dir/power.cpp.o"
+  "CMakeFiles/rlccd_power.dir/power.cpp.o.d"
+  "librlccd_power.a"
+  "librlccd_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_rl.dir/design_graph.cpp.o"
+  "CMakeFiles/rlccd_rl.dir/design_graph.cpp.o.d"
+  "CMakeFiles/rlccd_rl.dir/env.cpp.o"
+  "CMakeFiles/rlccd_rl.dir/env.cpp.o.d"
+  "CMakeFiles/rlccd_rl.dir/policy.cpp.o"
+  "CMakeFiles/rlccd_rl.dir/policy.cpp.o.d"
+  "CMakeFiles/rlccd_rl.dir/trainer.cpp.o"
+  "CMakeFiles/rlccd_rl.dir/trainer.cpp.o.d"
+  "librlccd_rl.a"
+  "librlccd_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_sta.dir/cone.cpp.o"
+  "CMakeFiles/rlccd_sta.dir/cone.cpp.o.d"
+  "CMakeFiles/rlccd_sta.dir/path.cpp.o"
+  "CMakeFiles/rlccd_sta.dir/path.cpp.o.d"
+  "CMakeFiles/rlccd_sta.dir/sta.cpp.o"
+  "CMakeFiles/rlccd_sta.dir/sta.cpp.o.d"
+  "librlccd_sta.a"
+  "librlccd_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_tests.dir/cts/clock_tree_test.cpp.o"
+  "CMakeFiles/cts_tests.dir/cts/clock_tree_test.cpp.o.d"
+  "CMakeFiles/cts_tests.dir/cts/cts_hold_integration_test.cpp.o"
+  "CMakeFiles/cts_tests.dir/cts/cts_hold_integration_test.cpp.o.d"
+  "cts_tests"
+  "cts_tests.pdb"
+  "cts_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

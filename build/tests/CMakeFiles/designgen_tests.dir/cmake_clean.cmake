@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/designgen_tests.dir/designgen/blocks_sweep_test.cpp.o"
+  "CMakeFiles/designgen_tests.dir/designgen/blocks_sweep_test.cpp.o.d"
+  "CMakeFiles/designgen_tests.dir/designgen/blocks_test.cpp.o"
+  "CMakeFiles/designgen_tests.dir/designgen/blocks_test.cpp.o.d"
+  "CMakeFiles/designgen_tests.dir/designgen/generator_test.cpp.o"
+  "CMakeFiles/designgen_tests.dir/designgen/generator_test.cpp.o.d"
+  "designgen_tests"
+  "designgen_tests.pdb"
+  "designgen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/designgen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_tests.dir/gnn/ep_gnn_test.cpp.o"
+  "CMakeFiles/gnn_tests.dir/gnn/ep_gnn_test.cpp.o.d"
+  "CMakeFiles/gnn_tests.dir/gnn/features_test.cpp.o"
+  "CMakeFiles/gnn_tests.dir/gnn/features_test.cpp.o.d"
+  "CMakeFiles/gnn_tests.dir/gnn/graph_test.cpp.o"
+  "CMakeFiles/gnn_tests.dir/gnn/graph_test.cpp.o.d"
+  "gnn_tests"
+  "gnn_tests.pdb"
+  "gnn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/gradcheck_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/modules_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/modules_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/ops_edge_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/ops_edge_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/ops_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/ops_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/optim_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/optim_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/reinforce_bandit_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/reinforce_bandit_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/sparse_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/sparse_test.cpp.o.d"
+  "CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/tensor_test.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

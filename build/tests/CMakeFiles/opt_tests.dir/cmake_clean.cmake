@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_tests.dir/opt/buffering_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/buffering_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/flow_property_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/flow_property_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/flow_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/flow_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/hold_fix_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/hold_fix_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/restructure_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/restructure_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/sizing_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/sizing_test.cpp.o.d"
+  "CMakeFiles/opt_tests.dir/opt/useful_skew_test.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/useful_skew_test.cpp.o.d"
+  "opt_tests"
+  "opt_tests.pdb"
+  "opt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/place_tests.dir/place/placer_test.cpp.o"
+  "CMakeFiles/place_tests.dir/place/placer_test.cpp.o.d"
+  "place_tests"
+  "place_tests.pdb"
+  "place_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/place_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_tests.dir/power/power_test.cpp.o"
+  "CMakeFiles/power_tests.dir/power/power_test.cpp.o.d"
+  "power_tests"
+  "power_tests.pdb"
+  "power_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

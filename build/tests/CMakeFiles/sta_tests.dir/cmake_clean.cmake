@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sta_tests.dir/sta/clock_schedule_test.cpp.o"
+  "CMakeFiles/sta_tests.dir/sta/clock_schedule_test.cpp.o.d"
+  "CMakeFiles/sta_tests.dir/sta/cone_test.cpp.o"
+  "CMakeFiles/sta_tests.dir/sta/cone_test.cpp.o.d"
+  "CMakeFiles/sta_tests.dir/sta/path_test.cpp.o"
+  "CMakeFiles/sta_tests.dir/sta/path_test.cpp.o.d"
+  "CMakeFiles/sta_tests.dir/sta/sta_edge_test.cpp.o"
+  "CMakeFiles/sta_tests.dir/sta/sta_edge_test.cpp.o.d"
+  "CMakeFiles/sta_tests.dir/sta/sta_property_test.cpp.o"
+  "CMakeFiles/sta_tests.dir/sta/sta_property_test.cpp.o.d"
+  "CMakeFiles/sta_tests.dir/sta/sta_test.cpp.o"
+  "CMakeFiles/sta_tests.dir/sta/sta_test.cpp.o.d"
+  "sta_tests"
+  "sta_tests.pdb"
+  "sta_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sta_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

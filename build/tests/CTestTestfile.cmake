@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/netlist_tests[1]_include.cmake")
+include("/root/repo/build/tests/sta_tests[1]_include.cmake")
+include("/root/repo/build/tests/place_tests[1]_include.cmake")
+include("/root/repo/build/tests/power_tests[1]_include.cmake")
+include("/root/repo/build/tests/designgen_tests[1]_include.cmake")
+include("/root/repo/build/tests/opt_tests[1]_include.cmake")
+include("/root/repo/build/tests/cts_tests[1]_include.cmake")
+include("/root/repo/build/tests/nn_tests[1]_include.cmake")
+include("/root/repo/build/tests/gnn_tests[1]_include.cmake")
+include("/root/repo/build/tests/rl_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")

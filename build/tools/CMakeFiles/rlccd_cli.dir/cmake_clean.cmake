@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlccd_cli.dir/rlccd_cli.cpp.o"
+  "CMakeFiles/rlccd_cli.dir/rlccd_cli.cpp.o.d"
+  "rlccd_cli"
+  "rlccd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlccd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_flow.dir/smoke_flow.cpp.o"
+  "CMakeFiles/smoke_flow.dir/smoke_flow.cpp.o.d"
+  "smoke_flow"
+  "smoke_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

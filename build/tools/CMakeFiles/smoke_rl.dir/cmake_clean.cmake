@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_rl.dir/smoke_rl.cpp.o"
+  "CMakeFiles/smoke_rl.dir/smoke_rl.cpp.o.d"
+  "smoke_rl"
+  "smoke_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
