@@ -120,7 +120,7 @@ int main() {
       Sta sta(&s.nl, StaConfig{}, 0.45);
       sta.run();
       PinId d2 = s.nl.cell(ff2).inputs[0];
-      if (with_margin) sta.margins()[d2] = 0.08;
+      if (with_margin) sta.set_margin(d2, 0.08);
       UsefulSkewConfig cfg;
       cfg.max_abs_skew = 0.15;
       run_useful_skew(sta, cfg);

@@ -362,6 +362,10 @@ Design generate_design(const GeneratorConfig& config) {
   }
 
   nl.validate();
+  // Construction filled the mutation journal; drop the backlog so copies of
+  // the netlist (RL rollouts) don't carry it and so the first STA consumer
+  // starts from a clean cursor.
+  nl.collapse_journal();
   RLCCD_LOG_INFO("generated %s: %zu cells (%zu seq), period %.3f ns",
                  design.name.c_str(), nl.num_real_cells(), n_seq,
                  design.clock_period);

@@ -28,6 +28,7 @@ CellId Netlist::add_cell(LibCellId lib, std::string name) {
   if (lc.kind != CellKind::Output) {
     stored.output = add_pin(id, PinDir::Output, 0);
   }
+  journal_.record(MutationKind::Structural, id);
   return id;
 }
 
@@ -48,6 +49,11 @@ void Netlist::set_driver(NetId net_id, CellId cell_id) {
   RLCCD_EXPECTS(!pins_[c.output.index()].net.valid());
   n.driver = c.output;
   pins_[c.output.index()].net = net_id;
+  journal_.record(MutationKind::Structural, cell_id);
+  // Sinks wired before the driver become reachable now.
+  for (PinId sink : n.sinks) {
+    journal_.record(MutationKind::Structural, pins_[sink.index()].cell);
+  }
 }
 
 void Netlist::add_sink(NetId net_id, CellId cell_id, int input_index) {
@@ -59,6 +65,11 @@ void Netlist::add_sink(NetId net_id, CellId cell_id, int input_index) {
   RLCCD_EXPECTS(!pins_[pin_id.index()].net.valid());
   pins_[pin_id.index()].net = net_id;
   n.sinks.push_back(pin_id);
+  journal_.record(MutationKind::Structural, cell_id);
+  // The driver's load grew by the new sink's pin capacitance.
+  if (n.driver.valid()) {
+    journal_.record(MutationKind::Electrical, pins_[n.driver.index()].cell);
+  }
 }
 
 void Netlist::move_sink(PinId pin_id, NetId new_net) {
@@ -71,6 +82,14 @@ void Netlist::move_sink(PinId pin_id, NetId new_net) {
   old_net.sinks.erase(it);
   p.net = new_net;
   nets_[new_net.index()].sinks.push_back(pin_id);
+  journal_.record(MutationKind::Structural, p.cell);
+  // Both drivers see a load change (and the sink a new arrival source).
+  if (old_net.driver.valid()) {
+    journal_.record(MutationKind::Electrical, pins_[old_net.driver.index()].cell);
+  }
+  if (PinId drv = nets_[new_net.index()].driver; drv.valid()) {
+    journal_.record(MutationKind::Electrical, pins_[drv.index()].cell);
+  }
 }
 
 void Netlist::swap_input_nets(CellId cell_id, int pin_a, int pin_b) {
@@ -94,6 +113,7 @@ void Netlist::swap_input_nets(CellId cell_id, int pin_a, int pin_b) {
   replace(net_b, b, a);
   pins_[a.index()].net = net_b;
   pins_[b.index()].net = net_a;
+  journal_.record(MutationKind::Structural, cell_id);
 }
 
 void Netlist::resize_cell(CellId cell_id, LibCellId new_lib) {
@@ -101,13 +121,17 @@ void Netlist::resize_cell(CellId cell_id, LibCellId new_lib) {
   const LibCell& old_lc = library_->cell(c.lib);
   const LibCell& new_lc = library_->cell(new_lib);
   RLCCD_EXPECTS(old_lc.kind == new_lc.kind);
+  if (c.lib == new_lib) return;
   c.lib = new_lib;
+  journal_.record(MutationKind::Electrical, cell_id);
 }
 
 void Netlist::set_position(CellId cell_id, double x, double y) {
   Cell& c = cells_[cell_id.index()];
+  if (c.x == x && c.y == y) return;
   c.x = x;
   c.y = y;
+  journal_.record(MutationKind::Moved, cell_id);
 }
 
 std::vector<CellId> Netlist::sequential_cells() const {
@@ -186,7 +210,14 @@ double Netlist::net_hpwl(NetId id) const {
 void Netlist::update_wire_parasitics() {
   const Tech& tech = library_->tech();
   for (Net& n : nets_) {
-    n.wire_cap = tech.wire_cap_per_um * net_hpwl(n.id);
+    double cap = tech.wire_cap_per_um * net_hpwl(n.id);
+    if (cap == n.wire_cap) continue;
+    n.wire_cap = cap;
+    // Only the driver's arc sees the load change; sink wire delays use
+    // distances, which were journaled when the cells moved.
+    if (n.driver.valid()) {
+      journal_.record(MutationKind::Electrical, pins_[n.driver.index()].cell);
+    }
   }
 }
 

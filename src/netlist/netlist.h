@@ -5,6 +5,10 @@
 // place, or move sink pins between nets). Ports are modeled as pseudo-cells
 // of kind Input/Output so the timing graph is uniform.
 //
+// Every mutator records the affected cells in a MutationJournal
+// (src/netlist/journal.h); the incremental STA consumes the journal to
+// re-propagate only the dirty cone instead of the whole design.
+//
 // Pin conventions:
 //   * every cell has at most one output pin (Output ports have none),
 //   * DFF input pins are [0] = D, [1] = CK,
@@ -17,6 +21,7 @@
 
 #include "common/contracts.h"
 #include "common/ids.h"
+#include "netlist/journal.h"
 #include "netlist/library.h"
 
 namespace rlccd {
@@ -121,6 +126,13 @@ class Netlist {
   // topology changes).
   void update_wire_parasitics();
 
+  // -- mutation journal ------------------------------------------------------
+  // Record of all timing-relevant edits; consumed by the incremental STA.
+  [[nodiscard]] const MutationJournal& journal() const { return journal_; }
+  // Discards the journaled backlog (sequence numbers stay monotone). Call
+  // once construction is finished so later copies don't drag it along.
+  void collapse_journal() { journal_.collapse(); }
+
   // -- invariant check (tests) ------------------------------------------------
   // Verifies pin/net/cell cross-references; aborts on corruption.
   void validate() const;
@@ -132,6 +144,7 @@ class Netlist {
   std::vector<Cell> cells_;
   std::vector<Net> nets_;
   std::vector<Pin> pins_;
+  MutationJournal journal_;
 };
 
 }  // namespace rlccd

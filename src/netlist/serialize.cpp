@@ -109,6 +109,7 @@ std::unique_ptr<Netlist> read_netlist(const Library& library,
   }
   netlist->update_wire_parasitics();
   netlist->validate();
+  netlist->collapse_journal();  // construction backlog is not real dirt
   return netlist;
 }
 

@@ -12,7 +12,7 @@ constexpr double kInf = 1e30;
 BufferResult run_buffering(Sta& sta, Netlist& netlist,
                            const BufferConfig& config) {
   BufferResult result;
-  sta.run();
+  sta.update();
   const Library& lib = netlist.library();
 
   struct Candidate {
@@ -81,7 +81,7 @@ BufferResult run_buffering(Sta& sta, Netlist& netlist,
   if (result.buffers_inserted > 0) {
     netlist.update_wire_parasitics();
   }
-  sta.run();
+  sta.update();
   return result;
 }
 

@@ -31,7 +31,7 @@ FlowResult run_placement_flow(Netlist& netlist, const StaConfig& sta_config,
   Sta sta(&netlist, sta_config, clock_period);
 
   // 1. Begin state.
-  sta.run();
+  sta.update();
   result.begin = sta.summary();
   {
     SwitchingActivity act =
@@ -49,8 +49,8 @@ FlowResult run_placement_flow(Netlist& netlist, const StaConfig& sta_config,
 
   // 3. Prioritization margins (the RL hook). Margins are measured against
   // the *current* slack profile, exactly Algorithm 1 line 14: worsen the
-  // selected endpoints' timing to design WNS.
-  sta.run();
+  // selected endpoints' timing to design WNS. run_sizing left the analysis
+  // current, so no re-run is needed here.
   if (!prioritized.empty()) {
     TimingSummary pre = sta.summary();
     for (PinId ep : prioritized) {
@@ -60,13 +60,13 @@ FlowResult run_placement_flow(Netlist& netlist, const StaConfig& sta_config,
       switch (config.margin_mode) {
         case MarginMode::OverFixToWns: {
           double margin = slack - pre.wns;  // >= 0 for any slack above WNS
-          if (margin > 0.0) sta.margins()[ep] = margin;
+          if (margin > 0.0) sta.set_margin(ep, margin);
           break;
         }
         case MarginMode::UnderFixRelax: {
           // Loosen the endpoint so the skew engine sees it as met and
           // leaves it entirely to the data-path passes.
-          if (slack < 0.0) sta.margins()[ep] = slack;  // negative margin
+          if (slack < 0.0) sta.set_margin(ep, slack);  // negative margin
           break;
         }
       }
@@ -78,7 +78,7 @@ FlowResult run_placement_flow(Netlist& netlist, const StaConfig& sta_config,
 
   // 5. Remove margins before the remaining placement optimization.
   sta.clear_margins();
-  sta.run();
+  sta.update();
   result.after_skew = sta.summary();
 
   // 6. Remaining placement optimization.
@@ -137,9 +137,10 @@ FlowResult run_placement_flow(Netlist& netlist, const StaConfig& sta_config,
   }
 
   // 7. Final state.
-  sta.run();
+  sta.update();
   result.final_ = sta.summary();
   result.final_clock = sta.clock();
+  result.sta_stats = sta.stats();
   {
     SwitchingActivity act =
         propagate_activity(netlist, ActivityConfig{}, pi_toggles);

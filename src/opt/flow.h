@@ -73,6 +73,7 @@ struct FlowResult {
   int hold_buffers = 0;
   double runtime_sec = 0.0;
   ClockSchedule final_clock;  // for Fig. 5 histograms
+  StaStats sta_stats;         // timing-engine work counters for this flow
 };
 
 FlowResult run_placement_flow(Netlist& netlist, const StaConfig& sta_config,

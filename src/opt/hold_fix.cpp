@@ -13,7 +13,7 @@ constexpr double kInf = 1e29;
 HoldFixResult run_hold_fix(Sta& sta, Netlist& netlist,
                            const HoldFixConfig& config) {
   HoldFixResult result;
-  sta.run();
+  sta.update();
   const Library& lib = netlist.library();
   const LibCellId buf_lib = lib.pick(CellKind::Buf, config.buffer_size_index);
   const LibCell& buf = lib.cell(buf_lib);
@@ -47,7 +47,7 @@ HoldFixResult run_hold_fix(Sta& sta, Netlist& netlist,
       netlist.move_sink(ep, n);
       netlist.update_wire_parasitics();
       ++result.buffers_inserted;
-      sta.run();
+      sta.update();
     }
     return false;
   };
@@ -71,7 +71,7 @@ HoldFixResult run_hold_fix(Sta& sta, Netlist& netlist,
   }
 
   result.endpoints_unfixable = unfixable.size();
-  sta.run();
+  sta.update();
   return result;
 }
 

@@ -27,7 +27,7 @@ bool is_commutative(CellKind kind) {
 RestructureResult run_restructure(Sta& sta, Netlist& netlist,
                                   const RestructureConfig& config) {
   RestructureResult result;
-  sta.run();
+  sta.update();
 
   struct Candidate {
     CellId cell;
@@ -66,7 +66,7 @@ RestructureResult run_restructure(Sta& sta, Netlist& netlist,
     }
   }
 
-  sta.run();
+  sta.update();
   return result;
 }
 

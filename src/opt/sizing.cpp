@@ -15,16 +15,25 @@ double estimate_resize_delta(const Sta& sta, const Netlist& netlist,
   const LibCell& old_lc = netlist.lib_cell(cell_id);
   const LibCell& new_lc = netlist.library().cell(new_lib);
 
-  // Own arc: drive resistance change under the present load.
+  // Own arc: intrinsic and drive-resistance change under the present load,
+  // evaluated at the worst propagated input transition.
   double load = 0.0;
   if (c.output.valid()) {
     NetId out_net = netlist.pin(c.output).net;
     if (out_net.valid()) load = netlist.net_load_cap(out_net);
   }
+  double worst_in_slew = 0.0;
+  for (PinId in : c.inputs) {
+    const PinTiming& t = sta.timing(in);
+    if (t.reachable) worst_in_slew = std::max(worst_in_slew, t.slew);
+  }
   double own = (new_lc.intrinsic_delay - old_lc.intrinsic_delay) +
-               (new_lc.drive_res - old_lc.drive_res) * load;
+               (new_lc.drive_res - old_lc.drive_res) * load +
+               (new_lc.slew_sens - old_lc.slew_sens) * worst_in_slew;
 
-  // Upstream: each fanin driver sees the input-capacitance change.
+  // Upstream: each fanin driver sees the input-capacitance change — directly
+  // in its arc delay, and through a slower output transition that feeds back
+  // into this cell's arc via its slew sensitivity.
   double upstream = 0.0;
   double cin_delta = new_lc.input_cap - old_lc.input_cap;
   for (PinId in : c.inputs) {
@@ -33,16 +42,16 @@ double estimate_resize_delta(const Sta& sta, const Netlist& netlist,
     const Net& net = netlist.net(p.net);
     if (!net.driver.valid()) continue;
     const LibCell& drv = netlist.lib_cell(netlist.pin(net.driver).cell);
-    upstream += drv.drive_res * cin_delta;
+    upstream += drv.drive_res * cin_delta +
+                new_lc.slew_sens * drv.slew_res * cin_delta;
   }
-  (void)sta;
   return own + upstream;
 }
 
 SizingResult run_sizing(Sta& sta, Netlist& netlist,
                         const SizingConfig& config) {
   SizingResult result;
-  sta.run();
+  sta.update();
   const Library& lib = netlist.library();
 
   // --- upsizing on violating paths, worst first -----------------------------
@@ -76,7 +85,7 @@ SizingResult run_sizing(Sta& sta, Netlist& netlist,
 
   // --- power recovery: downsize comfortable cells ---------------------------
   if (config.max_downsize_moves > 0) {
-    sta.run();
+    sta.update();
     int down = 0;
     for (const Cell& c : netlist.cells()) {
       if (down >= config.max_downsize_moves) break;
@@ -96,7 +105,7 @@ SizingResult run_sizing(Sta& sta, Netlist& netlist,
     }
   }
 
-  sta.run();
+  sta.update();
   return result;
 }
 

@@ -31,8 +31,9 @@ SizingResult run_sizing(Sta& sta, Netlist& netlist,
                         const SizingConfig& config);
 
 // Predicted delay change (ns, negative = faster) of swapping `cell` to
-// `new_lib`, accounting for the cell's own drive and its fanin drivers'
-// load change. Exposed for tests.
+// `new_lib`: the cell's own arc evaluated at the worst propagated input
+// transition from `sta`, plus its fanin drivers' delay and output-slew
+// response to the input-capacitance change. Exposed for tests.
 double estimate_resize_delta(const Sta& sta, const Netlist& netlist,
                              CellId cell, LibCellId new_lib);
 

@@ -16,7 +16,7 @@ UsefulSkewResult run_useful_skew(Sta& sta, const UsefulSkewConfig& config) {
   UsefulSkewResult result;
 
   for (int sweep = 0; sweep < config.max_sweeps; ++sweep) {
-    sta.run();
+    sta.update();
     double max_move = 0.0;
     for (CellId f : flops) {
       const Cell& c = nl.cell(f);
@@ -49,7 +49,7 @@ UsefulSkewResult run_useful_skew(Sta& sta, const UsefulSkewConfig& config) {
     if (max_move < config.min_move) break;
   }
 
-  sta.run();
+  sta.update();
   for (CellId f : flops) {
     double d = sta.clock().adjustment(f);
     if (d != 0.0) {

@@ -17,12 +17,37 @@ ReinforceTrainer::ReinforceTrainer(const Design* design, Policy* policy,
   RLCCD_EXPECTS(config.workers >= 1);
 }
 
+std::unique_ptr<Netlist> ReinforceTrainer::acquire_scratch() const {
+  std::unique_ptr<Netlist> scratch;
+  {
+    std::lock_guard<std::mutex> lock(scratch_mutex_);
+    if (!scratch_pool_.empty()) {
+      scratch = std::move(scratch_pool_.back());
+      scratch_pool_.pop_back();
+    }
+  }
+  if (scratch) {
+    *scratch = *design_->netlist;  // reset in place, reusing capacity
+  } else {
+    scratch = std::make_unique<Netlist>(*design_->netlist);
+  }
+  return scratch;
+}
+
+void ReinforceTrainer::release_scratch(std::unique_ptr<Netlist> scratch) const {
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  scratch_pool_.push_back(std::move(scratch));
+}
+
 FlowResult ReinforceTrainer::evaluate_selection(
     std::span<const PinId> selection) const {
-  Netlist work = *design_->netlist;  // pristine copy
-  return run_placement_flow(work, design_->sta_config, design_->clock_period,
-                            design_->die, design_->pi_toggles, config_.flow,
-                            selection);
+  std::unique_ptr<Netlist> work = acquire_scratch();
+  FlowResult result =
+      run_placement_flow(*work, design_->sta_config, design_->clock_period,
+                         design_->die, design_->pi_toggles, config_.flow,
+                         selection);
+  release_scratch(std::move(work));
+  return result;
 }
 
 TrainStats ReinforceTrainer::train() {

@@ -10,6 +10,8 @@
 // `patience` consecutive iterations (the paper's criterion, 3).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "nn/optim.h"
@@ -65,10 +67,20 @@ class ReinforceTrainer {
   [[nodiscard]] const DesignGraph& graph() const { return graph_; }
 
  private:
+  // Pops a scratch netlist from the pool (or allocates the first time) and
+  // resets it to the pristine design via copy-assignment, which reuses the
+  // scratch's existing heap allocations across rollouts.
+  [[nodiscard]] std::unique_ptr<Netlist> acquire_scratch() const;
+  void release_scratch(std::unique_ptr<Netlist> scratch) const;
+
   const Design* design_;
   Policy* policy_;
   TrainConfig config_;
   DesignGraph graph_;
+
+  // Rollout scratch pool, shared across worker threads.
+  mutable std::mutex scratch_mutex_;
+  mutable std::vector<std::unique_ptr<Netlist>> scratch_pool_;
 };
 
 }  // namespace rlccd

@@ -3,6 +3,10 @@
 // latency cancels in single-cycle setup/hold checks, so only the per-flop
 // adjustment delta matters. The useful-skew engine (src/opt/useful_skew.h)
 // mutates this schedule; STA reads it.
+//
+// The schedule tracks which flops changed since the STA last consumed it
+// (dirty_flops / ack_dirty), so a skew edit invalidates only the affected
+// flop's launch/capture cones instead of the whole design.
 #pragma once
 
 #include <vector>
@@ -19,7 +23,9 @@ class ClockSchedule {
   [[nodiscard]] double period() const { return period_; }
   void set_period(double period) {
     RLCCD_EXPECTS(period > 0.0);
+    if (period == period_) return;
     period_ = period;
+    period_dirty_ = true;
   }
 
   // Clock arrival adjustment at a flop's CK pin (ns, signed).
@@ -30,12 +36,21 @@ class ClockSchedule {
 
   void set_adjustment(CellId flop, double delta) {
     if (flop.index() >= adjustments_.size()) {
+      if (delta == 0.0) return;
       adjustments_.resize(flop.index() + 1, 0.0);
     }
+    if (adjustments_[flop.index()] == delta) return;
     adjustments_[flop.index()] = delta;
+    dirty_.push_back(flop);
   }
 
-  void clear() { adjustments_.clear(); }
+  void clear() {
+    for (std::size_t i = 0; i < adjustments_.size(); ++i) {
+      if (adjustments_[i] != 0.0) dirty_.push_back(CellId(
+          static_cast<std::uint32_t>(i)));
+    }
+    adjustments_.clear();
+  }
 
   // All nonzero adjustments (for Fig. 5-style histograms).
   [[nodiscard]] std::vector<double> nonzero_adjustments() const {
@@ -46,9 +61,22 @@ class ClockSchedule {
     return out;
   }
 
+  // -- incremental-STA hooks --------------------------------------------------
+  // Flops whose adjustment changed since the last ack (may repeat ids).
+  [[nodiscard]] const std::vector<CellId>& dirty_flops() const {
+    return dirty_;
+  }
+  [[nodiscard]] bool period_dirty() const { return period_dirty_; }
+  void ack_dirty() {
+    dirty_.clear();
+    period_dirty_ = false;
+  }
+
  private:
   double period_;
+  bool period_dirty_ = false;
   std::vector<double> adjustments_;  // indexed by CellId, default 0
+  std::vector<CellId> dirty_;        // changed since last ack_dirty()
 };
 
 }  // namespace rlccd

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 namespace rlccd {
 
@@ -12,6 +11,15 @@ constexpr double kInf = 1e30;
 constexpr double kPsToNs = 1e-3;
 // Fraction of wire delay added to the propagated transition.
 constexpr double kWireSlewFactor = 0.3;
+
+// Exact comparison of the forward-propagated fields. Recomputing a pin from
+// unchanged inputs reproduces the identical arithmetic, so the incremental
+// frontier dies out precisely where timing is genuinely unaffected — no
+// epsilon, no drift versus a full run.
+bool forward_equal(const PinTiming& a, const PinTiming& b) {
+  return a.arrival_max == b.arrival_max && a.arrival_min == b.arrival_min &&
+         a.slew == b.slew && a.reachable == b.reachable;
+}
 }  // namespace
 
 Sta::Sta(const Netlist* netlist, StaConfig config, double clock_period)
@@ -33,83 +41,468 @@ double Sta::wire_delay(PinId sink) const {
   return kPsToNs * r * (0.5 * c + sink_cap);
 }
 
-void Sta::build_topology() {
+void Sta::set_margin(PinId endpoint, double margin) {
+  if (margin == 0.0) {
+    auto it = margins_.find(endpoint);
+    if (it == margins_.end()) return;
+    margins_.erase(it);
+  } else {
+    auto [it, inserted] = margins_.try_emplace(endpoint, margin);
+    if (!inserted) {
+      if (it->second == margin) return;
+      it->second = margin;
+    }
+  }
+  margin_dirty_.push_back(endpoint);
+}
+
+void Sta::clear_margins() {
+  for (const auto& [ep, margin] : margins_) {
+    (void)margin;
+    margin_dirty_.push_back(ep);
+  }
+  margins_.clear();
+}
+
+double Sta::endpoint_required(PinId endpoint) const {
   const Netlist& nl = *netlist_;
-  const std::size_t n_cells = nl.num_cells();
+  const Pin& p = nl.pin(endpoint);
+  const LibCell& lc = nl.lib_cell(p.cell);
+  double margin = 0.0;
+  if (auto it = margins_.find(endpoint); it != margins_.end()) {
+    margin = it->second;
+  }
+  if (lc.is_sequential()) {
+    return clock_.period() + clock_arrival(p.cell) - lc.setup_time - margin;
+  }
+  return clock_.period() - config_.output_delay - margin;
+}
 
-  topo_order_.clear();
-  endpoints_.clear();
-  endpoint_flag_.assign(nl.num_pins(), 0);
+void Sta::run() {
+  const Netlist& nl = *netlist_;
+  bool underflow = false;
+  std::span<const Mutation> pending =
+      nl.journal().since(journal_cursor_, &underflow);
+  bool structural = underflow || !graph_.built() ||
+                    graph_.num_cells() != nl.num_cells();
+  if (!structural) {
+    for (const Mutation& m : pending) {
+      if (m.kind == MutationKind::Structural) {
+        structural = true;
+        break;
+      }
+    }
+  }
+  if (structural) graph_.build(nl);
+  journal_cursor_ = nl.journal().seq();
+  clock_.ack_dirty();
+  margin_dirty_.clear();
+  forward_pass();
+  backward_pass();
+  ++stats_.full_runs;
+  stats_.forward_pin_updates += nl.num_pins();
+  stats_.backward_pin_updates += nl.num_pins();
+  has_run_ = true;
+}
 
-  // Combinational-cell dependency counts: an input pin driven by another
-  // combinational cell is an ordering dependency; flops, primary inputs and
-  // undriven nets are sources.
-  std::vector<std::uint32_t> indeg(n_cells, 0);
-  std::vector<char> is_comb(n_cells, 0);
-  for (const Cell& c : nl.cells()) {
-    const LibCell& lc = nl.library().cell(c.lib);
-    if (lc.is_port() || lc.is_sequential()) continue;
-    is_comb[c.id.index()] = 1;
+void Sta::update() {
+  const Netlist& nl = *netlist_;
+  if (!has_run_ || !config_.incremental) {
+    run();
+    return;
+  }
+  bool underflow = false;
+  std::span<const Mutation> pending =
+      nl.journal().since(journal_cursor_, &underflow);
+  if (underflow) {
+    run();
+    return;
+  }
+  const bool clock_dirty = !clock_.dirty_flops().empty();
+  if (pending.empty() && !clock_dirty && !clock_.period_dirty() &&
+      margin_dirty_.empty()) {
+    return;  // fully up to date
+  }
+  if (pending.size() > nl.num_cells()) {
+    run();
+    return;
+  }
+
+  // 1. Patch the levelized topology for structural edits / new cells.
+  std::vector<CellId> structural;
+  for (const Mutation& m : pending) {
+    if (m.kind == MutationKind::Structural) structural.push_back(m.cell);
+  }
+  std::vector<PinId> new_endpoints;
+  if (!structural.empty() || graph_.num_cells() != nl.num_cells()) {
+    graph_.apply_structural(nl, structural, &new_endpoints);
+    ++stats_.relevel_batches;
+  }
+  timing_.resize(nl.num_pins());
+
+  // 2. Expand journal entries + clock dirt into the seed frontier.
+  collect_seeds(pending);
+  if (seeds_.size() * 2 > nl.num_cells()) {
+    run();  // most of the design is dirty; a full sweep is cheaper
+    return;
+  }
+  ++stats_.incremental_updates;
+
+  // 3. Propagate.
+  forward_incremental();
+  backward_incremental(new_endpoints);
+
+  journal_cursor_ = nl.journal().seq();
+  clock_.ack_dirty();
+  margin_dirty_.clear();
+}
+
+// -- seed collection ----------------------------------------------------------
+
+void Sta::add_seed(CellId cell) {
+  if (seen_stamp_[cell.index()] == seen_epoch_) return;
+  seen_stamp_[cell.index()] = seen_epoch_;
+  seeds_.push_back(cell);
+}
+
+void Sta::collect_seeds(std::span<const Mutation> pending) {
+  const Netlist& nl = *netlist_;
+  const std::size_t n = nl.num_cells();
+  if (enq_stamp_.size() < n) {
+    enq_stamp_.resize(n, 0);
+    pull_stamp_.resize(n, 0);
+    chg_stamp_.resize(n, 0);
+    seen_stamp_.resize(n, 0);
+  }
+  seen_epoch_ = ++epoch_;
+  seeds_.clear();
+
+  // A dirty cell's fanin drivers always join the frontier: their loads (and
+  // hence arc delays and output slews) may have shifted with the edit.
+  auto expand = [&](CellId id) {
+    add_seed(id);
+    const Cell& c = nl.cell(id);
     for (PinId in : c.inputs) {
       const Pin& p = nl.pin(in);
       if (!p.net.valid()) continue;
       const Net& net = nl.net(p.net);
-      if (!net.driver.valid()) continue;
-      CellId drv = nl.pin(net.driver).cell;
-      const LibCell& dlc = nl.lib_cell(drv);
-      if (!dlc.is_port() && !dlc.is_sequential()) ++indeg[c.id.index()];
+      if (net.driver.valid()) add_seed(nl.pin(net.driver).cell);
     }
-  }
-
-  std::deque<CellId> ready;
-  for (const Cell& c : nl.cells()) {
-    if (is_comb[c.id.index()] && indeg[c.id.index()] == 0) ready.push_back(c.id);
-  }
-  while (!ready.empty()) {
-    CellId id = ready.front();
-    ready.pop_front();
-    topo_order_.push_back(id);
+  };
+  // Moves and rewires also change the wire delay / arrival source seen by
+  // the cell's fanout, even when the cell's own output timing is unchanged.
+  auto expand_consumers = [&](CellId id) {
     const Cell& c = nl.cell(id);
-    if (!c.output.valid()) continue;
+    if (!c.output.valid()) return;
     const Pin& out = nl.pin(c.output);
-    if (!out.net.valid()) continue;
+    if (!out.net.valid()) return;
     for (PinId sink : nl.net(out.net).sinks) {
-      CellId consumer = nl.pin(sink).cell;
-      if (!is_comb[consumer.index()]) continue;
-      if (--indeg[consumer.index()] == 0) ready.push_back(consumer);
+      add_seed(nl.pin(sink).cell);
     }
+  };
+  for (const Mutation& m : pending) {
+    expand(m.cell);
+    if (m.kind != MutationKind::Electrical) expand_consumers(m.cell);
   }
-  std::size_t comb_total = 0;
-  for (char f : is_comb) comb_total += static_cast<std::size_t>(f);
-  // A shortfall means a combinational loop — the generator never produces
-  // one, and optimization passes cannot create one.
-  RLCCD_ASSERT(topo_order_.size() == comb_total);
-
-  // Endpoints: flop D pins and primary-output pins, in pin-index order.
-  for (const Cell& c : nl.cells()) {
-    const LibCell& lc = nl.library().cell(c.lib);
-    if (lc.is_sequential()) {
-      PinId d = c.inputs[0];
-      endpoints_.push_back(d);
-      endpoint_flag_[d.index()] = 1;
-    } else if (lc.kind == CellKind::Output) {
-      PinId in = c.inputs[0];
-      endpoints_.push_back(in);
-      endpoint_flag_[in.index()] = 1;
-    }
-  }
-  std::sort(endpoints_.begin(), endpoints_.end());
-  built_num_cells_ = n_cells;
+  for (CellId f : clock_.dirty_flops()) add_seed(f);
 }
 
-void Sta::run() {
-  if (built_num_cells_ != netlist_->num_cells() ||
-      endpoint_flag_.size() != netlist_->num_pins()) {
-    build_topology();
-  }
-  forward_pass();
-  backward_pass();
+// -- incremental forward ------------------------------------------------------
+
+void Sta::enqueue(CellId cell, bool pull) {
+  if (pull) pull_stamp_[cell.index()] = enq_epoch_;
+  if (enq_stamp_[cell.index()] == enq_epoch_) return;
+  enq_stamp_[cell.index()] = enq_epoch_;
+  std::uint32_t lvl = graph_.level(cell);
+  if (lvl >= buckets_.size()) buckets_.resize(lvl + 1);
+  buckets_[lvl].push_back(cell);
 }
+
+void Sta::mark_forward_changed(CellId cell) {
+  if (chg_stamp_[cell.index()] == enq_epoch_) return;
+  chg_stamp_[cell.index()] = enq_epoch_;
+  fchanged_.push_back(cell);
+}
+
+int Sta::recompute_sink_pin(PinId sink) {
+  const Netlist& nl = *netlist_;
+  PinTiming& t = timing_[sink.index()];
+  PinTiming nt{};
+  nt.required = t.required;
+  const Pin& p = nl.pin(sink);
+  if (p.net.valid()) {
+    const Net& net = nl.net(p.net);
+    if (net.driver.valid()) {
+      const PinTiming& drv = timing_[net.driver.index()];
+      if (drv.reachable) {
+        double wd = wire_delay(sink);
+        nt.arrival_max = drv.arrival_max + wd;
+        nt.arrival_min = drv.arrival_min + wd;
+        nt.slew = drv.slew + kWireSlewFactor * wd;
+        nt.reachable = true;
+      }
+    }
+  }
+  ++stats_.forward_pin_updates;
+  int changed = 0;
+  if (nt.slew != t.slew || nt.reachable != t.reachable) changed |= kPinElec;
+  if (nt.arrival_max != t.arrival_max || nt.arrival_min != t.arrival_min) {
+    changed |= kPinArrival;
+  }
+  if (changed != 0) t = nt;
+  return changed;
+}
+
+void Sta::propagate_output_change(const Cell& cell) {
+  const Netlist& nl = *netlist_;
+  if (!cell.output.valid()) return;
+  const Pin& out = nl.pin(cell.output);
+  if (!out.net.valid()) return;
+  for (PinId sink : nl.net(out.net).sinks) {
+    const Pin& sp = nl.pin(sink);
+    if (graph_.is_comb(sp.cell)) {
+      int changed = recompute_sink_pin(sink);
+      if (changed == 0) continue;
+      enqueue(sp.cell, /*pull=*/false);
+      // A slew/reachability change shifts the consumer's arc delays, which
+      // its backward pass must re-derive even if downstream requireds hold.
+      if ((changed & kPinElec) != 0) mark_forward_changed(sp.cell);
+      continue;
+    }
+    const LibCell& slc = nl.lib_cell(sp.cell);
+    // Ideal clock: CK pins take their timing from the schedule, never from
+    // a driving net (matches the full pass).
+    if (slc.is_sequential() && sp.index != 0) continue;
+    recompute_sink_pin(sink);
+  }
+}
+
+void Sta::recompute_source_forward(CellId cell_id) {
+  const Netlist& nl = *netlist_;
+  const Cell& c = nl.cell(cell_id);
+  const LibCell& lc = nl.library().cell(c.lib);
+  if (lc.kind == CellKind::Input) {
+    const Pin& out = nl.pin(c.output);
+    double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
+    PinTiming nt{};
+    nt.required = timing_[c.output.index()].required;
+    nt.arrival_max = config_.input_delay;
+    nt.arrival_min = config_.input_delay;
+    nt.slew = lc.output_slew(load);
+    nt.reachable = true;
+    ++stats_.forward_pin_updates;
+    if (!forward_equal(timing_[c.output.index()], nt)) {
+      timing_[c.output.index()] = nt;
+      mark_forward_changed(cell_id);
+      propagate_output_change(c);
+    }
+  } else if (lc.is_sequential()) {
+    double ck_arrival = clock_arrival(cell_id);
+    // CK pin timing (informational).
+    PinTiming nck{};
+    nck.required = timing_[c.inputs[1].index()].required;
+    nck.arrival_max = ck_arrival;
+    nck.arrival_min = ck_arrival;
+    nck.slew = config_.clock_slew;
+    nck.reachable = true;
+    ++stats_.forward_pin_updates;
+    timing_[c.inputs[1].index()] = nck;
+    // Q launch.
+    const Pin& out = nl.pin(c.output);
+    double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
+    PinTiming nq{};
+    nq.required = timing_[c.output.index()].required;
+    double d = lc.arc_delay(/*input_pin=*/1, load, config_.clock_slew);
+    nq.arrival_max = ck_arrival + d;
+    nq.arrival_min = ck_arrival + d;
+    nq.slew = lc.output_slew(load);
+    nq.reachable = true;
+    ++stats_.forward_pin_updates;
+    if (!forward_equal(timing_[c.output.index()], nq)) {
+      timing_[c.output.index()] = nq;
+      mark_forward_changed(cell_id);
+      propagate_output_change(c);
+    }
+    // D pin: the cell may have moved or had its fanin rewired.
+    recompute_sink_pin(c.inputs[0]);
+  } else if (lc.kind == CellKind::Output) {
+    recompute_sink_pin(c.inputs[0]);
+  }
+}
+
+void Sta::recompute_comb_forward(CellId cell_id) {
+  const Netlist& nl = *netlist_;
+  const Cell& c = nl.cell(cell_id);
+  const LibCell& lc = nl.library().cell(c.lib);
+  if (pull_stamp_[cell_id.index()] == enq_epoch_) {
+    int in_changed = 0;
+    for (PinId in : c.inputs) in_changed |= recompute_sink_pin(in);
+    if ((in_changed & kPinElec) != 0) mark_forward_changed(cell_id);
+  }
+  const Pin& out_pin = nl.pin(c.output);
+  double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
+  PinTiming nt{};
+  nt.required = timing_[c.output.index()].required;
+  nt.arrival_max = -kInf;
+  nt.arrival_min = kInf;
+  for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+    const PinTiming& in = timing_[c.inputs[i].index()];
+    if (!in.reachable) continue;
+    double d = lc.arc_delay(static_cast<int>(i), load, in.slew);
+    nt.arrival_max = std::max(nt.arrival_max, in.arrival_max + d);
+    nt.arrival_min = std::min(nt.arrival_min, in.arrival_min + d);
+    nt.reachable = true;
+  }
+  if (nt.reachable) {
+    nt.slew = lc.output_slew(load);
+  } else {
+    nt.arrival_max = 0.0;
+    nt.arrival_min = 0.0;
+  }
+  ++stats_.forward_pin_updates;
+  bool out_changed = !forward_equal(timing_[c.output.index()], nt);
+  if (out_changed) {
+    timing_[c.output.index()] = nt;
+    propagate_output_change(c);
+  }
+}
+
+void Sta::forward_incremental() {
+  fchanged_.clear();
+  enq_epoch_ = ++epoch_;
+  for (CellId s : seeds_) {
+    if (graph_.is_comb(s)) enqueue(s, /*pull=*/true);
+  }
+  // Sources (ports, flops) are recomputed immediately; any launch change
+  // enqueues its combinational consumers before the level sweep starts.
+  for (CellId s : seeds_) {
+    if (!graph_.is_comb(s)) recompute_source_forward(s);
+  }
+  // Comb-to-comb edges strictly increase the level, so processing never
+  // appends to the bucket currently being drained — but it can grow
+  // buckets_ itself, so never hold a reference across a recompute.
+  for (std::uint32_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+    for (std::size_t i = 0; i < buckets_[lvl].size(); ++i) {
+      recompute_comb_forward(buckets_[lvl][i]);
+    }
+    buckets_[lvl].clear();
+  }
+}
+
+// -- incremental backward -----------------------------------------------------
+
+void Sta::push_required_source(PinId sink) {
+  const Netlist& nl = *netlist_;
+  const Pin& p = nl.pin(sink);
+  if (!p.net.valid()) return;
+  const Net& net = nl.net(p.net);
+  if (!net.driver.valid()) return;
+  seed_backward_cell(nl.pin(net.driver).cell);
+}
+
+void Sta::seed_backward_cell(CellId cell) {
+  if (graph_.is_comb(cell)) {
+    enqueue(cell, /*pull=*/false);
+    return;
+  }
+  if (seen_stamp_[cell.index()] == seen_epoch_) return;
+  seen_stamp_[cell.index()] = seen_epoch_;
+  final_sources_.push_back(cell);
+}
+
+double Sta::pull_from_sinks_value(PinId driver_pin) const {
+  const Netlist& nl = *netlist_;
+  const Pin& p = nl.pin(driver_pin);
+  if (!p.net.valid()) return kInf;
+  double req = kInf;
+  for (PinId sink : nl.net(p.net).sinks) {
+    double sink_req = timing_[sink.index()].required;
+    if (sink_req >= kInf) continue;
+    req = std::min(req, sink_req - wire_delay(sink));
+  }
+  return req;
+}
+
+void Sta::reseed_endpoint(PinId endpoint, bool force) {
+  if (!graph_.is_endpoint(endpoint)) return;
+  double req = endpoint_required(endpoint);
+  ++stats_.backward_pin_updates;
+  if (!force && timing_[endpoint.index()].required == req) return;
+  timing_[endpoint.index()].required = req;
+  push_required_source(endpoint);
+}
+
+void Sta::recompute_comb_backward(CellId cell_id) {
+  const Netlist& nl = *netlist_;
+  const Cell& c = nl.cell(cell_id);
+  const LibCell& lc = nl.library().cell(c.lib);
+  double out_req = pull_from_sinks_value(c.output);
+  ++stats_.backward_pin_updates;
+  timing_[c.output.index()].required = out_req;
+  const Pin& out_pin = nl.pin(c.output);
+  double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
+  for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+    PinTiming& in = timing_[c.inputs[i].index()];
+    double nr = kInf;
+    if (out_req < kInf) {
+      nr = out_req - lc.arc_delay(static_cast<int>(i), load, in.slew);
+    }
+    ++stats_.backward_pin_updates;
+    if (nr == in.required) continue;
+    in.required = nr;
+    push_required_source(c.inputs[i]);
+  }
+}
+
+void Sta::repull_output_required(CellId cell_id) {
+  const Netlist& nl = *netlist_;
+  const Cell& c = nl.cell(cell_id);
+  if (!c.output.valid()) return;
+  ++stats_.backward_pin_updates;
+  timing_[c.output.index()].required = pull_from_sinks_value(c.output);
+}
+
+void Sta::backward_incremental(std::span<const PinId> new_endpoints) {
+  const Netlist& nl = *netlist_;
+  enq_epoch_ = ++epoch_;
+  seen_epoch_ = ++epoch_;
+  final_sources_.clear();
+
+  // Reseed endpoint required times whose inputs (period, skew, margin,
+  // setup time) may have changed.
+  if (clock_.period_dirty()) {
+    for (PinId ep : graph_.endpoints()) reseed_endpoint(ep, false);
+  } else {
+    for (PinId ep : margin_dirty_) reseed_endpoint(ep, false);
+    for (CellId f : clock_.dirty_flops()) {
+      reseed_endpoint(nl.cell(f).inputs[0], false);
+    }
+    for (CellId s : seeds_) {
+      if (nl.is_sequential(s)) reseed_endpoint(nl.cell(s).inputs[0], false);
+    }
+  }
+  for (PinId ep : new_endpoints) reseed_endpoint(ep, true);
+
+  // Seeds (changed loads/wires) and cells whose input slews changed must
+  // re-derive their requireds: their arc delays shifted even when every
+  // downstream required held. Arrival-only forward changes are skipped —
+  // required times never depend on arrivals.
+  for (CellId s : seeds_) seed_backward_cell(s);
+  for (CellId s : fchanged_) seed_backward_cell(s);
+
+  // Required changes push fanin drivers, which sit at strictly lower
+  // levels — the current bucket never grows while draining.
+  for (std::uint32_t lvl = static_cast<std::uint32_t>(buckets_.size());
+       lvl-- > 0;) {
+    for (std::size_t i = 0; i < buckets_[lvl].size(); ++i) {
+      recompute_comb_backward(buckets_[lvl][i]);
+    }
+    buckets_[lvl].clear();
+  }
+  for (CellId c : final_sources_) repull_output_required(c);
+}
+
+// -- full passes --------------------------------------------------------------
 
 void Sta::forward_pass() {
   const Netlist& nl = *netlist_;
@@ -162,8 +555,8 @@ void Sta::forward_pass() {
     return true;
   };
 
-  // Combinational propagation in topological order.
-  for (CellId id : topo_order_) {
+  // Combinational propagation in level order.
+  for (CellId id : graph_.order()) {
     const Cell& c = nl.cell(id);
     const LibCell& lc = nl.library().cell(c.lib);
     const Pin& out_pin = nl.pin(c.output);
@@ -202,19 +595,8 @@ void Sta::backward_pass() {
   for (PinTiming& t : timing_) t.required = kInf;
 
   // Seed endpoint required times.
-  const double period = clock_.period();
-  for (PinId ep : endpoints_) {
-    const Pin& p = nl.pin(ep);
-    const LibCell& lc = nl.lib_cell(p.cell);
-    double margin = 0.0;
-    if (auto it = margins_.find(ep); it != margins_.end()) margin = it->second;
-    double req;
-    if (lc.is_sequential()) {
-      req = period + clock_arrival(p.cell) - lc.setup_time - margin;
-    } else {
-      req = period - config_.output_delay - margin;
-    }
-    timing_[ep.index()].required = req;
+  for (PinId ep : graph_.endpoints()) {
+    timing_[ep.index()].required = endpoint_required(ep);
   }
 
   // Required time of a driver pin from its net's sinks.
@@ -230,19 +612,20 @@ void Sta::backward_pass() {
     timing_[driver_pin.index()].required = req;
   };
 
-  // Reverse topological order: consumers' input requireds exist before the
+  // Reverse level order: consumers' input requireds exist before the
   // producing cell pulls them through its output net.
-  for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
-    const Cell& c = nl.cell(*it);
+  std::span<const CellId> order = graph_.order();
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const Cell& c = nl.cell(order[i]);
     const LibCell& lc = nl.library().cell(c.lib);
     pull_from_sinks(c.output);
     const Pin& out_pin = nl.pin(c.output);
     double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
     double out_req = timing_[c.output.index()].required;
-    for (std::size_t i = 0; i < c.inputs.size(); ++i) {
-      PinTiming& in = timing_[c.inputs[i].index()];
+    for (std::size_t j = 0; j < c.inputs.size(); ++j) {
+      PinTiming& in = timing_[c.inputs[j].index()];
       if (out_req >= kInf) continue;
-      double d = lc.arc_delay(static_cast<int>(i), load, in.slew);
+      double d = lc.arc_delay(static_cast<int>(j), load, in.slew);
       in.required = out_req - d;
     }
   }
@@ -255,6 +638,8 @@ void Sta::backward_pass() {
     }
   }
 }
+
+// -- queries ------------------------------------------------------------------
 
 double Sta::slack(PinId pin) const {
   const PinTiming& t = timing(pin);
@@ -270,11 +655,6 @@ double Sta::cell_worst_slack(CellId cell_id) const {
   double s = slack(c.output);
   if (lc.is_sequential()) s = std::min(s, endpoint_slack(c.inputs[0]));
   return s;
-}
-
-bool Sta::is_endpoint(PinId pin) const {
-  return pin.index() < endpoint_flag_.size() &&
-         endpoint_flag_[pin.index()] != 0;
 }
 
 double Sta::endpoint_slack(PinId endpoint) const {
@@ -298,7 +678,7 @@ double Sta::endpoint_hold_slack(PinId endpoint) const {
 
 std::vector<PinId> Sta::violating_endpoints() const {
   std::vector<PinId> out;
-  for (PinId ep : endpoints_) {
+  for (PinId ep : graph_.endpoints()) {
     double s = endpoint_slack(ep);
     if (s < 0.0 && s > -kInf) out.push_back(ep);
   }
@@ -307,9 +687,9 @@ std::vector<PinId> Sta::violating_endpoints() const {
 
 TimingSummary Sta::summary() const {
   TimingSummary s;
-  s.num_endpoints = endpoints_.size();
+  s.num_endpoints = graph_.endpoints().size();
   s.worst_hold_slack = kInf;
-  for (PinId ep : endpoints_) {
+  for (PinId ep : graph_.endpoints()) {
     double sl = endpoint_slack(ep);
     if (sl >= kInf) continue;
     if (sl < 0.0) {

@@ -10,11 +10,21 @@
 //
 // Endpoints are flop D pins (setup/hold checked against the same flop's
 // adjusted clock arrival) and primary-output pins. Endpoint *margins*
-// (src/sta/sta.h: EndpointMargins) tighten an endpoint's required time; this
-// is the mechanism the paper uses to make the useful-skew engine "over-fix"
-// the RL-selected endpoints.
+// (set_margin) tighten an endpoint's required time; this is the mechanism
+// the paper uses to make the useful-skew engine "over-fix" the RL-selected
+// endpoints.
+//
+// Two evaluation modes:
+//   * run()    — full recompute of every pin (always correct, O(pins)),
+//   * update() — incremental: consumes the netlist's mutation journal, the
+//     clock schedule's dirty-flop list and pending margin edits, then
+//     re-propagates only the affected cones level-by-level over the
+//     levelized TimingGraph, stopping as soon as recomputed values stop
+//     changing. Produces bit-identical results to run() — recomputed pins
+//     see identical inputs, so untouched cones keep identical values.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +32,7 @@
 #include "common/ids.h"
 #include "netlist/netlist.h"
 #include "sta/clock_schedule.h"
+#include "sta/timing_graph.h"
 
 namespace rlccd {
 
@@ -29,6 +40,9 @@ struct StaConfig {
   double input_delay = 0.0;    // arrival at primary inputs (ns)
   double output_delay = 0.0;   // external margin at primary outputs (ns)
   double clock_slew = 0.02;    // transition at flop CK pins (ns)
+  // When false, update() always falls back to a full run() — the
+  // pre-incremental behavior, kept selectable for benchmarking.
+  bool incremental = true;
 };
 
 struct PinTiming {
@@ -47,7 +61,21 @@ struct TimingSummary {
   double worst_hold_slack = 0.0;
 };
 
-// Per-endpoint margins: extra required-time tightening (>= 0, ns).
+// Work counters; pin_updates is the cost metric the incremental engine
+// minimizes (a full run costs 2 * num_pins).
+struct StaStats {
+  std::uint64_t full_runs = 0;
+  std::uint64_t incremental_updates = 0;
+  std::uint64_t forward_pin_updates = 0;
+  std::uint64_t backward_pin_updates = 0;
+  std::uint64_t relevel_batches = 0;
+  [[nodiscard]] std::uint64_t pin_updates() const {
+    return forward_pin_updates + backward_pin_updates;
+  }
+};
+
+// Per-endpoint margins: extra required-time tightening (ns; negative values
+// loosen the endpoint).
 using EndpointMargins = std::unordered_map<PinId, double>;
 
 class Sta {
@@ -60,14 +88,23 @@ class Sta {
   [[nodiscard]] ClockSchedule& clock() { return clock_; }
   [[nodiscard]] const ClockSchedule& clock() const { return clock_; }
 
-  [[nodiscard]] EndpointMargins& margins() { return margins_; }
-  void clear_margins() { margins_.clear(); }
+  // Margin edits are tracked so update() can reseed only the affected
+  // endpoints' required times.
+  void set_margin(PinId endpoint, double margin);
+  void clear_margins();
+  [[nodiscard]] const EndpointMargins& margins() const { return margins_; }
 
-  // Recomputes all timing. Rebuilds the topological order automatically if
-  // the netlist gained cells/pins since the last run (buffer insertion).
+  // Recomputes all timing from scratch (rebuilding the topology if the
+  // netlist changed structurally) and drains all pending dirt.
   void run();
 
-  // -- results (valid after run()) -------------------------------------------
+  // Incremental recompute: propagates only the dirty frontier implied by
+  // journaled netlist mutations, clock-schedule edits and margin changes.
+  // Equivalent to run(); falls back to it on the first call, when
+  // incremental mode is disabled, or when most of the design is dirty.
+  void update();
+
+  // -- results (valid after run()/update()) ----------------------------------
   [[nodiscard]] const PinTiming& timing(PinId pin) const {
     RLCCD_EXPECTS(pin.index() < timing_.size());
     return timing_[pin.index()];
@@ -79,8 +116,12 @@ class Sta {
   [[nodiscard]] double cell_worst_slack(CellId cell) const;
 
   // All timing endpoints, in stable (pin-index) order.
-  [[nodiscard]] std::span<const PinId> endpoints() const { return endpoints_; }
-  [[nodiscard]] bool is_endpoint(PinId pin) const;
+  [[nodiscard]] std::span<const PinId> endpoints() const {
+    return graph_.endpoints();
+  }
+  [[nodiscard]] bool is_endpoint(PinId pin) const {
+    return graph_.is_endpoint(pin);
+  }
 
   [[nodiscard]] double endpoint_slack(PinId endpoint) const;
   [[nodiscard]] double endpoint_hold_slack(PinId endpoint) const;
@@ -92,26 +133,78 @@ class Sta {
   // Wire arc delay from a net's driver to a specific sink pin (ns).
   [[nodiscard]] double wire_delay(PinId sink) const;
 
+  [[nodiscard]] const StaStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = StaStats{}; }
+
  private:
-  void build_topology();
+  // -- full passes ------------------------------------------------------------
   void forward_pass();
   void backward_pass();
+
+  // -- incremental machinery --------------------------------------------------
+  void collect_seeds(std::span<const Mutation> pending);
+  void add_seed(CellId cell);
+  void forward_incremental();
+  void backward_incremental(std::span<const PinId> new_endpoints);
+  // Change classification for a recomputed forward pin. Arrival-only
+  // changes shift slacks but leave every required time intact (requireds
+  // depend on slews and downstream requireds, never on arrivals), so only
+  // kPinElec changes seed the backward pass.
+  static constexpr int kPinArrival = 1;
+  static constexpr int kPinElec = 2;  // slew or reachability changed
+  // Recomputes an input pin's arrival/slew from its driving net; preserves
+  // the pin's required time. Returns a bitmask of kPin* changes (0 = none).
+  int recompute_sink_pin(PinId sink);
+  // Recomputes launch (and endpoint-input) pins of a port/flop seed.
+  void recompute_source_forward(CellId cell);
+  void recompute_comb_forward(CellId cell);
+  void propagate_output_change(const Cell& cell);
+  void recompute_comb_backward(CellId cell);
+  // Re-pulls the required time of a startpoint's output pin (flop Q / PI).
+  void repull_output_required(CellId cell);
+  // Routes a changed-required sink pin to its net's driver cell.
+  void push_required_source(PinId sink);
+  void seed_backward_cell(CellId cell);
+  // Queues a combinational cell for the forward sweep. `pull` forces a
+  // re-pull of all its input pins (needed for seeds, whose wire delays or
+  // loads changed); frontier cells reached through a changed driver have
+  // their affected inputs refreshed by propagate_output_change already.
+  void enqueue(CellId cell, bool pull);
+  void mark_forward_changed(CellId cell);
+  // Reseeds one endpoint's required time; propagates upstream on change.
+  void reseed_endpoint(PinId endpoint, bool force);
+
   [[nodiscard]] double clock_arrival(CellId flop) const {
     return clock_.adjustment(flop);
   }
+  [[nodiscard]] double endpoint_required(PinId endpoint) const;
+  [[nodiscard]] double pull_from_sinks_value(PinId driver_pin) const;
 
   const Netlist* netlist_;
   StaConfig config_;
   ClockSchedule clock_;
   EndpointMargins margins_;
 
-  // Topology cache.
-  std::size_t built_num_cells_ = 0;
-  std::vector<CellId> topo_order_;  // combinational cells, sources first
-  std::vector<PinId> endpoints_;
-  std::vector<char> endpoint_flag_;  // indexed by pin
-
+  TimingGraph graph_;
   std::vector<PinTiming> timing_;  // indexed by pin
+  bool has_run_ = false;
+  std::uint64_t journal_cursor_ = 0;
+  std::vector<PinId> margin_dirty_;
+
+  StaStats stats_;
+
+  // Frontier scratch, reused across updates.
+  std::vector<std::vector<CellId>> buckets_;  // by level
+  std::vector<std::uint32_t> enq_stamp_;      // per cell: queued this phase
+  std::vector<std::uint32_t> pull_stamp_;     // per cell: re-pull all inputs
+  std::vector<std::uint32_t> chg_stamp_;      // per cell: backward-seed dedup
+  std::vector<std::uint32_t> seen_stamp_;     // per cell: seed/source dedup
+  std::uint32_t epoch_ = 0;
+  std::uint32_t enq_epoch_ = 0;
+  std::uint32_t seen_epoch_ = 0;
+  std::vector<CellId> seeds_;
+  std::vector<CellId> fchanged_;  // cells with an electrical input change
+  std::vector<CellId> final_sources_;
 };
 
 }  // namespace rlccd

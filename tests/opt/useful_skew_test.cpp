@@ -78,7 +78,7 @@ TEST(UsefulSkew, MarginAttractsExtraSkew) {
     sta.run();
     PinId d2 = p.c.nl->cell(p.ff2).inputs[0];
     if (with_margin) {
-      sta.margins()[d2] = 0.08;
+      sta.set_margin(d2, 0.08);
     }
     UsefulSkewConfig cfg;
     cfg.max_abs_skew = 0.15;

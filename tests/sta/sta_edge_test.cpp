@@ -119,8 +119,8 @@ TEST(StaEdge, MultipleMarginsAreIndependent) {
   double s2 = sta.endpoint_slack(d2);
   double s3 = sta.endpoint_slack(d3);
 
-  sta.margins()[d2] = 0.1;
-  sta.margins()[d3] = 0.2;
+  sta.set_margin(d2, 0.1);
+  sta.set_margin(d3, 0.2);
   sta.run();
   EXPECT_NEAR(sta.endpoint_slack(d2), s2 - 0.1, 1e-9);
   EXPECT_NEAR(sta.endpoint_slack(d3), s3 - 0.2, 1e-9);

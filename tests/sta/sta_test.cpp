@@ -118,7 +118,7 @@ TEST(Sta, MarginTightensEndpointSlackExactly) {
   PinId d = nl.cell(p.ff2).inputs[0];
   double base = sta.endpoint_slack(d);
 
-  sta.margins()[d] = 0.125;
+  sta.set_margin(d, 0.125);
   sta.run();
   EXPECT_NEAR(sta.endpoint_slack(d), base - 0.125, kEps);
 
