@@ -36,11 +36,11 @@ int main() {
 
     auto cell = [](const RlCcdResult& r) {
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.3f (-%.1f%%)", r.rl_flow.final_.tns,
+      std::snprintf(buf, sizeof(buf), "%.3f (-%.1f%%)", r.rl_flow.final_summary.tns,
                     r.tns_gain_pct());
       return std::string(buf);
     };
-    table.add_row({name, TablePrinter::fmt(over.default_flow.final_.tns, 3),
+    table.add_row({name, TablePrinter::fmt(over.default_flow.final_summary.tns, 3),
                    cell(over), cell(under)});
     over_sum += over.tns_gain_pct();
     under_sum += under.tns_gain_pct();

@@ -39,7 +39,7 @@ int main() {
         mean_steps /= static_cast<double>(r.train.history.size());
       }
       table.add_row({name, TablePrinter::fmt(rho, 1),
-                     TablePrinter::fmt(r.rl_flow.final_.tns, 3),
+                     TablePrinter::fmt(r.rl_flow.final_summary.tns, 3),
                      TablePrinter::fmt_pct(r.tns_gain_pct() / 100.0, 1),
                      std::to_string(r.selection.size()),
                      TablePrinter::fmt(mean_steps, 1),

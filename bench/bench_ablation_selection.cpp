@@ -36,15 +36,15 @@ int main() {
     Rng rng(17);
 
     ReinforceTrainer evaluator(&design, &agent.policy(), cfg.train);
-    double def_tns = r.default_flow.final_.tns;
+    double def_tns = r.default_flow.final_summary.tns;
     auto row = [&](const char* tag, std::span<const PinId> sel) {
       FlowResult f = evaluator.evaluate_selection(sel);
       double gain = def_tns != 0.0
-                        ? 100.0 * (f.final_.tns - def_tns) / std::abs(def_tns)
+                        ? 100.0 * (f.final_summary.tns - def_tns) / std::abs(def_tns)
                         : 0.0;
       table.add_row({name, tag, std::to_string(sel.size()),
-                     TablePrinter::fmt(f.final_.tns, 3),
-                     std::to_string(f.final_.nve),
+                     TablePrinter::fmt(f.final_summary.tns, 3),
+                     std::to_string(f.final_summary.nve),
                      TablePrinter::fmt(gain, 1) + "%"});
     };
     row("default (none)", {});

@@ -36,9 +36,9 @@ int main() {
       Netlist work = *design.netlist;
       FlowConfig fcfg = default_flow_config(work.num_real_cells(),
                                             design.clock_period);
-      FlowResult fr =
-          run_placement_flow(work, design.sta_config, design.clock_period,
-                             design.die, design.pi_toggles, fcfg, sel);
+      FlowInput input{design.sta_config, design.clock_period, design.die,
+                      design.pi_toggles, sel};
+      FlowResult fr = run_placement_flow(work, input, fcfg);
       ClockTree tree =
           ClockTree::build(work, fr.final_clock, CtsConfig{});
       // Post-CTS timing: realized (quantized) arrivals replace the ideal
@@ -51,7 +51,7 @@ int main() {
                      std::to_string(rep.num_pad_buffers),
                      TablePrinter::fmt(rep.clock_power, 3),
                      TablePrinter::fmt(rep.skew_error_max, 4),
-                     TablePrinter::fmt(fr.final_.tns, 3),
+                     TablePrinter::fmt(fr.final_summary.tns, 3),
                      TablePrinter::fmt(sta.summary().tns, 3)});
     };
 
@@ -62,9 +62,9 @@ int main() {
                                             design.clock_period);
       fcfg.skew.max_abs_skew = 0.0;
       fcfg.skew_touchup.max_abs_skew = 0.0;
-      FlowResult fr =
-          run_placement_flow(work, design.sta_config, design.clock_period,
-                             design.die, design.pi_toggles, fcfg, {});
+      FlowInput input{design.sta_config, design.clock_period, design.die,
+                      design.pi_toggles};
+      FlowResult fr = run_placement_flow(work, input, fcfg);
       ClockTree tree = ClockTree::build(work, fr.final_clock, CtsConfig{});
       Sta sta(&work, design.sta_config, design.clock_period);
       tree.apply_to(sta.clock());
@@ -74,7 +74,7 @@ int main() {
                      std::to_string(rep.num_pad_buffers),
                      TablePrinter::fmt(rep.clock_power, 3),
                      TablePrinter::fmt(rep.skew_error_max, 4),
-                     TablePrinter::fmt(fr.final_.tns, 3),
+                     TablePrinter::fmt(fr.final_summary.tns, 3),
                      TablePrinter::fmt(sta.summary().tns, 3)});
     }
     evaluate("default skew", {});

@@ -89,7 +89,7 @@ int main() {
   std::printf("mean |adjustment|: default %.4f ns, RL-CCD %.4f ns\n",
               def_mean, rl_mean);
   std::printf("final TNS: default %.2f, RL-CCD %.2f (-%.1f%%)\n",
-              r.default_flow.final_.tns, rl_flow.final_.tns,
+              r.default_flow.final_summary.tns, rl_flow.final_summary.tns,
               r.tns_gain_pct());
   return 0;
 }

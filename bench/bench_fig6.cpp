@@ -70,7 +70,7 @@ int main() {
   };
   // Iterations each variant needs to reach the scratch run's final quality.
   double goal = scratch.train.best_tns - 1e-9;
-  std::printf("\ndefault flow TNS: %.3f\n", scratch.default_flow.final_.tns);
+  std::printf("\ndefault flow TNS: %.3f\n", scratch.default_flow.final_summary.tns);
   std::printf("scratch : best TNS %.3f in %zu iterations\n",
               scratch.train.best_tns, scratch.train.history.size());
   std::printf("transfer: best TNS %.3f, reached scratch-final quality after "

@@ -26,15 +26,15 @@ FlowCost measure_flow(const Design& d, bool incremental, int repeats) {
   for (int r = 0; r < repeats; ++r) {
     Netlist work = *d.netlist;
     auto t0 = std::chrono::steady_clock::now();
-    FlowResult fr = run_placement_flow(work, sta_cfg, d.clock_period, d.die,
-                                       d.pi_toggles, cfg, {});
+    FlowInput input{sta_cfg, d.clock_period, d.die, d.pi_toggles};
+    FlowResult fr = run_placement_flow(work, input, cfg);
     double sec =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     if (r == 0 || sec < best.seconds) {
       best.seconds = sec;
       best.pin_updates = fr.sta_stats.pin_updates();
-      best.tns = fr.final_.tns;
+      best.tns = fr.final_summary.tns;
     }
   }
   return best;

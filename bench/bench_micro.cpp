@@ -99,9 +99,9 @@ void BM_PlacementFlow(benchmark::State& state) {
       default_flow_config(d.netlist->num_real_cells(), d.clock_period);
   for (auto _ : state) {
     Netlist work = *d.netlist;
-    FlowResult r = run_placement_flow(work, d.sta_config, d.clock_period,
-                                      d.die, d.pi_toggles, cfg, {});
-    benchmark::DoNotOptimize(r.final_.tns);
+    FlowInput input{d.sta_config, d.clock_period, d.die, d.pi_toggles};
+    FlowResult r = run_placement_flow(work, input, cfg);
+    benchmark::DoNotOptimize(r.final_summary.tns);
   }
 }
 BENCHMARK(BM_PlacementFlow);

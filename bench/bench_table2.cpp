@@ -77,24 +77,24 @@ int main() {
                   design.netlist->num_real_cells());
     char goal_buf[64];
     std::snprintf(goal_buf, sizeof(goal_buf), "%.2f (-%.1f%%)",
-                  r.rl_flow.final_.tns, tns_gain);
+                  r.rl_flow.final_summary.tns, tns_gain);
     table.add_row(
         {cells_buf, TablePrinter::fmt(r.default_flow.begin.wns, 3),
          TablePrinter::fmt(r.default_flow.begin.tns, 2),
          std::to_string(r.default_flow.begin.nve),
-         TablePrinter::fmt(r.default_flow.final_.wns, 3),
-         TablePrinter::fmt(r.default_flow.final_.tns, 2),
-         std::to_string(r.default_flow.final_.nve),
+         TablePrinter::fmt(r.default_flow.final_summary.wns, 3),
+         TablePrinter::fmt(r.default_flow.final_summary.tns, 2),
+         std::to_string(r.default_flow.final_summary.nve),
          TablePrinter::fmt(r.default_flow.power_final.total(), 2),
-         TablePrinter::fmt(r.rl_flow.final_.wns, 3), goal_buf,
-         std::to_string(r.rl_flow.final_.nve),
+         TablePrinter::fmt(r.rl_flow.final_summary.wns, 3), goal_buf,
+         std::to_string(r.rl_flow.final_summary.nve),
          TablePrinter::fmt(r.rl_flow.power_final.total(), 2),
          "x" + TablePrinter::fmt(r.runtime_factor, 0),
          TablePrinter::fmt(spec.paper.rl_tns_gain_pct, 1) + "%",
          TablePrinter::fmt(paper_nve_gain, 1) + "%"});
     std::fprintf(stderr, "[table2] %s done: TNS %.2f -> %.2f (-%.1f%%)\n",
-                 spec.name.c_str(), r.default_flow.final_.tns,
-                 r.rl_flow.final_.tns, tns_gain);
+                 spec.name.c_str(), r.default_flow.final_summary.tns,
+                 r.rl_flow.final_summary.tns, tns_gain);
   }
 
   table.print();

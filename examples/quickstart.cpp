@@ -43,11 +43,11 @@ int main(int argc, char** argv) {
   RlCcdResult r = agent.run();
 
   std::printf("default tool flow : WNS %.3f TNS %8.2f NVE %4zu  power %.2f mW\n",
-              r.default_flow.final_.wns, r.default_flow.final_.tns,
-              r.default_flow.final_.nve, r.default_flow.power_final.total());
+              r.default_flow.final_summary.wns, r.default_flow.final_summary.tns,
+              r.default_flow.final_summary.nve, r.default_flow.power_final.total());
   std::printf("RL-CCD enhanced   : WNS %.3f TNS %8.2f NVE %4zu  power %.2f mW\n",
-              r.rl_flow.final_.wns, r.rl_flow.final_.tns,
-              r.rl_flow.final_.nve, r.rl_flow.power_final.total());
+              r.rl_flow.final_summary.wns, r.rl_flow.final_summary.tns,
+              r.rl_flow.final_summary.nve, r.rl_flow.power_final.total());
   std::printf("\nRL-CCD prioritized %zu endpoints -> TNS %.1f%%, NVE %.1f%% "
               "better than default (runtime x%.0f)\n",
               r.selection.size(), r.tns_gain_pct(), r.nve_gain_pct(),

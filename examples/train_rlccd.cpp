@@ -54,8 +54,8 @@ int main(int argc, char** argv) {
   TablePrinter cmp({"strategy", "final TNS", "final NVE", "|selection|"});
   auto row = [&](const char* tag, std::span<const PinId> sel) {
     FlowResult f = trainer.evaluate_selection(sel);
-    cmp.add_row({tag, TablePrinter::fmt(f.final_.tns, 3),
-                 std::to_string(f.final_.nve), std::to_string(sel.size())});
+    cmp.add_row({tag, TablePrinter::fmt(f.final_summary.tns, 3),
+                 std::to_string(f.final_summary.nve), std::to_string(sel.size())});
   };
   row("default (no selection)", {});
   std::vector<PinId> worst = select_worst_k(sta, k);

@@ -1,0 +1,493 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace rlccd {
+
+namespace {
+
+constexpr std::size_t kMaxSpanDepth = 32;
+
+// Outermost span closes merge into the registry in batches: hot loops that
+// open depth-0 spans (a bare sta.update() per netlist edit) would otherwise
+// pay a mutex + tree merge per close. Pending spans are drained by
+// MetricsRegistry::flush_thread_spans() (snapshot() calls it) and at thread
+// exit.
+constexpr int kMergeEvery = 64;
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void atomic_add_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Per-thread span tree: `stack` always starts at &root. Only the children of
+// the top-of-stack node are ever appended to, so the SpanNode* entries below
+// it stay valid while their spans are open.
+struct ThreadSpanState {
+  SpanNode root;
+  std::vector<SpanNode*> stack;
+  int pending_closes = 0;
+  ThreadSpanState() { stack.push_back(&root); }
+  // Thread-local destruction precedes static destruction, so the registry
+  // singleton is still alive here; workers that exit with batched spans
+  // pending (a trainer rollout) flush them on join.
+  ~ThreadSpanState();
+};
+
+ThreadSpanState& thread_spans() {
+  thread_local ThreadSpanState state;
+  return state;
+}
+
+thread_local TelemetryScope* t_active_scope = nullptr;
+
+ThreadSpanState::~ThreadSpanState() {
+  if (!root.children.empty()) MetricsRegistry::global().merge_spans(root);
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void span_to_json(std::string& out, const SpanNode& node) {
+  out += "{\"name\":\"";
+  json_escape(out, node.name);
+  out += "\",\"count\":";
+  append_number(out, node.count);
+  out += ",\"total_sec\":";
+  append_number(out, node.total_sec);
+  out += ",\"exclusive_sec\":";
+  append_number(out, node.exclusive_sec());
+  out += ",\"children\":[";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i) out += ',';
+    span_to_json(out, node.children[i]);
+  }
+  out += "]}";
+}
+
+void spans_to_csv(std::string& out, const SpanNode& node,
+                  const std::string& prefix) {
+  for (const SpanNode& c : node.children) {
+    std::string path = prefix.empty() ? c.name : prefix + "/" + c.name;
+    char buf[96];
+    std::snprintf(buf, sizeof buf, ",%llu,%.9g,%.9g\n",
+                  static_cast<unsigned long long>(c.count), c.total_sec,
+                  c.exclusive_sec());
+    out += "span," + path + buf;
+    spans_to_csv(out, c, path);
+  }
+}
+
+void counters_to_json(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  out += "\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    json_escape(out, counters[i].first);
+    out += "\":";
+    append_number(out, counters[i].second);
+  }
+  out += '}';
+}
+
+void spans_array_to_json(std::string& out, const SpanNode& root) {
+  out += "\"spans\":[";
+  for (std::size_t i = 0; i < root.children.size(); ++i) {
+    if (i) out += ',';
+    span_to_json(out, root.children[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+// -- counters -----------------------------------------------------------------
+
+void MetricsCounter::add(std::uint64_t n) {
+  if (n == 0) return;
+  value_.fetch_add(n, std::memory_order_relaxed);
+  for (TelemetryScope* s = t_active_scope; s != nullptr; s = s->parent_) {
+    s->record_counter(this, n);
+  }
+}
+
+// -- histograms ---------------------------------------------------------------
+
+void MetricsHistogram::record(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, value);
+  atomic_min_double(min_, value);
+  atomic_max_double(max_, value);
+  int bucket = 0;
+  if (value > 0.0) {
+    int exp = 0;
+    std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+    bucket = std::clamp(exp + kBias, 0, kNumBuckets - 1);
+  }
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+MetricsHistogram::Snapshot MetricsHistogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  }
+  for (int b = 0; b < kNumBuckets; ++b) {
+    std::uint64_t n =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    if (n > 0) s.buckets.emplace_back(b - kBias, n);
+  }
+  return s;
+}
+
+// -- span tree ----------------------------------------------------------------
+
+double SpanNode::child_sec() const {
+  double sum = 0.0;
+  for (const SpanNode& c : children) sum += c.total_sec;
+  return sum;
+}
+
+SpanNode& SpanNode::child(std::string_view child_name) {
+  for (SpanNode& c : children) {
+    if (c.name == child_name) return c;
+  }
+  children.push_back(SpanNode{std::string(child_name), 0, 0.0, {}});
+  return children.back();
+}
+
+const SpanNode* SpanNode::find_child(std::string_view child_name) const {
+  for (const SpanNode& c : children) {
+    if (c.name == child_name) return &c;
+  }
+  return nullptr;
+}
+
+const SpanNode* SpanNode::find(std::string_view path) const {
+  const SpanNode* node = this;
+  while (!path.empty()) {
+    std::size_t sep = path.find('/');
+    std::string_view head =
+        sep == std::string_view::npos ? path : path.substr(0, sep);
+    path = sep == std::string_view::npos ? std::string_view{}
+                                         : path.substr(sep + 1);
+    node = node->find_child(head);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+void SpanNode::merge(const SpanNode& other) {
+  count += other.count;
+  total_sec += other.total_sec;
+  for (const SpanNode& oc : other.children) child(oc.name).merge(oc);
+}
+
+// -- scoped spans -------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(std::string_view name) : start_sec_(steady_seconds()) {
+  ThreadSpanState& st = thread_spans();
+  SpanNode& node = st.stack.back()->child(name);
+  st.stack.push_back(&node);
+}
+
+ScopedSpan::~ScopedSpan() {
+  const double elapsed = steady_seconds() - start_sec_;
+  ThreadSpanState& st = thread_spans();
+  SpanNode* node = st.stack.back();
+  node->count += 1;
+  node->total_sec += elapsed;
+
+  // Feed active capture scopes with the path relative to each scope's base.
+  if (t_active_scope != nullptr) {
+    const std::size_t top = st.stack.size() - 1;  // index of `node`
+    std::array<std::string_view, kMaxSpanDepth> names;
+    const std::size_t depth = std::min(top, kMaxSpanDepth);
+    for (std::size_t i = 0; i < depth; ++i) {
+      names[i] = st.stack[top - depth + 1 + i]->name;
+    }
+    for (TelemetryScope* s = t_active_scope; s != nullptr; s = s->parent_) {
+      if (top <= s->base_index_ || top - s->base_index_ > depth) continue;
+      const std::size_t len = top - s->base_index_;
+      s->record_span({names.data() + (depth - len), len}, elapsed);
+    }
+  }
+
+  st.stack.pop_back();
+  if (st.stack.size() == 1 && ++st.pending_closes >= kMergeEvery) {
+    MetricsRegistry::global().merge_spans(st.root);
+    st.root.children.clear();
+    st.pending_closes = 0;
+  }
+}
+
+// -- capture scope ------------------------------------------------------------
+
+TelemetryScope::TelemetryScope()
+    : parent_(t_active_scope),
+      base_index_(thread_spans().stack.size() - 1) {
+  t_active_scope = this;
+}
+
+TelemetryScope::~TelemetryScope() { t_active_scope = parent_; }
+
+void TelemetryScope::record_span(std::span<const std::string_view> path,
+                                 double sec) {
+  SpanNode* node = &spans_;
+  for (std::string_view name : path) node = &node->child(name);
+  node->count += 1;
+  node->total_sec += sec;
+}
+
+void TelemetryScope::record_counter(const MetricsCounter* counter,
+                                    std::uint64_t n) {
+  for (auto& [c, total] : counters_) {
+    if (c == counter) {
+      total += n;
+      return;
+    }
+  }
+  counters_.emplace_back(counter, n);
+}
+
+TelemetrySnapshot TelemetryScope::snapshot() const {
+  TelemetrySnapshot snap;
+  snap.spans = spans_;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [c, total] : counters_) {
+    snap.counters.emplace_back(c->name(), total);
+  }
+  std::sort(snap.counters.begin(), snap.counters.end());
+  return snap;
+}
+
+// -- snapshot -----------------------------------------------------------------
+
+std::uint64_t TelemetrySnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::string TelemetrySnapshot::to_json() const {
+  std::string out = "{";
+  counters_to_json(out, counters);
+  out += ',';
+  spans_array_to_json(out, spans);
+  out += '}';
+  return out;
+}
+
+std::string TelemetrySnapshot::to_csv() const {
+  std::string out = "kind,name,value\n";
+  for (const auto& [n, v] : counters) {
+    out += "counter," + n + ',';
+    append_number(out, v);
+    out += '\n';
+  }
+  spans_to_csv(out, spans, "");
+  return out;
+}
+
+// -- registry -----------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsCounter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<MetricsCounter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<MetricsHistogram>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::merge_spans(const SpanNode& root) {
+  std::lock_guard<std::mutex> lock(span_mutex_);
+  spans_.merge(root);
+}
+
+void MetricsRegistry::flush_thread_spans() {
+  ThreadSpanState& st = thread_spans();
+  // Only safe with no open spans: open ScopedSpans hold pointers into the
+  // thread tree, which clearing would invalidate.
+  if (st.stack.size() == 1 && !st.root.children.empty()) {
+    global().merge_spans(st.root);
+    st.root.children.clear();
+    st.pending_closes = 0;
+  }
+}
+
+TelemetrySnapshot MetricsRegistry::snapshot() const {
+  flush_thread_spans();
+  TelemetrySnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      snap.counters.emplace_back(name, c->value());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(span_mutex_);
+    snap.spans = spans_;
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_json() const {
+  TelemetrySnapshot snap = snapshot();
+  std::string out = "{";
+  counters_to_json(out, snap.counters);
+  out += ",\"histograms\":{";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool first = true;
+    for (const auto& [name, h] : histograms_) {
+      MetricsHistogram::Snapshot hs = h->snapshot();
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      json_escape(out, name);
+      out += "\":{\"count\":";
+      append_number(out, hs.count);
+      out += ",\"sum\":";
+      append_number(out, hs.sum);
+      out += ",\"min\":";
+      append_number(out, hs.min);
+      out += ",\"max\":";
+      append_number(out, hs.max);
+      out += ",\"buckets\":[";
+      for (std::size_t i = 0; i < hs.buckets.size(); ++i) {
+        if (i) out += ',';
+        out += '[';
+        append_number(out, static_cast<double>(hs.buckets[i].first));
+        out += ',';
+        append_number(out, hs.buckets[i].second);
+        out += ']';
+      }
+      out += "]}";
+    }
+  }
+  out += "},";
+  spans_array_to_json(out, snap.spans);
+  out += '}';
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const { return snapshot().to_csv(); }
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0.0, std::memory_order_relaxed);
+    h->min_.store(MetricsHistogram::kMinInit, std::memory_order_relaxed);
+    h->max_.store(MetricsHistogram::kMaxInit, std::memory_order_relaxed);
+    for (auto& b : h->buckets_) b.store(0, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> span_lock(span_mutex_);
+  spans_ = SpanNode{};
+}
+
+// -- progress events ----------------------------------------------------------
+
+double ProgressEvent::metric(std::string_view name, double fallback) const {
+  for (const ProgressMetric& m : metrics) {
+    if (m.name == name) return m.value;
+  }
+  return fallback;
+}
+
+}  // namespace rlccd

@@ -1,5 +1,7 @@
 #include "core/rlccd.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 
 namespace rlccd {
@@ -25,15 +27,24 @@ RlCcd::RlCcd(const Design* design, RlCcdConfig config)
 }
 
 RlCcdResult RlCcd::run() {
+  RLCCD_SPAN("rlccd");
   RlCcdResult result;
-  ReinforceTrainer trainer(design_, &policy_, config_.train);
+  TrainConfig train_config = config_.train;
+  if (train_config.observer == nullptr) {
+    train_config.observer = config_.observer;
+  }
+  ReinforceTrainer trainer(design_, &policy_, train_config);
   result.train = trainer.train();
   result.selection = result.train.best_selection;
-  result.default_flow = trainer.evaluate_selection({});
-  result.rl_flow = trainer.evaluate_selection(result.selection);
-  double default_cost = std::max(1e-9, result.default_flow.runtime_sec);
+  {
+    RLCCD_SPAN("final_flows");
+    result.default_flow = trainer.evaluate_selection({});
+    result.rl_flow = trainer.evaluate_selection(result.selection);
+  }
+  double default_cost = std::max(1e-9, result.default_flow.runtime_sec());
   result.runtime_factor =
-      (result.train.train_seconds + result.rl_flow.runtime_sec) / default_cost;
+      (result.train.train_seconds + result.rl_flow.runtime_sec()) /
+      default_cost;
   return result;
 }
 

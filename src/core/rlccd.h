@@ -11,7 +11,7 @@
 // per design.
 #pragma once
 
-#include <optional>
+#include <cmath>
 #include <string>
 
 #include "designgen/generator.h"
@@ -25,6 +25,9 @@ struct RlCcdConfig {
   // Optional EP-GNN weights file for transfer learning.
   std::string pretrained_gnn;
   std::uint64_t policy_seed = 42;
+  // Convenience: propagated to train.observer when that is unset, so facade
+  // users get per-iteration progress without reaching into TrainConfig.
+  ProgressObserver* observer = nullptr;
 
   // Sensible defaults (flow budgets, skew bounds) scaled for `design`.
   static RlCcdConfig for_design(const Design& design);
@@ -40,16 +43,17 @@ struct RlCcdResult {
   double runtime_factor = 0.0;
 
   [[nodiscard]] double tns_gain_pct() const {
-    double d = std::abs(default_flow.final_.tns);
+    double d = std::abs(default_flow.final_summary.tns);
     if (d < 1e-12) return 0.0;
-    return 100.0 * (rl_flow.final_.tns - default_flow.final_.tns) / d;
+    return 100.0 *
+           (rl_flow.final_summary.tns - default_flow.final_summary.tns) / d;
   }
   [[nodiscard]] double nve_gain_pct() const {
-    if (default_flow.final_.nve == 0) return 0.0;
+    if (default_flow.final_summary.nve == 0) return 0.0;
     return 100.0 *
-           (static_cast<double>(default_flow.final_.nve) -
-            static_cast<double>(rl_flow.final_.nve)) /
-           static_cast<double>(default_flow.final_.nve);
+           (static_cast<double>(default_flow.final_summary.nve) -
+            static_cast<double>(rl_flow.final_summary.nve)) /
+           static_cast<double>(default_flow.final_summary.nve);
   }
 };
 

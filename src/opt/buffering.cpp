@@ -11,6 +11,7 @@ constexpr double kInf = 1e30;
 
 BufferResult run_buffering(Sta& sta, Netlist& netlist,
                            const BufferConfig& config) {
+  RLCCD_SPAN("buffering");
   BufferResult result;
   sta.update();
   const Library& lib = netlist.library();
@@ -82,6 +83,9 @@ BufferResult run_buffering(Sta& sta, Netlist& netlist,
     netlist.update_wire_parasitics();
   }
   sta.update();
+  static MetricsCounter& ctr =
+      MetricsRegistry::global().counter("opt.buffering.inserted");
+  ctr.add(static_cast<std::uint64_t>(result.buffers_inserted));
   return result;
 }
 

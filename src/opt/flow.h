@@ -16,11 +16,18 @@
 //
 // The flow mutates the given netlist; callers that need repeated rollouts
 // from the same starting point (the RL trainer) run it on a copy.
+//
+// Observability: every step runs under an RLCCD_SPAN, and the whole flow
+// under a TelemetryScope, so FlowResult::telemetry carries an exact nested
+// wall-clock breakdown plus the STA work counters for this one run — even
+// when many flows execute concurrently on trainer workers. Attach a
+// ProgressObserver via FlowConfig::observer to stream per-step events.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "opt/buffering.h"
 #include "opt/hold_fix.h"
 #include "opt/restructure.h"
@@ -53,16 +60,32 @@ struct FlowConfig {
   bool enable_power_recovery = true;
   bool legalize = true;
   MarginMode margin_mode = MarginMode::OverFixToWns;
+  // Streams per-step ProgressEvents (phase "flow"); fires on the thread
+  // running this flow. Not owned; must outlive the run.
+  ProgressObserver* observer = nullptr;
 };
 
 // Budgets and skew bounds scaled for a design of `num_cells` with clock
 // period `period` (ns).
 FlowConfig default_flow_config(std::size_t num_cells, double period);
 
+// Non-owning view of everything the flow reads besides the mutable netlist.
+// Keeps the entry point at three arguments: new inputs land here instead of
+// growing a positional list. All referenced objects must outlive the call.
+struct FlowInput {
+  const StaConfig& sta_config;
+  double clock_period;
+  const Die& die;
+  const std::vector<double>& pi_toggles;  // activity seed, PI order
+  // Endpoints the clock path must over-fix (the RL hook); empty = the
+  // native tool flow.
+  std::span<const PinId> prioritized = {};
+};
+
 struct FlowResult {
-  TimingSummary begin;        // post global place, before any optimization
-  TimingSummary after_skew;   // after the CCD useful-skew step (margins off)
-  TimingSummary final_;       // end of placement optimization
+  TimingSummary begin;          // post global place, before any optimization
+  TimingSummary after_skew;     // after the CCD useful-skew step (margins off)
+  TimingSummary final_summary;  // end of placement optimization
   PowerReport power_begin;
   PowerReport power_final;
   UsefulSkewResult skew;
@@ -71,15 +94,20 @@ struct FlowResult {
   int buffers_inserted = 0;
   int pins_swapped = 0;
   int hold_buffers = 0;
-  double runtime_sec = 0.0;
   ClockSchedule final_clock;  // for Fig. 5 histograms
   StaStats sta_stats;         // timing-engine work counters for this flow
+  // Per-flow capture: nested per-step spans ("flow/useful_skew", ...) and
+  // the counter deltas recorded while this flow ran.
+  TelemetrySnapshot telemetry;
+
+  // Total wall-clock of this flow run (the "flow" span).
+  [[nodiscard]] double runtime_sec() const {
+    const SpanNode* flow = telemetry.find_span("flow");
+    return flow != nullptr ? flow->total_sec : 0.0;
+  }
 };
 
-FlowResult run_placement_flow(Netlist& netlist, const StaConfig& sta_config,
-                              double clock_period, const Die& die,
-                              const std::vector<double>& pi_toggles,
-                              const FlowConfig& config,
-                              std::span<const PinId> prioritized = {});
+FlowResult run_placement_flow(Netlist& netlist, const FlowInput& input,
+                              const FlowConfig& config);
 
 }  // namespace rlccd

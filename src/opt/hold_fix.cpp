@@ -12,6 +12,7 @@ constexpr double kInf = 1e29;
 
 HoldFixResult run_hold_fix(Sta& sta, Netlist& netlist,
                            const HoldFixConfig& config) {
+  RLCCD_SPAN("hold_fix");
   HoldFixResult result;
   sta.update();
   const Library& lib = netlist.library();
@@ -32,14 +33,18 @@ HoldFixResult run_hold_fix(Sta& sta, Netlist& netlist,
         return false;
       }
       // Splice the buffer directly in front of the endpoint pin, co-located
-      // with the endpoint cell so it adds no wire delay.
+      // with the endpoint cell so it adds no wire delay. Copy everything out
+      // of the netlist first: add_cell/add_net below may reallocate the
+      // cell/pin stores and invalidate references into them.
       const Pin& p = netlist.pin(ep);
+      const NetId src = p.net;
       const Cell& owner = netlist.cell(p.cell);
-      NetId src = p.net;
+      const double owner_x = owner.x;
+      const double owner_y = owner.y;
       RLCCD_ASSERT(src.valid());
       CellId buf_cell = netlist.add_cell(
           buf_lib, "hold_buf" + std::to_string(netlist.num_cells()));
-      netlist.set_position(buf_cell, owner.x, owner.y);
+      netlist.set_position(buf_cell, owner_x, owner_y);
       NetId n =
           netlist.add_net("hold_n" + std::to_string(netlist.num_nets()));
       netlist.set_driver(n, buf_cell);
@@ -72,6 +77,9 @@ HoldFixResult run_hold_fix(Sta& sta, Netlist& netlist,
 
   result.endpoints_unfixable = unfixable.size();
   sta.update();
+  static MetricsCounter& ctr =
+      MetricsRegistry::global().counter("opt.hold_fix.buffers");
+  ctr.add(static_cast<std::uint64_t>(result.buffers_inserted));
   return result;
 }
 

@@ -26,6 +26,7 @@ bool is_commutative(CellKind kind) {
 
 RestructureResult run_restructure(Sta& sta, Netlist& netlist,
                                   const RestructureConfig& config) {
+  RLCCD_SPAN("restructure");
   RestructureResult result;
   sta.update();
 
@@ -67,6 +68,9 @@ RestructureResult run_restructure(Sta& sta, Netlist& netlist,
   }
 
   sta.update();
+  static MetricsCounter& ctr =
+      MetricsRegistry::global().counter("opt.restructure.swaps");
+  ctr.add(static_cast<std::uint64_t>(result.swaps));
   return result;
 }
 

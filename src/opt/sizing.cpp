@@ -50,6 +50,7 @@ double estimate_resize_delta(const Sta& sta, const Netlist& netlist,
 
 SizingResult run_sizing(Sta& sta, Netlist& netlist,
                         const SizingConfig& config) {
+  RLCCD_SPAN("sizing");
   SizingResult result;
   sta.update();
   const Library& lib = netlist.library();
@@ -106,6 +107,12 @@ SizingResult run_sizing(Sta& sta, Netlist& netlist,
   }
 
   sta.update();
+  static MetricsCounter& ctr_up =
+      MetricsRegistry::global().counter("opt.sizing.upsized");
+  static MetricsCounter& ctr_down =
+      MetricsRegistry::global().counter("opt.sizing.downsized");
+  ctr_up.add(static_cast<std::uint64_t>(result.upsized));
+  ctr_down.add(static_cast<std::uint64_t>(result.downsized));
   return result;
 }
 

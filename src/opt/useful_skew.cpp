@@ -11,6 +11,7 @@ constexpr double kInf = 1e30;
 }
 
 UsefulSkewResult run_useful_skew(Sta& sta, const UsefulSkewConfig& config) {
+  RLCCD_SPAN("useful_skew");
   const Netlist& nl = sta.netlist();
   std::vector<CellId> flops = nl.sequential_cells();
   UsefulSkewResult result;
@@ -58,6 +59,12 @@ UsefulSkewResult run_useful_skew(Sta& sta, const UsefulSkewConfig& config) {
                                            std::abs(d));
     }
   }
+  static MetricsCounter& ctr_sweeps =
+      MetricsRegistry::global().counter("opt.useful_skew.sweeps");
+  static MetricsCounter& ctr_adjusted =
+      MetricsRegistry::global().counter("opt.useful_skew.flops_adjusted");
+  ctr_sweeps.add(static_cast<std::uint64_t>(result.sweeps));
+  ctr_adjusted.add(static_cast<std::uint64_t>(result.flops_adjusted));
   return result;
 }
 

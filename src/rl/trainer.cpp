@@ -42,22 +42,22 @@ void ReinforceTrainer::release_scratch(std::unique_ptr<Netlist> scratch) const {
 FlowResult ReinforceTrainer::evaluate_selection(
     std::span<const PinId> selection) const {
   std::unique_ptr<Netlist> work = acquire_scratch();
-  FlowResult result =
-      run_placement_flow(*work, design_->sta_config, design_->clock_period,
-                         design_->die, design_->pi_toggles, config_.flow,
-                         selection);
+  FlowInput input{design_->sta_config, design_->clock_period, design_->die,
+                  design_->pi_toggles, selection};
+  FlowResult result = run_placement_flow(*work, input, config_.flow);
   release_scratch(std::move(work));
   return result;
 }
 
 TrainStats ReinforceTrainer::train() {
+  RLCCD_SPAN("train");
   auto t_start = std::chrono::steady_clock::now();
   TrainStats stats;
   stats.begin_tns = graph_.begin_tns();
 
   FlowResult default_result = evaluate_selection({});
-  stats.default_tns = default_result.final_.tns;
-  stats.default_nve = default_result.final_.nve;
+  stats.default_tns = default_result.final_summary.tns;
+  stats.default_nve = default_result.final_summary.nve;
   stats.best_tns = stats.default_tns;  // empty selection is always available
 
   if (graph_.num_endpoints() == 0) {
@@ -83,7 +83,12 @@ TrainStats ReinforceTrainer::train() {
     std::vector<std::vector<float>> grads;  // per parameter
   };
 
+  static MetricsHistogram& hist_iter_seconds =
+      MetricsRegistry::global().histogram("train.iteration.seconds");
+
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    const auto t_iter = std::chrono::steady_clock::now();
+    ScopedSpan iter_span("iteration");
     // Clone policies on the main thread (cheap, deterministic).
     std::vector<Policy> clones;
     clones.reserve(static_cast<std::size_t>(config_.workers));
@@ -93,6 +98,9 @@ TrainStats ReinforceTrainer::train() {
     std::vector<std::thread> threads;
     for (int w = 0; w < config_.workers; ++w) {
       threads.emplace_back([&, w]() {
+        // Per-worker span: each worker thread owns its own span tree, so
+        // eight concurrent rollouts aggregate without contention.
+        RLCCD_SPAN("rollout");
         Policy& pol = clones[static_cast<std::size_t>(w)];
         WorkerOut& out = outs[static_cast<std::size_t>(w)];
         Rng rng = root_rng.fork(
@@ -107,7 +115,7 @@ TrainStats ReinforceTrainer::train() {
         out.steps = ro.steps;
         out.selection = ro.selected;
         FlowResult fr = evaluate_selection(ro.selected);
-        out.tns = fr.final_.tns;
+        out.tns = fr.final_summary.tns;
         out.reward = (out.tns - stats.default_tns) / reward_denom;
 
         // REINFORCE: grad = -(r - b) * sum_t grad(log pi_t); the baseline
@@ -162,6 +170,26 @@ TrainStats ReinforceTrainer::train() {
     stats.flow_runs += config_.workers;
     ++stats.iterations;
 
+    const double iter_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_iter)
+            .count();
+    hist_iter_seconds.record(iter_seconds);
+    if (config_.observer != nullptr) {
+      const ProgressMetric metrics[] = {
+          {"mean_reward", is.mean_reward}, {"mean_tns", is.mean_tns},
+          {"iter_best_tns", is.iter_best_tns}, {"best_tns", is.best_tns},
+          {"mean_steps", is.mean_steps},
+      };
+      ProgressEvent event;
+      event.phase = "train";
+      event.step = "iteration";
+      event.index = iter;
+      event.seconds = iter_seconds;
+      event.metrics = metrics;
+      config_.observer->on_event(event);
+    }
+
     if (!baseline_init) {
       baseline = is.mean_reward;
       baseline_init = true;
@@ -189,8 +217,8 @@ TrainStats ReinforceTrainer::train() {
         graph_, env, rng, /*greedy=*/true, Policy::RolloutMode::Inference);
     FlowResult fr = evaluate_selection(ro.selected);
     ++stats.flow_runs;
-    if (fr.final_.tns > stats.best_tns) {
-      stats.best_tns = fr.final_.tns;
+    if (fr.final_summary.tns > stats.best_tns) {
+      stats.best_tns = fr.final_summary.tns;
       stats.best_selection = ro.selected;
       RLCCD_LOG_INFO("greedy decode improved best TNS to %.3f",
                      stats.best_tns);

@@ -31,6 +31,11 @@ struct TrainConfig {
   double baseline_decay = 0.7;
   std::uint64_t seed = 1;
   FlowConfig flow;
+  // Streams one ProgressEvent (phase "train", step "iteration") per
+  // training iteration, carrying the same values recorded in
+  // TrainStats::history. Fires on the thread that called train(), after the
+  // iteration's workers have joined. Not owned; must outlive train().
+  ProgressObserver* observer = nullptr;
 };
 
 struct IterationStats {

@@ -26,6 +26,29 @@ Sta::Sta(const Netlist* netlist, StaConfig config, double clock_period)
     : netlist_(netlist), config_(config), clock_(clock_period) {
   RLCCD_EXPECTS(netlist != nullptr);
   RLCCD_EXPECTS(clock_period > 0.0);
+  MetricsRegistry& reg = MetricsRegistry::global();
+  ctr_full_runs_ = &reg.counter("sta.full_runs");
+  ctr_incremental_updates_ = &reg.counter("sta.incremental_updates");
+  ctr_forward_pins_ = &reg.counter("sta.pin_updates.forward");
+  ctr_backward_pins_ = &reg.counter("sta.pin_updates.backward");
+  ctr_relevel_batches_ = &reg.counter("sta.relevel_batches");
+  hist_update_pins_ = &reg.histogram("sta.update.pin_updates");
+}
+
+void Sta::flush_stats_to_registry() {
+  ctr_full_runs_->add(stats_.full_runs - flushed_stats_.full_runs);
+  ctr_incremental_updates_->add(stats_.incremental_updates -
+                                flushed_stats_.incremental_updates);
+  const std::uint64_t pins =
+      stats_.pin_updates() - flushed_stats_.pin_updates();
+  ctr_forward_pins_->add(stats_.forward_pin_updates -
+                         flushed_stats_.forward_pin_updates);
+  ctr_backward_pins_->add(stats_.backward_pin_updates -
+                          flushed_stats_.backward_pin_updates);
+  ctr_relevel_batches_->add(stats_.relevel_batches -
+                            flushed_stats_.relevel_batches);
+  if (pins > 0) hist_update_pins_->record(static_cast<double>(pins));
+  flushed_stats_ = stats_;
 }
 
 double Sta::wire_delay(PinId sink) const {
@@ -79,6 +102,7 @@ double Sta::endpoint_required(PinId endpoint) const {
 }
 
 void Sta::run() {
+  RLCCD_SPAN("sta_run");
   const Netlist& nl = *netlist_;
   bool underflow = false;
   std::span<const Mutation> pending =
@@ -103,6 +127,7 @@ void Sta::run() {
   stats_.forward_pin_updates += nl.num_pins();
   stats_.backward_pin_updates += nl.num_pins();
   has_run_ = true;
+  flush_stats_to_registry();
 }
 
 void Sta::update() {
@@ -127,6 +152,7 @@ void Sta::update() {
     run();
     return;
   }
+  RLCCD_SPAN("sta_update");
 
   // 1. Patch the levelized topology for structural edits / new cells.
   std::vector<CellId> structural;
@@ -155,6 +181,7 @@ void Sta::update() {
   journal_cursor_ = nl.journal().seq();
   clock_.ack_dirty();
   margin_dirty_.clear();
+  flush_stats_to_registry();
 }
 
 // -- seed collection ----------------------------------------------------------

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/telemetry.h"
 #include "netlist/netlist.h"
 #include "sta/clock_schedule.h"
 #include "sta/timing_graph.h"
@@ -134,7 +135,10 @@ class Sta {
   [[nodiscard]] double wire_delay(PinId sink) const;
 
   [[nodiscard]] const StaStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = StaStats{}; }
+  void reset_stats() {
+    stats_ = StaStats{};
+    flushed_stats_ = StaStats{};
+  }
 
  private:
   // -- full passes ------------------------------------------------------------
@@ -192,6 +196,18 @@ class Sta {
   std::vector<PinId> margin_dirty_;
 
   StaStats stats_;
+  // Registry mirror: per-instance stats_ deltas are flushed onto the
+  // process-wide "sta.*" counters after every run()/update(), keeping the
+  // per-pin hot loops free of atomics while the registry (and any active
+  // TelemetryScope) still sees every unit of timing work.
+  StaStats flushed_stats_;
+  MetricsCounter* ctr_full_runs_;
+  MetricsCounter* ctr_incremental_updates_;
+  MetricsCounter* ctr_forward_pins_;
+  MetricsCounter* ctr_backward_pins_;
+  MetricsCounter* ctr_relevel_batches_;
+  MetricsHistogram* hist_update_pins_;
+  void flush_stats_to_registry();
 
   // Frontier scratch, reused across updates.
   std::vector<std::vector<CellId>> buckets_;  // by level

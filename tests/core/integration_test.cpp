@@ -28,11 +28,11 @@ TEST(Integration, BlockPipelineProducesPaperShapedNumbers) {
   RlCcd agent(&d, cfg);
   RlCcdResult r = agent.run();
 
-  EXPECT_GT(r.default_flow.final_.tns, 0.7 * begin.tns);
-  EXPECT_LT(r.default_flow.final_.nve, begin.nve);
+  EXPECT_GT(r.default_flow.final_summary.tns, 0.7 * begin.tns);
+  EXPECT_LT(r.default_flow.final_summary.nve, begin.nve);
 
   // RL-CCD never loses to the default flow and reports coherent metrics.
-  EXPECT_GE(r.rl_flow.final_.tns, r.default_flow.final_.tns - 1e-9);
+  EXPECT_GE(r.rl_flow.final_summary.tns, r.default_flow.final_summary.tns - 1e-9);
   EXPECT_GE(r.tns_gain_pct(), -1e-9);
 
   // Power is approximately neutral (paper: avg 0.2% improvement).
@@ -59,8 +59,8 @@ TEST(Integration, TrainedSelectionBeatsNaiveBaselinesOrDefault) {
       select_worst_k(sta, sta.violating_endpoints().size() / 3);
   FlowResult worst_flow = trainer.evaluate_selection(worst);
 
-  EXPECT_GE(r.rl_flow.final_.tns, r.default_flow.final_.tns - 1e-9);
-  EXPECT_GE(r.rl_flow.final_.tns, worst_flow.final_.tns - 1e-9);
+  EXPECT_GE(r.rl_flow.final_summary.tns, r.default_flow.final_summary.tns - 1e-9);
+  EXPECT_GE(r.rl_flow.final_summary.tns, worst_flow.final_summary.tns - 1e-9);
 }
 
 TEST(Integration, SameSeedFullPipelineIsReproducible) {
@@ -76,8 +76,8 @@ TEST(Integration, SameSeedFullPipelineIsReproducible) {
   };
   RlCcdResult a = run_once();
   RlCcdResult b = run_once();
-  EXPECT_DOUBLE_EQ(a.rl_flow.final_.tns, b.rl_flow.final_.tns);
-  EXPECT_DOUBLE_EQ(a.default_flow.final_.tns, b.default_flow.final_.tns);
+  EXPECT_DOUBLE_EQ(a.rl_flow.final_summary.tns, b.rl_flow.final_summary.tns);
+  EXPECT_DOUBLE_EQ(a.default_flow.final_summary.tns, b.default_flow.final_summary.tns);
   EXPECT_EQ(a.selection.size(), b.selection.size());
 }
 

@@ -27,9 +27,9 @@ TEST(RlCcd, EndToEndRunProducesConsistentResult) {
   RlCcdResult r = agent.run();
 
   EXPECT_LT(r.train.begin_tns, 0.0);
-  EXPECT_GE(r.rl_flow.final_.tns, r.train.best_tns - 1e-9)
+  EXPECT_GE(r.rl_flow.final_summary.tns, r.train.best_tns - 1e-9)
       << "final flow with best selection must reproduce the best reward";
-  EXPECT_GE(r.rl_flow.final_.tns, r.default_flow.final_.tns - 1e-9);
+  EXPECT_GE(r.rl_flow.final_summary.tns, r.default_flow.final_summary.tns - 1e-9);
   EXPECT_GT(r.runtime_factor, 1.0);
 }
 
@@ -38,8 +38,8 @@ TEST(RlCcd, GainMetricsMatchFlows) {
   RlCcd agent(&d, fast_config(d));
   RlCcdResult r = agent.run();
   double expect_gain =
-      100.0 * (r.rl_flow.final_.tns - r.default_flow.final_.tns) /
-      std::abs(r.default_flow.final_.tns);
+      100.0 * (r.rl_flow.final_summary.tns - r.default_flow.final_summary.tns) /
+      std::abs(r.default_flow.final_summary.tns);
   EXPECT_NEAR(r.tns_gain_pct(), expect_gain, 1e-9);
   EXPECT_GE(r.tns_gain_pct(), -1e-9);
 }

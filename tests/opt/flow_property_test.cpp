@@ -18,23 +18,24 @@ class FlowSweep : public ::testing::TestWithParam<std::string> {
     Netlist work = *d.netlist;
     FlowConfig cfg =
         default_flow_config(work.num_real_cells(), d.clock_period);
-    return run_placement_flow(work, d.sta_config, d.clock_period, d.die,
-                              d.pi_toggles, cfg, prio);
+    FlowInput input{d.sta_config, d.clock_period, d.die, d.pi_toggles,
+                    prio};
+    return run_placement_flow(work, input, cfg);
   }
 };
 
 TEST_P(FlowSweep, NeverWorsensTiming) {
   Design d = make(GetParam());
   FlowResult r = run(d);
-  EXPECT_GE(r.final_.tns, r.begin.tns);
-  EXPECT_GE(r.final_.wns, r.begin.wns);
-  EXPECT_LE(r.final_.nve, r.begin.nve);
+  EXPECT_GE(r.final_summary.tns, r.begin.tns);
+  EXPECT_GE(r.final_summary.wns, r.begin.wns);
+  EXPECT_LE(r.final_summary.nve, r.begin.nve);
 }
 
 TEST_P(FlowSweep, HoldStaysClean) {
   Design d = make(GetParam());
   FlowResult r = run(d);
-  EXPECT_GE(r.final_.worst_hold_slack, -1e-9)
+  EXPECT_GE(r.final_summary.worst_hold_slack, -1e-9)
       << "the skew engine must never trade setup for hold violations";
 }
 
@@ -42,7 +43,7 @@ TEST_P(FlowSweep, DeterministicWithAndWithoutPrioritization) {
   Design d = make(GetParam());
   FlowResult a = run(d);
   FlowResult b = run(d);
-  EXPECT_DOUBLE_EQ(a.final_.tns, b.final_.tns);
+  EXPECT_DOUBLE_EQ(a.final_summary.tns, b.final_summary.tns);
 
   // Prioritized runs are deterministic too.
   Netlist probe = *d.netlist;
@@ -53,7 +54,7 @@ TEST_P(FlowSweep, DeterministicWithAndWithoutPrioritization) {
                          vio.begin() + std::min<std::size_t>(5, vio.size()));
   FlowResult c = run(d, sel);
   FlowResult e = run(d, sel);
-  EXPECT_DOUBLE_EQ(c.final_.tns, e.final_.tns);
+  EXPECT_DOUBLE_EQ(c.final_summary.tns, e.final_summary.tns);
 }
 
 INSTANTIATE_TEST_SUITE_P(Blocks, FlowSweep,

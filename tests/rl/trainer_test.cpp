@@ -60,7 +60,7 @@ TEST(Trainer, EvaluateSelectionDoesNotMutateDesign) {
   FlowResult r = trainer.evaluate_selection({});
   EXPECT_EQ(d.netlist->num_cells(), cells_before)
       << "the flow must run on a copy";
-  EXPECT_GE(r.final_.tns, r.begin.tns);
+  EXPECT_GE(r.final_summary.tns, r.begin.tns);
 }
 
 TEST(Trainer, DeterministicAcrossRuns) {
@@ -90,6 +90,49 @@ TEST(Trainer, EarlyStopsAfterPatienceExhausted) {
   ReinforceTrainer trainer(&d, &policy, cfg);
   TrainStats stats = trainer.train();
   EXPECT_LT(stats.iterations, 50) << "patience should stop training early";
+}
+
+TEST(Trainer, ObserverReceivesOneEventPerIteration) {
+  // The observer contract: exactly one "train"/"iteration" event per
+  // iteration, carrying the same values recorded in TrainStats::history.
+  struct Recorded {
+    int index;
+    double seconds;
+    double mean_reward, mean_tns, iter_best_tns, best_tns, mean_steps;
+  };
+  class RecordingObserver : public ProgressObserver {
+   public:
+    void on_event(const ProgressEvent& e) override {
+      ASSERT_EQ(e.phase, "train");
+      ASSERT_EQ(e.step, "iteration");
+      events.push_back(Recorded{
+          e.index, e.seconds, e.metric("mean_reward"), e.metric("mean_tns"),
+          e.metric("iter_best_tns"), e.metric("best_tns"),
+          e.metric("mean_steps")});
+    }
+    std::vector<Recorded> events;
+  };
+
+  Design d = small_design(103);
+  Policy policy(PolicyConfig{}, 7);
+  RecordingObserver observer;
+  TrainConfig cfg = fast_config(d);
+  cfg.observer = &observer;
+  ReinforceTrainer trainer(&d, &policy, cfg);
+  TrainStats stats = trainer.train();
+
+  ASSERT_EQ(observer.events.size(), stats.history.size());
+  for (std::size_t i = 0; i < stats.history.size(); ++i) {
+    const Recorded& e = observer.events[i];
+    const IterationStats& h = stats.history[i];
+    EXPECT_EQ(e.index, static_cast<int>(i));
+    EXPECT_GT(e.seconds, 0.0);
+    EXPECT_DOUBLE_EQ(e.mean_reward, h.mean_reward);
+    EXPECT_DOUBLE_EQ(e.mean_tns, h.mean_tns);
+    EXPECT_DOUBLE_EQ(e.iter_best_tns, h.iter_best_tns);
+    EXPECT_DOUBLE_EQ(e.best_tns, h.best_tns);
+    EXPECT_DOUBLE_EQ(e.mean_steps, h.mean_steps);
+  }
 }
 
 TEST(Trainer, ParallelWorkersMatchMoreWorkersDeterminism) {

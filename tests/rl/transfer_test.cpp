@@ -63,7 +63,7 @@ TEST(Transfer, DonorToStudentWorkflow) {
     }
   }
   RlCcdResult r = student.run();
-  EXPECT_GE(r.rl_flow.final_.tns, r.default_flow.final_.tns - 1e-9);
+  EXPECT_GE(r.rl_flow.final_summary.tns, r.default_flow.final_summary.tns - 1e-9);
   std::remove(path.c_str());
 }
 
@@ -83,7 +83,7 @@ TEST(Transfer, TransferredTrainingIsDeterministic) {
   };
   RlCcdResult a = run_student();
   RlCcdResult b = run_student();
-  EXPECT_DOUBLE_EQ(a.rl_flow.final_.tns, b.rl_flow.final_.tns);
+  EXPECT_DOUBLE_EQ(a.rl_flow.final_summary.tns, b.rl_flow.final_summary.tns);
   std::remove(path.c_str());
 }
 

@@ -6,6 +6,10 @@
 //   rlccd_cli train    <block> [--scale S] [--iters N] [--workers N]
 //                      [--rho R] [--gnn-in FILE] [--gnn-out FILE]
 //
+// Global flags: --metrics-json FILE writes the process-wide telemetry
+// registry (counters, histograms, nested spans) after the command;
+// --progress streams per-pass / per-iteration events to stderr.
+//
 // Blocks are the paper's Table-II names (block1..block19); a plain number
 // generates an anonymous design with that many cells.
 #include <cstdio>
@@ -14,6 +18,7 @@
 #include <string>
 
 #include "common/log.h"
+#include "common/telemetry.h"
 #include "core/rlccd.h"
 #include "designgen/blocks.h"
 #include "netlist/serialize.h"
@@ -35,7 +40,28 @@ struct Args {
   std::string out;
   std::string gnn_in;
   std::string gnn_out;
+  std::string metrics_json;
+  bool progress = false;
 };
+
+// Streams flow/train progress events as one stderr line each.
+class StderrProgress : public ProgressObserver {
+ public:
+  void on_event(const ProgressEvent& e) override {
+    std::fprintf(stderr, "[%.*s] %-16.*s", static_cast<int>(e.phase.size()),
+                 e.phase.data(), static_cast<int>(e.step.size()),
+                 e.step.data());
+    if (e.index >= 0) std::fprintf(stderr, " #%d", e.index);
+    std::fprintf(stderr, " %.3fs", e.seconds);
+    for (const ProgressMetric& m : e.metrics) {
+      std::fprintf(stderr, " %.*s=%.3f", static_cast<int>(m.name.size()),
+                   m.name.data(), m.value);
+    }
+    std::fputc('\n', stderr);
+  }
+};
+
+StderrProgress g_progress;
 
 bool parse(int argc, char** argv, Args& args) {
   if (argc < 3) return false;
@@ -63,6 +89,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.gnn_in = v;
     } else if (flag == "--gnn-out" && (v = next())) {
       args.gnn_out = v;
+    } else if (flag == "--metrics-json" && (v = next())) {
+      args.metrics_json = v;
+    } else if (flag == "--progress") {
+      args.progress = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -123,17 +153,18 @@ int cmd_flow(const Args& args) {
   Netlist work = *d.netlist;
   FlowConfig cfg =
       default_flow_config(work.num_real_cells(), d.clock_period);
-  FlowResult r = run_placement_flow(work, d.sta_config, d.clock_period,
-                                    d.die, d.pi_toggles, cfg, {});
+  if (args.progress) cfg.observer = &g_progress;
+  FlowInput input{d.sta_config, d.clock_period, d.die, d.pi_toggles};
+  FlowResult r = run_placement_flow(work, input, cfg);
   std::printf("begin : WNS %.3f  TNS %.2f  NVE %zu  power %.2f mW\n",
               r.begin.wns, r.begin.tns, r.begin.nve, r.power_begin.total());
   std::printf("final : WNS %.3f  TNS %.2f  NVE %zu  power %.2f mW\n",
-              r.final_.wns, r.final_.tns, r.final_.nve,
+              r.final_summary.wns, r.final_summary.tns, r.final_summary.nve,
               r.power_final.total());
   std::printf("moves : %d upsized, %d downsized, %d buffers, %d swaps "
               "(%.2f s)\n",
               r.cells_upsized, r.cells_downsized, r.buffers_inserted,
-              r.pins_swapped, r.runtime_sec);
+              r.pins_swapped, r.runtime_sec());
   return 0;
 }
 
@@ -144,13 +175,14 @@ int cmd_train(const Args& args) {
   cfg.train.workers = args.workers;
   cfg.train.overlap_threshold = args.rho;
   cfg.pretrained_gnn = args.gnn_in;
+  if (args.progress) cfg.observer = &g_progress;
   RlCcd agent(&d, cfg);
   RlCcdResult r = agent.run();
-  std::printf("default: TNS %.3f  NVE %zu\n", r.default_flow.final_.tns,
-              r.default_flow.final_.nve);
+  std::printf("default: TNS %.3f  NVE %zu\n", r.default_flow.final_summary.tns,
+              r.default_flow.final_summary.nve);
   std::printf("RL-CCD : TNS %.3f  NVE %zu  (|sel| %zu, %.1f%% TNS gain, "
               "%.1f%% NVE gain, runtime x%.0f)\n",
-              r.rl_flow.final_.tns, r.rl_flow.final_.nve, r.selection.size(),
+              r.rl_flow.final_summary.tns, r.rl_flow.final_summary.nve, r.selection.size(),
               r.tns_gain_pct(), r.nve_gain_pct(), r.runtime_factor);
   if (!args.gnn_out.empty()) {
     if (!agent.save_gnn(args.gnn_out)) {
@@ -171,13 +203,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: rlccd_cli <generate|sta|flow|train> <block|cells> "
                  "[--scale S] [--seed N] [--iters N] [--workers N] [--rho R] "
-                 "[--out FILE] [--gnn-in FILE] [--gnn-out FILE]\n");
+                 "[--out FILE] [--gnn-in FILE] [--gnn-out FILE] "
+                 "[--metrics-json FILE] [--progress]\n");
     return 2;
   }
-  if (args.command == "generate") return cmd_generate(args);
-  if (args.command == "sta") return cmd_sta(args);
-  if (args.command == "flow") return cmd_flow(args);
-  if (args.command == "train") return cmd_train(args);
-  std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
-  return 2;
+  int rc = -1;
+  if (args.command == "generate") rc = cmd_generate(args);
+  else if (args.command == "sta") rc = cmd_sta(args);
+  else if (args.command == "flow") rc = cmd_flow(args);
+  else if (args.command == "train") rc = cmd_train(args);
+  if (rc < 0) {
+    std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+    return 2;
+  }
+  if (!args.metrics_json.empty()) {
+    if (!MetricsRegistry::global().write_json(args.metrics_json)) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_json.c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", args.metrics_json.c_str());
+  }
+  return rc;
 }

@@ -1,22 +1,63 @@
 // Developer smoke test: generates a block, runs the default flow and two
 // naive prioritization strategies, prints summaries. Not installed; used to
 // calibrate the substrate while developing.
+//
+//   smoke_flow [block] [scale] [trials] [--metrics-json PATH] [--progress]
+//
+// --metrics-json writes the process-wide telemetry registry (counters,
+// histograms, nested per-pass span trees) as JSON after all runs.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "designgen/blocks.h"
 #include "designgen/generator.h"
 #include "opt/flow.h"
 
 using namespace rlccd;
 
+namespace {
+
+// Streams one line per flow step as it completes.
+class StderrProgress : public ProgressObserver {
+ public:
+  void on_event(const ProgressEvent& e) override {
+    std::fprintf(stderr, "  [%.*s] %-16.*s", static_cast<int>(e.phase.size()),
+                 e.phase.data(), static_cast<int>(e.step.size()),
+                 e.step.data());
+    if (e.index >= 0) std::fprintf(stderr, " #%d", e.index);
+    std::fprintf(stderr, " %.3fs", e.seconds);
+    for (const ProgressMetric& m : e.metrics) {
+      std::fprintf(stderr, " %.*s=%.3f", static_cast<int>(m.name.size()),
+                   m.name.data(), m.value);
+    }
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Info);
-  std::string block_name = argc > 1 ? argv[1] : "block11";
-  double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
+  std::string metrics_json;
+  bool progress = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_json = argv[++i];
+    } else if (arg == "--progress") {
+      progress = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  std::string block_name = !positional.empty() ? positional[0] : "block11";
+  double scale =
+      positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.01;
 
   Design design = generate_design(
       to_generator_config(find_block(block_name), scale));
@@ -31,19 +72,22 @@ int main(int argc, char** argv) {
   std::printf("begin: WNS %.3f TNS %.2f NVE %zu / %zu endpoints\n",
               begin.wns, begin.tns, begin.nve, begin.num_endpoints);
 
+  StderrProgress progress_observer;
   FlowConfig cfg = default_flow_config(nl.num_real_cells(),
                                        design.clock_period);
+  if (progress) cfg.observer = &progress_observer;
   auto run_with = [&](const char* tag, std::span<const PinId> prio) {
     Netlist work = nl;  // pristine copy per run
-    FlowResult r = run_placement_flow(work, design.sta_config,
-                                      design.clock_period, design.die,
-                                      design.pi_toggles, cfg, prio);
+    FlowInput input{design.sta_config, design.clock_period, design.die,
+                    design.pi_toggles, prio};
+    FlowResult r = run_placement_flow(work, input, cfg);
     std::printf(
         "%-12s final WNS %.3f TNS %8.2f NVE %4zu | after_skew TNS %8.2f | "
         "power %.2f->%.2f mW | up %d dn %d buf %d swap %d | %.2fs\n",
-        tag, r.final_.wns, r.final_.tns, r.final_.nve, r.after_skew.tns,
-        r.power_begin.total(), r.power_final.total(), r.cells_upsized,
-        r.cells_downsized, r.buffers_inserted, r.pins_swapped, r.runtime_sec);
+        tag, r.final_summary.wns, r.final_summary.tns, r.final_summary.nve,
+        r.after_skew.tns, r.power_begin.total(), r.power_final.total(),
+        r.cells_upsized, r.cells_downsized, r.buffers_inserted,
+        r.pins_swapped, r.runtime_sec());
     return r;
   };
 
@@ -73,7 +117,7 @@ int main(int argc, char** argv) {
   run_with("all-vio", vio);
 
   // Random search: does a good selection exist at all?
-  int trials = argc > 3 ? std::atoi(argv[3]) : 0;
+  int trials = positional.size() > 2 ? std::atoi(positional[2].c_str()) : 0;
   double best_tns = -1e30;
   std::vector<PinId> best_sel;
   for (int i = 0; i < trials; ++i) {
@@ -83,15 +127,23 @@ int main(int argc, char** argv) {
       if (rng.uniform() < keep) sel.push_back(ep);
     }
     Netlist work = nl;
-    FlowResult r = run_placement_flow(work, design.sta_config,
-                                      design.clock_period, design.die,
-                                      design.pi_toggles, cfg, sel);
-    if (r.final_.tns > best_tns) {
-      best_tns = r.final_.tns;
+    FlowInput input{design.sta_config, design.clock_period, design.die,
+                    design.pi_toggles, sel};
+    FlowResult r = run_placement_flow(work, input, cfg);
+    if (r.final_summary.tns > best_tns) {
+      best_tns = r.final_summary.tns;
       best_sel = sel;
       std::printf("  trial %3d: TNS %8.3f (|sel|=%zu) <-- new best\n", i,
-                  r.final_.tns, sel.size());
+                  r.final_summary.tns, sel.size());
     }
+  }
+
+  if (!metrics_json.empty()) {
+    if (!MetricsRegistry::global().write_json(metrics_json)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_json.c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", metrics_json.c_str());
   }
   return 0;
 }

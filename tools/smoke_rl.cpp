@@ -27,11 +27,11 @@ int main(int argc, char** argv) {
   std::printf("\n=== %s (%zu cells) ===\n", design.name.c_str(),
               design.netlist->num_real_cells());
   std::printf("begin   TNS %9.3f\n", r.train.begin_tns);
-  std::printf("default TNS %9.3f NVE %zu\n", r.default_flow.final_.tns,
-              r.default_flow.final_.nve);
+  std::printf("default TNS %9.3f NVE %zu\n", r.default_flow.final_summary.tns,
+              r.default_flow.final_summary.nve);
   std::printf("RL-CCD  TNS %9.3f NVE %zu (|sel|=%zu)  gain %.1f%% TNS, "
               "%.1f%% NVE, runtime x%.1f\n",
-              r.rl_flow.final_.tns, r.rl_flow.final_.nve, r.selection.size(),
+              r.rl_flow.final_summary.tns, r.rl_flow.final_summary.nve, r.selection.size(),
               r.tns_gain_pct(), r.nve_gain_pct(), r.runtime_factor);
   return 0;
 }
