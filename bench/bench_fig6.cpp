@@ -32,7 +32,12 @@ int main() {
     RlCcdConfig cfg = agent_config(d, t, 7);
     RlCcd agent(&d, cfg);
     agent.run();
-    agent.save_gnn(gnn_path);
+    Status s = agent.save_gnn(gnn_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "[fig6] cannot save EP-GNN: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
     std::fprintf(stderr, "[fig6] pre-trained on %s\n", donor);
   }
 

@@ -88,10 +88,12 @@ int main(int argc, char** argv) {
   }
 
   if (!out_path.empty()) {
-    if (write_netlist_file(*d.netlist, out_path)) {
+    Status s = write_netlist_file(*d.netlist, out_path);
+    if (s.ok()) {
       std::printf("\nnetlist written to %s\n", out_path.c_str());
     } else {
-      std::printf("\nfailed to write %s\n", out_path.c_str());
+      std::printf("\nfailed to write %s: %s\n", out_path.c_str(),
+                  s.to_string().c_str());
       return 1;
     }
   }

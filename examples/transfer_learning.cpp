@@ -40,7 +40,11 @@ int main(int argc, char** argv) {
     cfg.train.max_iterations = 8;
     RlCcd agent(&d, cfg);
     agent.run();
-    agent.save_gnn(gnn_path);
+    Status s = agent.save_gnn(gnn_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot save EP-GNN: %s\n", s.to_string().c_str());
+      return 1;
+    }
   }
 
   // 2. Train on the target: scratch vs pre-trained EP-GNN.

@@ -1,0 +1,46 @@
+// Cooperative cancellation with an optional wall-clock deadline.
+//
+// The rollout watchdog hands each worker's flow a CancelToken armed with
+// the per-rollout deadline; run_placement_flow polls it between passes and
+// stops early when it has expired, so a stuck or over-budget rollout is
+// cancelled at the next flow-pass boundary instead of hanging the
+// iteration. Tokens are also cancellable explicitly (cancel()) for callers
+// that want to abort flows for other reasons.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace rlccd {
+
+class CancelToken {
+ public:
+  // No deadline: expires only via cancel().
+  CancelToken() = default;
+  // Expires `deadline_sec` seconds after construction; <= 0 means no
+  // deadline.
+  explicit CancelToken(double deadline_sec) {
+    if (deadline_sec > 0.0) {
+      has_deadline_ = true;
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(deadline_sec));
+    }
+  }
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace rlccd

@@ -1,0 +1,149 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/contracts.h"
+#include "common/env.h"
+#include "common/log.h"
+#include "common/telemetry.h"
+
+namespace rlccd {
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector* instance = []() {
+    auto* fi = new FaultInjector();
+    std::string spec = env_string("RLCCD_FAULTS", "");
+    if (!spec.empty()) {
+      Status s = fi->arm_from_spec(spec);
+      if (!s.ok()) {
+        RLCCD_LOG_ERROR("ignoring RLCCD_FAULTS: %s", s.to_string().c_str());
+      } else {
+        RLCCD_LOG_WARN("fault injection armed from RLCCD_FAULTS=\"%s\"",
+                       spec.c_str());
+      }
+    }
+    return fi;
+  }();
+  return *instance;
+}
+
+void FaultInjector::arm(FaultArm arm) {
+  RLCCD_EXPECTS(!arm.point.empty() && arm.hit >= 1 && arm.count >= 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point* point = nullptr;
+  for (Point& p : points_) {
+    if (p.name == arm.point) {
+      point = &p;
+      break;
+    }
+  }
+  if (point == nullptr) {
+    points_.push_back(Point{arm.point, 0, {}});
+    point = &points_.back();
+  }
+  point->arms.push_back(std::move(arm));
+  any_armed_.store(true, std::memory_order_relaxed);
+}
+
+Status FaultInjector::arm_from_spec(std::string_view spec) {
+  std::vector<FaultArm> parsed;
+  std::size_t i = 0;
+  while (i < spec.size()) {
+    while (i < spec.size() &&
+           (spec[i] == ',' || spec[i] == ';' || spec[i] == ' ')) {
+      ++i;
+    }
+    std::size_t end = i;
+    while (end < spec.size() && spec[end] != ',' && spec[end] != ';' &&
+           spec[end] != ' ') {
+      ++end;
+    }
+    if (end == i) break;
+    std::string token(spec.substr(i, end - i));
+    i = end;
+
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos || at == 0) {
+      return Status::invalid_argument(
+          "fault spec token '%s': expected point@hit[:count[:param]]",
+          token.c_str());
+    }
+    FaultArm arm;
+    arm.point = token.substr(0, at);
+    char* cursor = token.data() + at + 1;
+    char* parse_end = nullptr;
+    arm.hit = std::strtoull(cursor, &parse_end, 10);
+    if (parse_end == cursor || arm.hit == 0) {
+      return Status::invalid_argument("fault spec token '%s': bad hit index",
+                                      token.c_str());
+    }
+    if (*parse_end == ':') {
+      cursor = parse_end + 1;
+      arm.count = std::strtoull(cursor, &parse_end, 10);
+      if (parse_end == cursor || arm.count == 0) {
+        return Status::invalid_argument("fault spec token '%s': bad count",
+                                        token.c_str());
+      }
+    }
+    if (*parse_end == ':') {
+      cursor = parse_end + 1;
+      arm.param = std::strtod(cursor, &parse_end);
+      if (parse_end == cursor) {
+        return Status::invalid_argument("fault spec token '%s': bad param",
+                                        token.c_str());
+      }
+    }
+    if (*parse_end != '\0') {
+      return Status::invalid_argument(
+          "fault spec token '%s': trailing garbage '%s'", token.c_str(),
+          parse_end);
+    }
+    parsed.push_back(std::move(arm));
+  }
+  for (FaultArm& a : parsed) arm(std::move(a));
+  return Status();
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  any_armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fire(std::string_view point, double* param) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Point& p : points_) {
+    if (p.name != point) continue;
+    const std::uint64_t hit = ++p.hits;
+    for (const FaultArm& arm : p.arms) {
+      if (hit >= arm.hit && hit < arm.hit + arm.count) {
+        if (param != nullptr) *param = arm.param;
+        MetricsRegistry::global()
+            .counter("fault." + p.name)
+            .increment();
+        RLCCD_LOG_WARN("fault point '%s' fired (hit %llu)", p.name.c_str(),
+                       static_cast<unsigned long long>(hit));
+        return true;
+      }
+    }
+    return false;
+  }
+  return false;
+}
+
+bool fault_fire(std::string_view point, double* param) {
+  FaultInjector& fi = FaultInjector::global();
+  if (!fi.any_armed()) return false;
+  return fi.should_fire(point, param);
+}
+
+void fault_stall_point(std::string_view point) {
+  double seconds = 0.0;
+  if (fault_fire(point, &seconds) && seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+}  // namespace rlccd

@@ -1,0 +1,82 @@
+// Deterministic fault injection for testing recovery paths.
+//
+// Production code marks recoverable failure sites with named fault points
+// ("ckpt_write_io", "nan_reward", "rollout_stall"); tests and the CI
+// fault-injection job arm those points so every recovery path provably
+// fires. Firing is count-based — "fire on the Nth hit of this point" — not
+// probabilistic, so an armed run is reproducible. A disarmed process pays
+// one relaxed atomic load per fault point.
+//
+//   FaultInjector::global().arm({"nan_reward", /*hit=*/2});
+//   ...
+//   if (fault_fire("nan_reward")) reward = NaN;   // fires on the 2nd hit
+//
+// The environment variable RLCCD_FAULTS arms points at process start with
+// the spec grammar `point@hit[:count[:param]]`, comma-separated:
+//   RLCCD_FAULTS="ckpt_write_io@1,nan_reward@3:2,rollout_stall@1:1:0.5"
+// Every fire increments the telemetry counter "fault.<point>", so a CI run
+// can assert from --metrics-json output that the fault actually happened.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rlccd {
+
+struct FaultArm {
+  std::string point;        // fault-point name
+  std::uint64_t hit = 1;    // 1-based hit index at which firing starts
+  std::uint64_t count = 1;  // number of consecutive hits that fire
+  double param = 0.0;       // point-specific payload (stall seconds, ...)
+};
+
+class FaultInjector {
+ public:
+  // Parses RLCCD_FAULTS on first use (a bad spec is logged and ignored).
+  static FaultInjector& global();
+
+  void arm(FaultArm arm);
+  // Arms every `point@hit[:count[:param]]` in a comma/semicolon/space
+  // separated spec. Nothing is armed when any token is malformed.
+  Status arm_from_spec(std::string_view spec);
+  // Disarms every point and zeroes all hit counters.
+  void reset();
+
+  // Counts a hit of `point` (only points with arms are counted) and returns
+  // true when the hit lands in an armed window; `param` receives the firing
+  // arm's payload.
+  bool should_fire(std::string_view point, double* param = nullptr);
+
+  [[nodiscard]] bool any_armed() const {
+    return any_armed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultInjector() = default;
+
+  struct Point {
+    std::string name;
+    std::uint64_t hits = 0;
+    std::vector<FaultArm> arms;
+  };
+
+  std::atomic<bool> any_armed_{false};
+  mutable std::mutex mutex_;
+  std::vector<Point> points_;
+};
+
+// True when the named fault point fires this hit. The fast path (nothing
+// armed process-wide) is a single relaxed load.
+bool fault_fire(std::string_view point, double* param = nullptr);
+
+// Worker-stall injection: sleeps for the firing arm's `param` seconds when
+// `point` fires; no-op otherwise.
+void fault_stall_point(std::string_view point);
+
+}  // namespace rlccd

@@ -1,0 +1,94 @@
+#include "common/io.h"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace rlccd {
+
+namespace {
+
+void fsync_file(std::FILE* f) {
+#ifdef _WIN32
+  _commit(_fileno(f));
+#else
+  ::fsync(fileno(f));
+#endif
+}
+
+}  // namespace
+
+Status atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::io_error("cannot open %s for writing: %s", tmp.c_str(),
+                            std::strerror(errno));
+  }
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (ok) ok = std::fflush(f) == 0;
+  if (ok) fsync_file(f);
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::io_error("short write to %s: %s", tmp.c_str(),
+                            std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Status::io_error("cannot rename %s to %s: %s", tmp.c_str(),
+                                path.c_str(), std::strerror(errno));
+    std::remove(tmp.c_str());
+    return s;
+  }
+  return Status();
+}
+
+Status read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::io_error("cannot open %s: %s", path.c_str(),
+                            std::strerror(errno));
+  }
+  out.clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::io_error("read error on %s: %s", path.c_str(),
+                            std::strerror(errno));
+  }
+  return Status();
+}
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const auto table = []() {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : bytes) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace rlccd

@@ -1,0 +1,29 @@
+// Status-returning file helpers with crash-safe write semantics.
+//
+// atomic_write_file writes to `<path>.tmp`, fsyncs, then renames over the
+// destination — a crash or I/O failure mid-write can never leave a
+// truncated file at `path` (the previous contents, if any, survive). All
+// binary savers (NN parameters, training checkpoints) and the netlist text
+// writer go through it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace rlccd {
+
+// Crash-safe whole-file write: tmp file + fsync + rename. On failure the
+// temp file is removed and `path` is untouched.
+Status atomic_write_file(const std::string& path, std::string_view bytes);
+
+// Reads the whole file into `out`.
+Status read_file(const std::string& path, std::string& out);
+
+// CRC-32 (IEEE 802.3 polynomial) over `bytes`; used to detect torn or
+// bit-rotted checkpoint payloads.
+std::uint32_t crc32(std::string_view bytes);
+
+}  // namespace rlccd

@@ -73,6 +73,11 @@ class Rng {
   // Sample an index from a probability vector that sums to ~1.
   std::size_t sample_probabilities(std::span<const float> probs);
 
+  // Raw generator state, for checkpoint/resume: restoring the saved state
+  // makes every subsequent draw identical to the uninterrupted stream.
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
   template <class T>
   void shuffle(std::vector<T>& v) {
     for (std::size_t i = v.size(); i > 1; --i) {

@@ -1,0 +1,74 @@
+#include "common/status.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace rlccd {
+
+namespace {
+
+std::string vformat(const char* fmt, std::va_list args) {
+  std::va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (n <= 0) return {};
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+}  // namespace
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorrupt: return "CORRUPT";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+  }
+  return "UNKNOWN";
+}
+
+Status Status::error(StatusCode code, std::string message) {
+  Status s;
+  s.code_ = code;
+  s.message_ = std::move(message);
+  return s;
+}
+
+#define RLCCD_STATUS_VARIADIC(name, code)              \
+  Status Status::name(const char* fmt, ...) {          \
+    std::va_list args;                                 \
+    va_start(args, fmt);                               \
+    Status s = error(code, vformat(fmt, args));        \
+    va_end(args);                                      \
+    return s;                                          \
+  }
+
+RLCCD_STATUS_VARIADIC(io_error, StatusCode::kIoError)
+RLCCD_STATUS_VARIADIC(corrupt, StatusCode::kCorrupt)
+RLCCD_STATUS_VARIADIC(invalid_argument, StatusCode::kInvalidArgument)
+RLCCD_STATUS_VARIADIC(not_found, StatusCode::kNotFound)
+RLCCD_STATUS_VARIADIC(failed_precondition, StatusCode::kFailedPrecondition)
+
+#undef RLCCD_STATUS_VARIADIC
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::with_context(const std::string& context) const {
+  if (ok()) return *this;
+  return error(code_, context + ": " + message_);
+}
+
+}  // namespace rlccd

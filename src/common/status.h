@@ -1,0 +1,69 @@
+// Structured, propagatable errors for fallible operations (file I/O,
+// (de)serialization, checkpoint restore). A Status is either OK or carries a
+// coarse code plus a human-actionable message ("checkpoint.bin: parameter 3:
+// shape 32x16, expected 16x16"). Replaces the bare bool/nullptr returns that
+// used to make load failures undiagnosable.
+//
+// Contracts (contracts.h) stay the tool for programmer errors that should
+// abort; Status is for conditions the environment can cause and callers can
+// recover from.
+#pragma once
+
+#include <string>
+
+namespace rlccd {
+
+enum class StatusCode {
+  kOk = 0,
+  kIoError,            // open/read/write/rename failed
+  kCorrupt,            // bad magic, CRC mismatch, truncation, parse error
+  kInvalidArgument,    // shape/count/config mismatch against live objects
+  kNotFound,           // no file / no checkpoint in directory
+  kFailedPrecondition, // operation not valid in the current state
+};
+
+const char* status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+
+  static Status error(StatusCode code, std::string message);
+  // printf-style constructors for the common codes.
+  static Status io_error(const char* fmt, ...)
+      __attribute__((format(printf, 1, 2)));
+  static Status corrupt(const char* fmt, ...)
+      __attribute__((format(printf, 1, 2)));
+  static Status invalid_argument(const char* fmt, ...)
+      __attribute__((format(printf, 1, 2)));
+  static Status not_found(const char* fmt, ...)
+      __attribute__((format(printf, 1, 2)));
+  static Status failed_precondition(const char* fmt, ...)
+      __attribute__((format(printf, 1, 2)));
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  // "IO_ERROR: cannot open foo.bin: No such file or directory" (or "OK").
+  [[nodiscard]] std::string to_string() const;
+
+  // Prepends "<context>: " to the message of a non-OK status; no-op on OK.
+  // Lets layers add location ("resume from dir/ckpt-000003.rlccd") as an
+  // error bubbles up.
+  [[nodiscard]] Status with_context(const std::string& context) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace rlccd
+
+// Propagates a non-OK Status to the caller; continues on OK.
+#define RLCCD_TRY(expr)                              \
+  do {                                               \
+    ::rlccd::Status rlccd_try_status_ = (expr);      \
+    if (!rlccd_try_status_.ok()) {                   \
+      return rlccd_try_status_;                      \
+    }                                                \
+  } while (false)

@@ -19,8 +19,12 @@ RlCcd::RlCcd(const Design* design, RlCcdConfig config)
       policy_(config_.policy, config_.policy_seed) {
   RLCCD_EXPECTS(design != nullptr);
   if (!config_.pretrained_gnn.empty()) {
-    bool ok = policy_.load_gnn(config_.pretrained_gnn);
-    RLCCD_EXPECTS(ok);
+    Status s = policy_.load_gnn(config_.pretrained_gnn);
+    if (!s.ok()) {
+      RLCCD_LOG_ERROR("cannot load pre-trained EP-GNN: %s",
+                      s.to_string().c_str());
+    }
+    RLCCD_EXPECTS(s.ok());
     RLCCD_LOG_INFO("loaded pre-trained EP-GNN from %s",
                    config_.pretrained_gnn.c_str());
   }

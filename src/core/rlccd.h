@@ -65,7 +65,9 @@ class RlCcd {
   RlCcdResult run();
 
   [[nodiscard]] Policy& policy() { return policy_; }
-  bool save_gnn(const std::string& path) const { return policy_.save_gnn(path); }
+  Status save_gnn(const std::string& path) const {
+    return policy_.save_gnn(path);
+  }
 
  private:
   const Design* design_;

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/fault.h"
+#include "common/io.h"
 #include "common/log.h"
 
 namespace rlccd {
@@ -36,19 +38,25 @@ void write_netlist(const Netlist& netlist, std::ostream& out) {
   }
 }
 
-bool write_netlist_file(const Netlist& netlist, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
-  write_netlist(netlist, out);
-  return static_cast<bool>(out);
+Status write_netlist_file(const Netlist& netlist, const std::string& path) {
+  if (fault_fire("netlist_save_io")) {
+    return Status::io_error("injected I/O fault writing %s", path.c_str());
+  }
+  std::ostringstream buf;
+  write_netlist(netlist, buf);
+  return atomic_write_file(path, buf.str());
 }
 
-std::unique_ptr<Netlist> read_netlist(const Library& library,
-                                      std::istream& in) {
+namespace {
+
+Status parse_netlist(const Library& library, std::istream& in,
+                     std::unique_ptr<Netlist>& out) {
   std::string header;
+  int line_no = 1;
   if (!std::getline(in, header) || header != "rlccd-netlist v1") {
-    RLCCD_LOG_WARN("netlist parse: bad header");
-    return nullptr;
+    return Status::corrupt("line 1: bad header '%s', expected "
+                           "'rlccd-netlist v1'",
+                           header.c_str());
   }
 
   std::unordered_map<std::string, LibCellId> by_name;
@@ -57,6 +65,7 @@ std::unique_ptr<Netlist> read_netlist(const Library& library,
   auto netlist = std::make_unique<Netlist>(&library);
   std::string line;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
     std::istringstream ss(line);
     std::string kind;
@@ -65,59 +74,101 @@ std::unique_ptr<Netlist> read_netlist(const Library& library,
       std::string name;
       ss >> name;
       if (name != library.tech().name) {
-        RLCCD_LOG_WARN("netlist parse: technology mismatch (%s vs %s)",
-                       name.c_str(), library.tech().name.c_str());
-        return nullptr;
+        return Status::invalid_argument(
+            "line %d: technology mismatch ('%s' in file, library is '%s')",
+            line_no, name.c_str(), library.tech().name.c_str());
       }
     } else if (kind == "cell") {
       std::string name, lib_name;
       double x = 0.0, y = 0.0;
-      if (!(ss >> name >> lib_name >> x >> y)) return nullptr;
+      if (!(ss >> name >> lib_name >> x >> y)) {
+        return Status::corrupt(
+            "line %d: malformed cell record '%s', expected "
+            "'cell <name> <libcell> <x> <y>'",
+            line_no, line.c_str());
+      }
       auto it = by_name.find(lib_name);
       if (it == by_name.end()) {
-        RLCCD_LOG_WARN("netlist parse: unknown lib cell %s",
-                       lib_name.c_str());
-        return nullptr;
+        return Status::invalid_argument("line %d: unknown lib cell '%s'",
+                                        line_no, lib_name.c_str());
       }
       CellId id = netlist->add_cell(it->second, name);
       netlist->set_position(id, x, y);
     } else if (kind == "net") {
       std::string name;
-      if (!(ss >> name)) return nullptr;
+      if (!(ss >> name)) {
+        return Status::corrupt("line %d: malformed net record '%s'", line_no,
+                               line.c_str());
+      }
       netlist->add_net(name);
     } else if (kind == "driver") {
       std::size_t net = 0, cell = 0;
-      if (!(ss >> net >> cell)) return nullptr;
+      if (!(ss >> net >> cell)) {
+        return Status::corrupt("line %d: malformed driver record '%s'",
+                               line_no, line.c_str());
+      }
       if (net >= netlist->num_nets() || cell >= netlist->num_cells()) {
-        return nullptr;
+        return Status::corrupt(
+            "line %d: driver indices out of range (net %zu of %zu, cell %zu "
+            "of %zu)",
+            line_no, net, netlist->num_nets(), cell, netlist->num_cells());
       }
       netlist->set_driver(NetId(static_cast<std::uint32_t>(net)),
                           CellId(static_cast<std::uint32_t>(cell)));
     } else if (kind == "sink") {
       std::size_t net = 0, cell = 0;
       int pin = 0;
-      if (!(ss >> net >> cell >> pin)) return nullptr;
+      if (!(ss >> net >> cell >> pin)) {
+        return Status::corrupt("line %d: malformed sink record '%s'", line_no,
+                               line.c_str());
+      }
       if (net >= netlist->num_nets() || cell >= netlist->num_cells()) {
-        return nullptr;
+        return Status::corrupt(
+            "line %d: sink indices out of range (net %zu of %zu, cell %zu "
+            "of %zu)",
+            line_no, net, netlist->num_nets(), cell, netlist->num_cells());
       }
       netlist->add_sink(NetId(static_cast<std::uint32_t>(net)),
                         CellId(static_cast<std::uint32_t>(cell)), pin);
     } else {
-      RLCCD_LOG_WARN("netlist parse: unknown record '%s'", kind.c_str());
-      return nullptr;
+      return Status::corrupt("line %d: unknown record '%s'", line_no,
+                             kind.c_str());
     }
   }
   netlist->update_wire_parasitics();
   netlist->validate();
   netlist->collapse_journal();  // construction backlog is not real dirt
-  return netlist;
+  out = std::move(netlist);
+  return Status();
 }
 
-std::unique_ptr<Netlist> read_netlist_file(const Library& library,
-                                           const std::string& path) {
+}  // namespace
+
+Status read_netlist(const Library& library, std::istream& in,
+                    std::unique_ptr<Netlist>& out) {
+  out.reset();
+  Status s = parse_netlist(library, in, out);
+  if (!s.ok()) {
+    RLCCD_LOG_WARN("netlist parse failed: %s", s.to_string().c_str());
+  }
+  return s;
+}
+
+Status read_netlist_file(const Library& library, const std::string& path,
+                         std::unique_ptr<Netlist>& out) {
+  out.reset();
   std::ifstream in(path);
-  if (!in) return nullptr;
-  return read_netlist(library, in);
+  if (!in) {
+    Status s = Status::io_error("cannot open %s", path.c_str());
+    RLCCD_LOG_WARN("netlist parse failed: %s", s.to_string().c_str());
+    return s;
+  }
+  Status s = parse_netlist(library, in, out);
+  if (!s.ok()) {
+    s = s.with_context(path);
+    RLCCD_LOG_WARN("netlist parse failed: %s", s.to_string().c_str());
+  }
+  return s;
 }
 
 }  // namespace rlccd

@@ -10,25 +10,32 @@
 //   driver <net-index> <cell-index>
 //   sink <net-index> <cell-index> <input-pin>
 // Indices refer to declaration order, which matches id order.
+//
+// Parse failures return a Status that names the offending line and record
+// ("line 12: unknown lib cell 'INVX9'") in addition to the nullptr result;
+// file writes are crash-safe (temp file + rename).
 #pragma once
 
 #include <iosfwd>
 #include <memory>
 #include <string>
 
+#include "common/status.h"
 #include "netlist/netlist.h"
 
 namespace rlccd {
 
 void write_netlist(const Netlist& netlist, std::ostream& out);
-bool write_netlist_file(const Netlist& netlist, const std::string& path);
+// Atomic file write. Fault point "netlist_save_io" injects an I/O failure.
+Status write_netlist_file(const Netlist& netlist, const std::string& path);
 
-// Reads a netlist written by write_netlist. The library must be the one the
-// netlist was built against (same technology); returns nullptr on parse
-// errors or unknown library cells.
-std::unique_ptr<Netlist> read_netlist(const Library& library,
-                                      std::istream& in);
-std::unique_ptr<Netlist> read_netlist_file(const Library& library,
-                                           const std::string& path);
+// Reads a netlist written by write_netlist into `out`. The library must be
+// the one the netlist was built against (same technology). On failure `out`
+// is reset and the Status says which line and why; the failure is also
+// logged at Warn.
+Status read_netlist(const Library& library, std::istream& in,
+                    std::unique_ptr<Netlist>& out);
+Status read_netlist_file(const Library& library, const std::string& path,
+                         std::unique_ptr<Netlist>& out);
 
 }  // namespace rlccd

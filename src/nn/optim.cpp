@@ -63,6 +63,26 @@ void Adam::step() {
   }
 }
 
+Status Adam::import_state(const State& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size()) {
+    return Status::invalid_argument(
+        "optimizer state covers %zu parameters, expected %zu", state.m.size(),
+        params_.size());
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (state.m[i].size() != params_[i].size() ||
+        state.v[i].size() != params_[i].size()) {
+      return Status::invalid_argument(
+          "optimizer state parameter %zu has %zu elements, expected %zu", i,
+          state.m[i].size(), params_[i].size());
+    }
+  }
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
+  return Status();
+}
+
 double clip_grad_norm(std::vector<Tensor>& params, double max_norm) {
   double sq = 0.0;
   for (Tensor& p : params) {

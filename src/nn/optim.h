@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "nn/tensor.h"
 
 namespace rlccd {
@@ -41,6 +42,17 @@ class Adam final : public Optimizer {
   Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
        double beta2 = 0.999, double eps = 1e-8);
   void step() override;
+
+  // Full optimizer state (step count + moment estimates), for training
+  // checkpoints: restoring it makes subsequent steps bit-identical to an
+  // uninterrupted optimizer.
+  struct State {
+    long t = 0;
+    std::vector<std::vector<float>> m, v;
+  };
+  [[nodiscard]] State export_state() const { return State{t_, m_, v_}; }
+  // Rejects state whose per-parameter sizes do not match this optimizer.
+  Status import_state(const State& state);
 
  private:
   double lr_, beta1_, beta2_, eps_;

@@ -1,66 +1,97 @@
 #include "nn/serialize.h"
 
-#include <cstdio>
 #include <cstring>
-#include <memory>
+
+#include "common/fault.h"
+#include "common/io.h"
 
 namespace rlccd {
 
 namespace {
 constexpr char kMagic[8] = {'R', 'L', 'C', 'C', 'D', 'N', 'N', '1'};
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-}  // namespace
-
-bool save_parameters(const std::vector<Tensor>& params,
-                     const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return false;
-  if (std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) != sizeof(kMagic)) {
-    return false;
-  }
-  const std::uint64_t count = params.size();
-  if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1) return false;
-  for (const Tensor& p : params) {
-    const std::uint64_t rows = p.rows();
-    const std::uint64_t cols = p.cols();
-    if (std::fwrite(&rows, sizeof(rows), 1, f.get()) != 1) return false;
-    if (std::fwrite(&cols, sizeof(cols), 1, f.get()) != 1) return false;
-    if (p.size() > 0 &&
-        std::fwrite(p.data(), sizeof(float), p.size(), f.get()) != p.size()) {
-      return false;
-    }
-  }
-  return true;
+void append_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-bool load_parameters(std::vector<Tensor>& params, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return false;
-  char magic[8];
-  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic)) {
-    return false;
+Status parse_u64(const std::string& bytes, std::size_t& offset,
+                 std::uint64_t& v, const char* what) {
+  if (offset + sizeof(v) > bytes.size()) {
+    return Status::corrupt("truncated at byte %zu while reading %s", offset,
+                           what);
   }
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
-  std::uint64_t count = 0;
-  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) return false;
-  if (count != params.size()) return false;
-  for (Tensor& p : params) {
-    std::uint64_t rows = 0, cols = 0;
-    if (std::fread(&rows, sizeof(rows), 1, f.get()) != 1) return false;
-    if (std::fread(&cols, sizeof(cols), 1, f.get()) != 1) return false;
-    if (rows != p.rows() || cols != p.cols()) return false;
-    if (p.size() > 0 &&
-        std::fread(p.data(), sizeof(float), p.size(), f.get()) != p.size()) {
-      return false;
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  offset += sizeof(v);
+  return Status();
+}
+}  // namespace
+
+void append_parameters(const std::vector<Tensor>& params, std::string& out) {
+  append_u64(out, params.size());
+  for (const Tensor& p : params) {
+    append_u64(out, p.rows());
+    append_u64(out, p.cols());
+    if (p.size() > 0) {
+      out.append(reinterpret_cast<const char*>(p.data()),
+                 p.size() * sizeof(float));
     }
   }
-  return true;
+}
+
+Status parse_parameters(std::vector<Tensor>& params, const std::string& bytes,
+                        std::size_t& offset) {
+  std::uint64_t count = 0;
+  RLCCD_TRY(parse_u64(bytes, offset, count, "parameter count"));
+  if (count != params.size()) {
+    return Status::invalid_argument(
+        "parameter count %llu, expected %zu",
+        static_cast<unsigned long long>(count), params.size());
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = params[i];
+    std::uint64_t rows = 0, cols = 0;
+    RLCCD_TRY(parse_u64(bytes, offset, rows, "parameter shape"));
+    RLCCD_TRY(parse_u64(bytes, offset, cols, "parameter shape"));
+    if (rows != p.rows() || cols != p.cols()) {
+      return Status::invalid_argument(
+          "parameter %zu: shape %llux%llu, expected %zux%zu", i,
+          static_cast<unsigned long long>(rows),
+          static_cast<unsigned long long>(cols), p.rows(), p.cols());
+    }
+    const std::size_t nbytes = p.size() * sizeof(float);
+    if (offset + nbytes > bytes.size()) {
+      return Status::corrupt("truncated in parameter %zu data (%zu of %zu bytes)",
+                             i, bytes.size() - offset, nbytes);
+    }
+    if (nbytes > 0) {
+      std::memcpy(p.data(), bytes.data() + offset, nbytes);
+      offset += nbytes;
+    }
+  }
+  return Status();
+}
+
+Status save_parameters(const std::vector<Tensor>& params,
+                       const std::string& path) {
+  if (fault_fire("nn_save_io")) {
+    return Status::io_error("injected I/O fault writing %s", path.c_str());
+  }
+  std::string payload;
+  payload.append(kMagic, sizeof(kMagic));
+  append_parameters(params, payload);
+  return atomic_write_file(path, payload);
+}
+
+Status load_parameters(std::vector<Tensor>& params, const std::string& path) {
+  std::string bytes;
+  RLCCD_TRY(read_file(path, bytes));
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::corrupt("%s: not an RLCCDNN1 parameter file",
+                           path.c_str());
+  }
+  std::size_t offset = sizeof(kMagic);
+  return parse_parameters(params, bytes, offset).with_context(path);
 }
 
 void copy_parameter_values(const std::vector<Tensor>& src,

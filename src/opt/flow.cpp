@@ -46,6 +46,35 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
   const auto cells = static_cast<double>(netlist.num_real_cells());
   Sta sta(&netlist, input.sta_config, input.clock_period);
 
+  // 7. Final state — also the landing pad for cancelled runs, so a stuck or
+  // deadline-expired flow still reports a consistent timing summary for
+  // whatever optimization it completed.
+  auto finalize = [&]() {
+    RLCCD_SPAN("final_sta");
+    const double t0 = now_sec();
+    sta.update();
+    result.final_summary = sta.summary();
+    result.final_clock = sta.clock();
+    result.sta_stats = sta.stats();
+    SwitchingActivity act =
+        propagate_activity(netlist, ActivityConfig{}, input.pi_toggles);
+    result.power_final = compute_power(netlist, act);
+    emit_summary(config, "final", now_sec() - t0, result.final_summary);
+  };
+
+  // Watchdog poll, called only at pass boundaries (never mid-pass, so the
+  // netlist is always in a consistent state when we bail out).
+  auto cancelled = [&](const char* boundary) {
+    if (config.cancel == nullptr || !config.cancel->expired()) return false;
+    result.cancelled = true;
+    static MetricsCounter& counter =
+        MetricsRegistry::global().counter("flow.cancelled");
+    counter.increment();
+    RLCCD_LOG_WARN("flow cancelled at %s boundary", boundary);
+    emit_step(config, "cancelled", -1, 0.0, {});
+    return true;
+  };
+
   // 1. Begin state.
   {
     RLCCD_SPAN("begin_sta");
@@ -57,6 +86,7 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
     result.power_begin = compute_power(netlist, act);
     emit_summary(config, "begin", now_sec() - t0, result.begin);
   }
+  if (cancelled("begin_sta")) return finalize();
 
   // 2. Pre-CCD coarse sizing.
   {
@@ -70,6 +100,7 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
         {"upsized", static_cast<double>(r.upsized)}};
     emit_step(config, "pre_ccd_sizing", -1, now_sec() - t0, metrics);
   }
+  if (cancelled("pre_ccd_sizing")) return finalize();
 
   // 3. Prioritization margins (the RL hook). Margins are measured against
   // the *current* slack profile, exactly Algorithm 1 line 14: worsen the
@@ -115,6 +146,7 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
     };
     emit_step(config, "useful_skew", -1, now_sec() - t0, metrics);
   }
+  if (cancelled("useful_skew")) return finalize();
 
   // 6. Remaining placement optimization.
   SizingConfig sizing;
@@ -142,6 +174,7 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
         {"swaps", static_cast<double>(rr.swaps)},
     };
     emit_step(config, "data_round", round, now_sec() - t0, metrics);
+    if (cancelled("data_round")) return finalize();
   }
 
   // CCD interleaving: a brief skew re-balance on the optimized netlist.
@@ -155,6 +188,7 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
         {"flops_adjusted", static_cast<double>(touchup.flops_adjusted)}};
     emit_step(config, "skew_touchup", -1, now_sec() - t0, metrics);
   }
+  if (cancelled("skew_touchup")) return finalize();
 
   if (config.legalize) {
     RLCCD_SPAN("legalize");
@@ -183,6 +217,7 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
     };
     emit_step(config, "final_sizing", -1, now_sec() - t0, metrics);
   }
+  if (cancelled("final_sizing")) return finalize();
 
   // Hold cleanup: setup-driven sizing and legalization can shave min paths
   // below what the skew engine guarded against; pad the residual debt
@@ -200,19 +235,7 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
     emit_step(config, "hold_fix", -1, now_sec() - t0, metrics);
   }
 
-  // 7. Final state.
-  {
-    RLCCD_SPAN("final_sta");
-    const double t0 = now_sec();
-    sta.update();
-    result.final_summary = sta.summary();
-    result.final_clock = sta.clock();
-    result.sta_stats = sta.stats();
-    SwitchingActivity act =
-        propagate_activity(netlist, ActivityConfig{}, input.pi_toggles);
-    result.power_final = compute_power(netlist, act);
-    emit_summary(config, "final", now_sec() - t0, result.final_summary);
-  }
+  finalize();
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/telemetry.h"
 #include "opt/buffering.h"
 #include "opt/hold_fix.h"
@@ -63,6 +64,11 @@ struct FlowConfig {
   // Streams per-step ProgressEvents (phase "flow"); fires on the thread
   // running this flow. Not owned; must outlive the run.
   ProgressObserver* observer = nullptr;
+  // Cooperative cancellation (the trainer's rollout watchdog). Polled at
+  // optimization-pass boundaries; when expired, the flow skips its remaining
+  // passes, runs the final STA on the partially optimized netlist, and
+  // returns with FlowResult::cancelled set. Not owned; must outlive the run.
+  const CancelToken* cancel = nullptr;
 };
 
 // Budgets and skew bounds scaled for a design of `num_cells` with clock
@@ -96,6 +102,9 @@ struct FlowResult {
   int hold_buffers = 0;
   ClockSchedule final_clock;  // for Fig. 5 histograms
   StaStats sta_stats;         // timing-engine work counters for this flow
+  // The run hit FlowConfig::cancel and stopped at a pass boundary; the
+  // summaries above reflect the partially optimized netlist.
+  bool cancelled = false;
   // Per-flow capture: nested per-step spans ("flow/useful_skew", ...) and
   // the counter deltas recorded while this flow ran.
   TelemetrySnapshot telemetry;

@@ -1,0 +1,287 @@
+#include "rl/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <type_traits>
+
+#include "common/fault.h"
+#include "common/io.h"
+
+namespace rlccd {
+
+namespace {
+
+constexpr char kMagic[10] = {'R', 'L', 'C', 'C', 'D', 'C', 'K', 'P', 'T', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+// -- little scalar codec ------------------------------------------------------
+
+template <class T>
+void append_pod(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <class T>
+Status parse_pod(const std::string& bytes, std::size_t& offset, T& v,
+                 const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (offset + sizeof(v) > bytes.size()) {
+    return Status::corrupt("truncated at byte %zu while reading %s", offset,
+                           what);
+  }
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  offset += sizeof(v);
+  return Status();
+}
+
+void append_float_vec(std::string& out, const std::vector<float>& v) {
+  append_pod(out, static_cast<std::uint64_t>(v.size()));
+  if (!v.empty()) {
+    out.append(reinterpret_cast<const char*>(v.data()),
+               v.size() * sizeof(float));
+  }
+}
+
+Status parse_float_vec(const std::string& bytes, std::size_t& offset,
+                       std::vector<float>& v, const char* what) {
+  std::uint64_t n = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, n, what));
+  const std::size_t nbytes = static_cast<std::size_t>(n) * sizeof(float);
+  if (offset + nbytes > bytes.size()) {
+    return Status::corrupt("truncated in %s (%zu of %zu bytes)", what,
+                           bytes.size() - offset, nbytes);
+  }
+  v.resize(static_cast<std::size_t>(n));
+  if (nbytes > 0) {
+    std::memcpy(v.data(), bytes.data() + offset, nbytes);
+    offset += nbytes;
+  }
+  return Status();
+}
+
+std::string serialize_payload(const TrainCheckpoint& ckpt) {
+  std::string out;
+  append_pod(out, ckpt.seed);
+  append_pod(out, ckpt.workers);
+  append_pod(out, ckpt.next_iter);
+  append_pod(out, ckpt.baseline);
+  append_pod(out, static_cast<std::uint8_t>(ckpt.baseline_init ? 1 : 0));
+  append_pod(out, ckpt.stall);
+  append_pod(out, ckpt.rng_state);
+
+  append_pod(out, static_cast<std::uint64_t>(ckpt.params.size()));
+  for (std::size_t i = 0; i < ckpt.params.size(); ++i) {
+    append_pod(out, ckpt.param_shapes[i].first);
+    append_pod(out, ckpt.param_shapes[i].second);
+    append_float_vec(out, ckpt.params[i]);
+  }
+
+  append_pod(out, static_cast<std::int64_t>(ckpt.adam.t));
+  append_pod(out, static_cast<std::uint64_t>(ckpt.adam.m.size()));
+  for (std::size_t i = 0; i < ckpt.adam.m.size(); ++i) {
+    append_float_vec(out, ckpt.adam.m[i]);
+    append_float_vec(out, ckpt.adam.v[i]);
+  }
+
+  const TrainStats& s = ckpt.stats;
+  append_pod(out, s.begin_tns);
+  append_pod(out, s.default_tns);
+  append_pod(out, static_cast<std::uint64_t>(s.default_nve));
+  append_pod(out, s.best_tns);
+  append_pod(out, static_cast<std::uint64_t>(s.best_selection.size()));
+  for (PinId pin : s.best_selection) append_pod(out, pin.value);
+  append_pod(out, static_cast<std::uint64_t>(s.history.size()));
+  for (const IterationStats& it : s.history) {
+    append_pod(out, it.mean_reward);
+    append_pod(out, it.mean_tns);
+    append_pod(out, it.iter_best_tns);
+    append_pod(out, it.best_tns);
+    append_pod(out, it.mean_steps);
+  }
+  append_pod(out, static_cast<std::int32_t>(s.iterations));
+  append_pod(out, static_cast<std::int32_t>(s.flow_runs));
+  append_pod(out, s.train_seconds);
+  return out;
+}
+
+Status parse_payload(TrainCheckpoint& ckpt, const std::string& bytes) {
+  std::size_t offset = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, ckpt.seed, "seed"));
+  RLCCD_TRY(parse_pod(bytes, offset, ckpt.workers, "workers"));
+  RLCCD_TRY(parse_pod(bytes, offset, ckpt.next_iter, "next_iter"));
+  RLCCD_TRY(parse_pod(bytes, offset, ckpt.baseline, "baseline"));
+  std::uint8_t baseline_init = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, baseline_init, "baseline_init"));
+  ckpt.baseline_init = baseline_init != 0;
+  RLCCD_TRY(parse_pod(bytes, offset, ckpt.stall, "stall"));
+  RLCCD_TRY(parse_pod(bytes, offset, ckpt.rng_state, "rng_state"));
+
+  std::uint64_t n_params = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, n_params, "parameter count"));
+  ckpt.params.resize(static_cast<std::size_t>(n_params));
+  ckpt.param_shapes.resize(static_cast<std::size_t>(n_params));
+  for (std::size_t i = 0; i < ckpt.params.size(); ++i) {
+    RLCCD_TRY(parse_pod(bytes, offset, ckpt.param_shapes[i].first,
+                        "parameter rows"));
+    RLCCD_TRY(parse_pod(bytes, offset, ckpt.param_shapes[i].second,
+                        "parameter cols"));
+    RLCCD_TRY(parse_float_vec(bytes, offset, ckpt.params[i],
+                              "parameter values"));
+  }
+
+  std::int64_t adam_t = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, adam_t, "adam step count"));
+  ckpt.adam.t = static_cast<long>(adam_t);
+  std::uint64_t n_adam = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, n_adam, "adam parameter count"));
+  ckpt.adam.m.resize(static_cast<std::size_t>(n_adam));
+  ckpt.adam.v.resize(static_cast<std::size_t>(n_adam));
+  for (std::size_t i = 0; i < ckpt.adam.m.size(); ++i) {
+    RLCCD_TRY(parse_float_vec(bytes, offset, ckpt.adam.m[i], "adam m"));
+    RLCCD_TRY(parse_float_vec(bytes, offset, ckpt.adam.v[i], "adam v"));
+  }
+
+  TrainStats& s = ckpt.stats;
+  RLCCD_TRY(parse_pod(bytes, offset, s.begin_tns, "begin_tns"));
+  RLCCD_TRY(parse_pod(bytes, offset, s.default_tns, "default_tns"));
+  std::uint64_t default_nve = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, default_nve, "default_nve"));
+  s.default_nve = static_cast<std::size_t>(default_nve);
+  RLCCD_TRY(parse_pod(bytes, offset, s.best_tns, "best_tns"));
+  std::uint64_t n_sel = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, n_sel, "selection size"));
+  s.best_selection.resize(static_cast<std::size_t>(n_sel));
+  for (PinId& pin : s.best_selection) {
+    RLCCD_TRY(parse_pod(bytes, offset, pin.value, "selection pin"));
+  }
+  std::uint64_t n_hist = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, n_hist, "history size"));
+  s.history.resize(static_cast<std::size_t>(n_hist));
+  for (IterationStats& it : s.history) {
+    RLCCD_TRY(parse_pod(bytes, offset, it.mean_reward, "history"));
+    RLCCD_TRY(parse_pod(bytes, offset, it.mean_tns, "history"));
+    RLCCD_TRY(parse_pod(bytes, offset, it.iter_best_tns, "history"));
+    RLCCD_TRY(parse_pod(bytes, offset, it.best_tns, "history"));
+    RLCCD_TRY(parse_pod(bytes, offset, it.mean_steps, "history"));
+  }
+  std::int32_t iterations = 0, flow_runs = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, iterations, "iterations"));
+  RLCCD_TRY(parse_pod(bytes, offset, flow_runs, "flow_runs"));
+  s.iterations = iterations;
+  s.flow_runs = flow_runs;
+  RLCCD_TRY(parse_pod(bytes, offset, s.train_seconds, "train_seconds"));
+  if (offset != bytes.size()) {
+    return Status::corrupt("%zu trailing bytes after payload",
+                           bytes.size() - offset);
+  }
+  return Status();
+}
+
+}  // namespace
+
+std::string checkpoint_path(const std::string& dir, int iterations) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%06d.rlccd", iterations);
+  return dir + "/" + name;
+}
+
+Status list_checkpoints(const std::string& dir,
+                        std::vector<std::string>& paths_out) {
+  paths_out.clear();
+  std::error_code ec;
+  std::vector<std::pair<int, std::string>> found;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    int iter = -1;
+    if (std::sscanf(name.c_str(), "ckpt-%d.rlccd", &iter) == 1 &&
+        name.size() == std::strlen("ckpt-000000.rlccd")) {
+      found.emplace_back(iter, entry.path().string());
+    }
+  }
+  if (ec) {
+    // A directory that does not exist yet simply has no checkpoints.
+    if (ec == std::errc::no_such_file_or_directory) {
+      return Status::not_found("checkpoint directory %s does not exist",
+                               dir.c_str());
+    }
+    return Status::io_error("cannot list %s: %s", dir.c_str(),
+                            ec.message().c_str());
+  }
+  if (found.empty()) {
+    return Status::not_found("no ckpt-*.rlccd files in %s", dir.c_str());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (auto& [iter, path] : found) paths_out.push_back(std::move(path));
+  return Status();
+}
+
+Status save_checkpoint(const TrainCheckpoint& ckpt, const std::string& path) {
+  if (fault_fire("ckpt_write_io")) {
+    return Status::io_error("injected I/O fault writing %s", path.c_str());
+  }
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Status::io_error("cannot create checkpoint directory %s: %s",
+                              fs_path.parent_path().string().c_str(),
+                              ec.message().c_str());
+    }
+  }
+  const std::string payload = serialize_payload(ckpt);
+  std::string file;
+  file.reserve(payload.size() + 32);
+  file.append(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  append_pod(file, version);
+  append_pod(file, static_cast<std::uint64_t>(payload.size()));
+  append_pod(file, crc32(payload));
+  file.append(payload);
+  return atomic_write_file(path, file);
+}
+
+Status load_checkpoint(TrainCheckpoint& ckpt, const std::string& path) {
+  if (fault_fire("ckpt_read_io")) {
+    return Status::io_error("injected I/O fault reading %s", path.c_str());
+  }
+  std::string bytes;
+  RLCCD_TRY(read_file(path, bytes));
+  std::size_t offset = 0;
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::corrupt("%s: not an RLCCDCKPT1 checkpoint", path.c_str());
+  }
+  offset = sizeof(kMagic);
+  std::uint32_t version = 0;
+  RLCCD_TRY(parse_pod(bytes, offset, version, "version").with_context(path));
+  if (version != kVersion) {
+    return Status::corrupt("%s: unsupported checkpoint version %u",
+                           path.c_str(), version);
+  }
+  std::uint64_t payload_size = 0;
+  std::uint32_t crc = 0;
+  RLCCD_TRY(
+      parse_pod(bytes, offset, payload_size, "payload size").with_context(path));
+  RLCCD_TRY(parse_pod(bytes, offset, crc, "crc").with_context(path));
+  if (offset + payload_size != bytes.size()) {
+    return Status::corrupt(
+        "%s: payload size %llu does not match file (%zu bytes after header)",
+        path.c_str(), static_cast<unsigned long long>(payload_size),
+        bytes.size() - offset);
+  }
+  const std::string payload = bytes.substr(offset);
+  const std::uint32_t actual = crc32(payload);
+  if (actual != crc) {
+    return Status::corrupt("%s: CRC mismatch (stored %08x, computed %08x)",
+                           path.c_str(), crc, actual);
+  }
+  return parse_payload(ckpt, payload).with_context(path);
+}
+
+}  // namespace rlccd

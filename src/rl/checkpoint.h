@@ -1,0 +1,67 @@
+// Versioned training checkpoints for crash-tolerant REINFORCE runs.
+//
+// A checkpoint captures everything the training loop needs to continue
+// bit-identically from an iteration boundary: policy parameters, Adam
+// moment estimates, the root RNG stream, the moving-average baseline,
+// early-stop counters, and the full TrainStats accumulated so far
+// (including the default-flow reference values, so a resumed run does not
+// re-evaluate the default flow).
+//
+// On-disk format ("RLCCDCKPT1" magic):
+//   magic[10] | u32 version | u64 payload_size | u32 crc32(payload) | payload
+// Writes are atomic (temp file + fsync + rename, common/io.h), so a crash
+// mid-write leaves the previous checkpoint intact, and the CRC rejects torn
+// or bit-rotted payloads at load time with a diagnosable Status.
+//
+// Files are named ckpt-NNNNNN.rlccd inside the checkpoint directory, where
+// NNNNNN is the number of completed iterations; list_checkpoints returns
+// them newest-first so resume can fall back to an older checkpoint when the
+// newest is corrupt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/optim.h"
+#include "rl/trainer.h"
+
+namespace rlccd {
+
+struct TrainCheckpoint {
+  // Compatibility fingerprint: resume refuses a checkpoint whose run shape
+  // differs from the live config (different seed or worker count would
+  // silently break bit-identical replay).
+  std::uint64_t seed = 0;
+  std::int32_t workers = 0;
+
+  std::int32_t next_iter = 0;  // first iteration the resumed loop runs
+  double baseline = 0.0;
+  bool baseline_init = false;
+  std::int32_t stall = 0;
+  std::uint64_t rng_state = 0;
+
+  // Policy parameter values, in Policy::parameters() order.
+  std::vector<std::vector<float>> params;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> param_shapes;
+  Adam::State adam;
+
+  TrainStats stats;
+};
+
+// Path of the checkpoint file for `iterations` completed iterations.
+std::string checkpoint_path(const std::string& dir, int iterations);
+
+// Checkpoint files in `dir`, sorted newest (highest iteration) first.
+// NotFound when the directory has none (or does not exist).
+Status list_checkpoints(const std::string& dir,
+                        std::vector<std::string>& paths_out);
+
+// Atomic write. Fault point "ckpt_write_io" injects an I/O failure.
+Status save_checkpoint(const TrainCheckpoint& ckpt, const std::string& path);
+
+// Verifies magic/version/CRC and parses; on failure `ckpt` is unspecified.
+// Fault point "ckpt_read_io" injects a read failure.
+Status load_checkpoint(TrainCheckpoint& ckpt, const std::string& path);
+
+}  // namespace rlccd

@@ -1,7 +1,10 @@
 #include "rl/policy.h"
 
 #include <cmath>
+#include <limits>
 
+#include "common/fault.h"
+#include "common/telemetry.h"
 #include "nn/serialize.h"
 
 namespace rlccd {
@@ -50,6 +53,27 @@ Policy::RolloutResult Policy::rollout(const DesignGraph& graph,
         ops::tanh_op(ops::add_rowvec(ops::matmul(f_ep, attn_w1_),
                                      ops::matmul(q, attn_w2_))),
         attn_v_);  // [n, 1]
+
+    // Numerical-health guard: a NaN/Inf logit would poison the softmax, the
+    // sampled action and (via backward) every parameter gradient. Stop the
+    // trajectory here and let the trainer drop it instead.
+    if (fault_fire("nan_logits")) {
+      scores.set(0, 0, std::numeric_limits<float>::quiet_NaN());
+    }
+    bool logits_finite = true;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      if (!std::isfinite(scores.data()[i])) {
+        logits_finite = false;
+        break;
+      }
+    }
+    if (!logits_finite) {
+      static MetricsCounter& ctr_nonfinite =
+          MetricsRegistry::global().counter("policy.nonfinite_logits");
+      ctr_nonfinite.increment();
+      result.poisoned = true;
+      break;
+    }
 
     // 4. Masked softmax + sampling (Eq. 6, Alg. 1 line 10).
     Tensor log_probs = ops::masked_log_softmax(scores, env.valid());
@@ -117,11 +141,11 @@ Policy Policy::clone() const {
   return copy;
 }
 
-bool Policy::save_gnn(const std::string& path) const {
+Status Policy::save_gnn(const std::string& path) const {
   return save_parameters(gnn_.parameters(), path);
 }
 
-bool Policy::load_gnn(const std::string& path) {
+Status Policy::load_gnn(const std::string& path) {
   std::vector<Tensor> params = gnn_.parameters();
   return load_parameters(params, path);
 }

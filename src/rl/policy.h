@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "gnn/ep_gnn.h"
 #include "rl/env.h"
 
@@ -29,6 +30,10 @@ class Policy {
     std::vector<std::size_t> actions; // endpoint indices in selection order
     std::vector<PinId> selected;      // same, as pins
     int steps = 0;
+    // Set when a non-finite attention logit was detected: the rollout stops
+    // at that step and the trajectory must be excluded from the gradient
+    // (counter "policy.nonfinite_logits" records the occurrence).
+    bool poisoned = false;
   };
 
   enum class RolloutMode {
@@ -65,8 +70,8 @@ class Policy {
 
   [[nodiscard]] const PolicyConfig& config() const { return config_; }
 
-  bool save_gnn(const std::string& path) const;
-  bool load_gnn(const std::string& path);
+  Status save_gnn(const std::string& path) const;
+  Status load_gnn(const std::string& path);
 
  private:
   PolicyConfig config_;

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <thread>
 
+#include "common/fault.h"
+#include "common/finite.h"
 #include "common/log.h"
 #include "nn/serialize.h"
+#include "rl/checkpoint.h"
 
 namespace rlccd {
 
@@ -15,6 +20,8 @@ ReinforceTrainer::ReinforceTrainer(const Design* design, Policy* policy,
     : design_(design), policy_(policy), config_(config), graph_(*design) {
   RLCCD_EXPECTS(design != nullptr && policy != nullptr);
   RLCCD_EXPECTS(config.workers >= 1);
+  RLCCD_EXPECTS(config.checkpoint_every >= 1);
+  RLCCD_EXPECTS(config.rollback_after >= 1);
 }
 
 std::unique_ptr<Netlist> ReinforceTrainer::acquire_scratch() const {
@@ -41,10 +48,17 @@ void ReinforceTrainer::release_scratch(std::unique_ptr<Netlist> scratch) const {
 
 FlowResult ReinforceTrainer::evaluate_selection(
     std::span<const PinId> selection) const {
+  return evaluate_selection(selection, nullptr);
+}
+
+FlowResult ReinforceTrainer::evaluate_selection(
+    std::span<const PinId> selection, const CancelToken* cancel) const {
   std::unique_ptr<Netlist> work = acquire_scratch();
   FlowInput input{design_->sta_config, design_->clock_period, design_->die,
                   design_->pi_toggles, selection};
-  FlowResult result = run_placement_flow(*work, input, config_.flow);
+  FlowConfig flow = config_.flow;
+  flow.cancel = cancel;
+  FlowResult result = run_placement_flow(*work, input, flow);
   release_scratch(std::move(work));
   return result;
 }
@@ -55,10 +69,132 @@ TrainStats ReinforceTrainer::train() {
   TrainStats stats;
   stats.begin_tns = graph_.begin_tns();
 
-  FlowResult default_result = evaluate_selection({});
-  stats.default_tns = default_result.final_summary.tns;
-  stats.default_nve = default_result.final_summary.nve;
-  stats.best_tns = stats.default_tns;  // empty selection is always available
+  static MetricsHistogram& hist_iter_seconds =
+      MetricsRegistry::global().histogram("train.iteration.seconds");
+  MetricsRegistry& reg = MetricsRegistry::global();
+  static MetricsCounter& ctr_ckpt_written =
+      reg.counter("train.checkpoints_written");
+  static MetricsCounter& ctr_ckpt_failed =
+      reg.counter("train.checkpoint_failures");
+  static MetricsCounter& ctr_resumes = reg.counter("train.resumes");
+  static MetricsCounter& ctr_poisoned =
+      reg.counter("train.trajectories_poisoned");
+  static MetricsCounter& ctr_cancelled =
+      reg.counter("train.rollouts_cancelled");
+  static MetricsCounter& ctr_iter_failed =
+      reg.counter("train.iterations_failed");
+  static MetricsCounter& ctr_rollbacks = reg.counter("train.rollbacks");
+
+  Adam optimizer(policy_->parameters(), config_.lr);
+  Rng root_rng(config_.seed ^ 0xABCDEF12345ull);
+  double baseline = 0.0;
+  bool baseline_init = false;
+  int stall = 0;
+  int start_iter = 0;
+
+  // Snapshots the full training state; `next_iter` is the first iteration a
+  // resumed (or rolled-back) loop would run.
+  auto capture = [&](int next_iter) {
+    TrainCheckpoint ckpt;
+    ckpt.seed = config_.seed;
+    ckpt.workers = config_.workers;
+    ckpt.next_iter = next_iter;
+    ckpt.baseline = baseline;
+    ckpt.baseline_init = baseline_init;
+    ckpt.stall = stall;
+    ckpt.rng_state = root_rng.state();
+    std::vector<Tensor> params = policy_->parameters();
+    ckpt.params.reserve(params.size());
+    ckpt.param_shapes.reserve(params.size());
+    for (const Tensor& p : params) {
+      ckpt.params.emplace_back(p.data(), p.data() + p.size());
+      ckpt.param_shapes.emplace_back(p.rows(), p.cols());
+    }
+    ckpt.adam = optimizer.export_state();
+    ckpt.stats = stats;
+    return ckpt;
+  };
+
+  // Restores policy parameters, optimizer moments and loop state (but not
+  // TrainStats) from a snapshot with already-validated shapes.
+  auto restore_policy_state = [&](const TrainCheckpoint& ckpt) -> Status {
+    std::vector<Tensor> params = policy_->parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      std::memcpy(params[i].data(), ckpt.params[i].data(),
+                  ckpt.params[i].size() * sizeof(float));
+    }
+    RLCCD_TRY(optimizer.import_state(ckpt.adam));
+    root_rng.set_state(ckpt.rng_state);
+    baseline = ckpt.baseline;
+    baseline_init = ckpt.baseline_init;
+    stall = ckpt.stall;
+    return Status();
+  };
+
+  // Full resume: fingerprint + shape validation, then state + TrainStats.
+  auto restore_checkpoint = [&](const TrainCheckpoint& ckpt) -> Status {
+    if (ckpt.seed != config_.seed ||
+        ckpt.workers != config_.workers) {
+      return Status::failed_precondition(
+          "checkpoint was trained with seed %llu / %d workers; config has "
+          "seed %llu / %d workers",
+          static_cast<unsigned long long>(ckpt.seed), ckpt.workers,
+          static_cast<unsigned long long>(config_.seed), config_.workers);
+    }
+    std::vector<Tensor> params = policy_->parameters();
+    if (ckpt.params.size() != params.size()) {
+      return Status::invalid_argument("checkpoint has %zu parameters, "
+                                      "policy has %zu",
+                                      ckpt.params.size(), params.size());
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (ckpt.param_shapes[i].first != params[i].rows() ||
+          ckpt.param_shapes[i].second != params[i].cols()) {
+        return Status::invalid_argument(
+            "checkpoint parameter %zu: shape %llux%llu, expected %zux%zu", i,
+            static_cast<unsigned long long>(ckpt.param_shapes[i].first),
+            static_cast<unsigned long long>(ckpt.param_shapes[i].second),
+            params[i].rows(), params[i].cols());
+      }
+    }
+    RLCCD_TRY(restore_policy_state(ckpt));
+    stats = ckpt.stats;
+    start_iter = ckpt.next_iter;
+    return Status();
+  };
+
+  bool resumed = false;
+  if (config_.resume && !config_.checkpoint_dir.empty()) {
+    std::vector<std::string> paths;
+    Status listed = list_checkpoints(config_.checkpoint_dir, paths);
+    if (!listed.ok()) {
+      RLCCD_LOG_INFO("resume requested but %s; starting fresh",
+                     listed.to_string().c_str());
+    }
+    // Newest first; a corrupt or incompatible file falls back to the next.
+    for (const std::string& path : paths) {
+      TrainCheckpoint ckpt;
+      Status s = load_checkpoint(ckpt, path);
+      if (s.ok()) s = restore_checkpoint(ckpt);
+      if (!s.ok()) {
+        RLCCD_LOG_WARN("skipping checkpoint %s: %s", path.c_str(),
+                       s.to_string().c_str());
+        continue;
+      }
+      resumed = true;
+      ctr_resumes.increment();
+      RLCCD_LOG_INFO("resumed from %s (iteration %d, best TNS %.3f)",
+                     path.c_str(), start_iter, stats.best_tns);
+      break;
+    }
+  }
+
+  if (!resumed) {
+    FlowResult default_result = evaluate_selection({});
+    stats.default_tns = default_result.final_summary.tns;
+    stats.default_nve = default_result.final_summary.nve;
+    stats.best_tns = stats.default_tns;  // empty selection is always available
+  }
 
   if (graph_.num_endpoints() == 0) {
     RLCCD_LOG_INFO("no violating endpoints; nothing to train");
@@ -69,24 +205,30 @@ TrainStats ReinforceTrainer::train() {
       std::max({std::abs(stats.default_tns), 0.02 * std::abs(stats.begin_tns),
                 1e-3});
 
-  Adam optimizer(policy_->parameters(), config_.lr);
-  Rng root_rng(config_.seed ^ 0xABCDEF12345ull);
-  double baseline = 0.0;
-  bool baseline_init = false;
-  int stall = 0;
-
   struct WorkerOut {
     double tns = 0.0;
     double reward = 0.0;
     int steps = 0;
+    bool flow_ran = false;
+    bool poisoned = false;   // non-finite logits/TNS/reward/gradients
+    bool cancelled = false;  // rollout watchdog fired
     std::vector<PinId> selection;
     std::vector<std::vector<float>> grads;  // per parameter
   };
 
-  static MetricsHistogram& hist_iter_seconds =
-      MetricsRegistry::global().histogram("train.iteration.seconds");
+  // Last known-good state for in-memory rollback after repeated dropped
+  // iterations; refreshed after every successful parameter update.
+  TrainCheckpoint last_good = capture(start_iter);
+  int consecutive_failures = 0;
 
-  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+  for (int iter = start_iter; iter < config_.max_iterations; ++iter) {
+    // Early-stop check at the iteration boundary, so an interrupted run
+    // resumed from a checkpoint stops at exactly the same iteration as an
+    // uninterrupted one.
+    if (iter >= config_.min_iterations && stall >= config_.patience) {
+      RLCCD_LOG_INFO("early stop: no improvement in %d iterations", stall);
+      break;
+    }
     const auto t_iter = std::chrono::steady_clock::now();
     ScopedSpan iter_span("iteration");
     // Clone policies on the main thread (cheap, deterministic).
@@ -106,6 +248,11 @@ TrainStats ReinforceTrainer::train() {
         Rng rng = root_rng.fork(
             static_cast<std::uint64_t>(iter) * 131 +
             static_cast<std::uint64_t>(w));
+        // Watchdog: the flow polls this token at pass boundaries, so a
+        // stuck rollout cancels instead of wedging the whole iteration.
+        CancelToken watchdog(config_.rollout_deadline_sec);
+        // Deterministic stall fault: parks the worker past its deadline.
+        fault_stall_point("rollout_stall");
         SelectionEnv env(&graph_, config_.overlap_threshold);
         // Stepwise rollout: sum_t grad(log pi_t) lands in the clone's
         // parameter grads (zero on entry) with per-step graphs freed.
@@ -114,29 +261,124 @@ TrainStats ReinforceTrainer::train() {
                         Policy::RolloutMode::StepwiseBackward);
         out.steps = ro.steps;
         out.selection = ro.selected;
-        FlowResult fr = evaluate_selection(ro.selected);
+        if (ro.poisoned) {
+          out.poisoned = true;
+          ctr_poisoned.increment();
+          RLCCD_LOG_WARN("worker %d: non-finite logits; trajectory dropped",
+                         w);
+          return;
+        }
+        FlowResult fr = evaluate_selection(ro.selected, &watchdog);
+        out.flow_ran = true;
+        if (fr.cancelled) {
+          out.cancelled = true;
+          ctr_cancelled.increment();
+          RLCCD_LOG_WARN(
+              "worker %d: rollout exceeded %.1fs deadline; cancelled", w,
+              config_.rollout_deadline_sec);
+          return;
+        }
         out.tns = fr.final_summary.tns;
+        if (fault_fire("nan_reward")) {
+          out.tns = std::numeric_limits<double>::quiet_NaN();
+        }
         out.reward = (out.tns - stats.default_tns) / reward_denom;
+        if (!std::isfinite(out.tns) || !std::isfinite(out.reward)) {
+          out.poisoned = true;
+          ctr_poisoned.increment();
+          RLCCD_LOG_WARN(
+              "worker %d: non-finite reward (TNS %g); trajectory dropped", w,
+              out.tns);
+          return;
+        }
 
         // REINFORCE: grad = -(r - b) * sum_t grad(log pi_t); the baseline
         // is read once before the threads launch.
         const float scale = static_cast<float>(-(out.reward - baseline));
         std::vector<Tensor> params = pol.parameters();
         out.grads.reserve(params.size());
+        bool grads_finite = true;
         for (Tensor& p : params) {
           std::vector<float> g = p.grad();
           for (float& v : g) v *= scale;
+          if (!all_finite(g)) grads_finite = false;
           out.grads.push_back(std::move(g));
+        }
+        if (!grads_finite) {
+          out.poisoned = true;
+          ctr_poisoned.increment();
+          out.grads.clear();
+          RLCCD_LOG_WARN(
+              "worker %d: non-finite gradients; trajectory dropped", w);
         }
       });
     }
     for (std::thread& t : threads) t.join();
 
-    // Merge gradients into the master policy (fixed order => deterministic).
+    int survivors = 0;
+    int n_poisoned = 0;
+    int n_cancelled = 0;
+    for (const WorkerOut& out : outs) {
+      if (out.flow_ran) ++stats.flow_runs;
+      if (out.poisoned) ++n_poisoned;
+      if (out.cancelled) ++n_cancelled;
+      if (!out.poisoned && !out.cancelled) ++survivors;
+    }
+
+    const double iter_seconds_so_far =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_iter)
+            .count();
+    if (survivors == 0) {
+      // Every trajectory failed: drop the iteration (no parameter update,
+      // no history entry) and, after repeated failures, roll the policy and
+      // optimizer back to the last known-good state.
+      ++consecutive_failures;
+      ctr_iter_failed.increment();
+      bool rolled_back = false;
+      if (consecutive_failures >= config_.rollback_after) {
+        Status rs = restore_policy_state(last_good);
+        if (rs.ok()) {
+          rolled_back = true;
+          consecutive_failures = 0;
+          ctr_rollbacks.increment();
+          RLCCD_LOG_WARN(
+              "iter %2d: rolled back to last good state (iteration %d)", iter,
+              last_good.next_iter);
+        } else {
+          RLCCD_LOG_ERROR("rollback failed: %s", rs.to_string().c_str());
+        }
+      }
+      RLCCD_LOG_WARN(
+          "iter %2d dropped: 0 of %d trajectories survived (%d poisoned, %d "
+          "cancelled)",
+          iter, config_.workers, n_poisoned, n_cancelled);
+      if (config_.observer != nullptr) {
+        const ProgressMetric metrics[] = {
+            {"poisoned", static_cast<double>(n_poisoned)},
+            {"cancelled", static_cast<double>(n_cancelled)},
+            {"consecutive_failures", static_cast<double>(consecutive_failures)},
+            {"rolled_back", rolled_back ? 1.0 : 0.0},
+        };
+        ProgressEvent event;
+        event.phase = "train";
+        event.step = "recovery";
+        event.index = iter;
+        event.seconds = iter_seconds_so_far;
+        event.metrics = metrics;
+        config_.observer->on_event(event);
+      }
+      continue;
+    }
+    consecutive_failures = 0;
+
+    // Merge surviving gradients into the master policy (fixed order =>
+    // deterministic). With no failures this is the plain 1/workers mean.
     optimizer.zero_grad();
     std::vector<Tensor> master = policy_->parameters();
-    const float inv_w = 1.0f / static_cast<float>(config_.workers);
+    const float inv_w = 1.0f / static_cast<float>(survivors);
     for (const WorkerOut& out : outs) {
+      if (out.poisoned || out.cancelled) continue;
       for (std::size_t p = 0; p < master.size(); ++p) {
         std::vector<float>& g = master[p].grad_mut();
         const std::vector<float>& src = out.grads[p];
@@ -146,10 +388,11 @@ TrainStats ReinforceTrainer::train() {
     clip_grad_norm(master, config_.grad_clip);
     optimizer.step();
 
-    // Iteration bookkeeping.
+    // Iteration bookkeeping over the surviving trajectories.
     IterationStats is;
     double iter_best = -1e300;
     for (const WorkerOut& out : outs) {
+      if (out.poisoned || out.cancelled) continue;
       is.mean_reward += out.reward;
       is.mean_tns += out.tns;
       is.mean_steps += out.steps;
@@ -160,14 +403,13 @@ TrainStats ReinforceTrainer::train() {
         stall = -1;  // improvement this iteration
       }
     }
-    const double n = static_cast<double>(config_.workers);
+    const double n = static_cast<double>(survivors);
     is.mean_reward /= n;
     is.mean_tns /= n;
     is.mean_steps /= n;
     is.iter_best_tns = iter_best;
     is.best_tns = stats.best_tns;
     stats.history.push_back(is);
-    stats.flow_runs += config_.workers;
     ++stats.iterations;
 
     const double iter_seconds =
@@ -202,9 +444,41 @@ TrainStats ReinforceTrainer::train() {
     RLCCD_LOG_INFO(
         "iter %2d: mean TNS %.3f best %.3f (default %.3f) mean |sel| %.1f",
         iter, is.mean_tns, stats.best_tns, stats.default_tns, is.mean_steps);
-    if (iter + 1 >= config_.min_iterations && stall >= config_.patience) {
-      RLCCD_LOG_INFO("early stop: no improvement in %d iterations", stall);
-      break;
+
+    last_good = capture(iter + 1);
+    if (!config_.checkpoint_dir.empty() &&
+        stats.iterations % config_.checkpoint_every == 0) {
+      const std::string path =
+          checkpoint_path(config_.checkpoint_dir, stats.iterations);
+      Status s = save_checkpoint(last_good, path);
+      if (s.ok()) {
+        ctr_ckpt_written.increment();
+        if (config_.observer != nullptr) {
+          const ProgressMetric metrics[] = {
+              {"iterations", static_cast<double>(stats.iterations)}};
+          ProgressEvent event;
+          event.phase = "train";
+          event.step = "checkpoint";
+          event.index = iter;
+          event.seconds = 0.0;
+          event.metrics = metrics;
+          config_.observer->on_event(event);
+        }
+        // Test hook: simulate an abrupt kill right after the checkpoint
+        // landed, without taking the whole test process down.
+        if (fault_fire("train_crash")) {
+          RLCCD_LOG_WARN("injected crash after checkpoint %s", path.c_str());
+          stats.train_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t_start)
+                  .count();
+          return stats;
+        }
+      } else {
+        ctr_ckpt_failed.increment();
+        RLCCD_LOG_WARN("checkpoint write failed (training continues): %s",
+                       s.to_string().c_str());
+      }
     }
   }
 

@@ -8,12 +8,26 @@
 // against the default flow's TNS; a moving-average baseline reduces
 // variance. Training stops when the best TNS has not improved for
 // `patience` consecutive iterations (the paper's criterion, 3).
+//
+// Fault tolerance (DESIGN.md Sec. 9): with a checkpoint_dir set, the loop
+// persists a versioned checkpoint (policy params, Adam state, root RNG
+// stream, baseline, TrainStats) after iterations complete, and `resume`
+// continues bit-identically from the newest valid one. Non-finite logits,
+// TNS, rewards or gradients poison only the affected trajectory; an
+// iteration with zero surviving trajectories is dropped (no parameter
+// update, no history entry), and `rollback_after` consecutive dropped
+// iterations restore the last known-good policy/optimizer state in memory.
+// `rollout_deadline_sec` arms a per-rollout watchdog: the placement flow
+// polls the deadline at pass boundaries and a stuck rollout is cancelled,
+// degrading the iteration to its surviving trajectories.
 #pragma once
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "nn/optim.h"
 #include "opt/flow.h"
 #include "rl/policy.h"
@@ -33,9 +47,27 @@ struct TrainConfig {
   FlowConfig flow;
   // Streams one ProgressEvent (phase "train", step "iteration") per
   // training iteration, carrying the same values recorded in
-  // TrainStats::history. Fires on the thread that called train(), after the
-  // iteration's workers have joined. Not owned; must outlive train().
+  // TrainStats::history, plus one (step "recovery") per dropped iteration
+  // and one (step "checkpoint") per checkpoint written. Fires on the thread
+  // that called train(), after the iteration's workers have joined. Not
+  // owned; must outlive train().
   ProgressObserver* observer = nullptr;
+
+  // --- Fault tolerance ---
+  // Directory for ckpt-NNNNNN.rlccd files; empty disables checkpointing.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;  // write every N completed iterations
+  // Resume from the newest valid checkpoint in checkpoint_dir (falling back
+  // to older ones when the newest is corrupt). A resumed run replays the
+  // remaining iterations bit-identically to an uninterrupted run.
+  bool resume = false;
+  // Per-rollout wall-clock deadline for the reward flow; <= 0 disables the
+  // watchdog. Expired rollouts are cancelled at the next pass boundary and
+  // excluded from the gradient estimate.
+  double rollout_deadline_sec = 0.0;
+  // After this many consecutive dropped iterations, restore the last
+  // known-good policy/optimizer/baseline state before continuing.
+  int rollback_after = 2;
 };
 
 struct IterationStats {
@@ -66,8 +98,11 @@ class ReinforceTrainer {
   TrainStats train();
 
   // Runs the placement flow on a pristine copy with `selection`; returns
-  // the flow result (used for reward and for final reporting).
+  // the flow result (used for reward and for final reporting). The
+  // two-argument form threads a watchdog token into the flow.
   FlowResult evaluate_selection(std::span<const PinId> selection) const;
+  FlowResult evaluate_selection(std::span<const PinId> selection,
+                                const CancelToken* cancel) const;
 
   [[nodiscard]] const DesignGraph& graph() const { return graph_; }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/finite.h"
+
 namespace rlccd {
 
 namespace {
@@ -718,7 +720,8 @@ TimingSummary Sta::summary() const {
   s.worst_hold_slack = kInf;
   for (PinId ep : graph_.endpoints()) {
     double sl = endpoint_slack(ep);
-    if (sl >= kInf) continue;
+    if (sl >= kInf) continue;  // unconstrained (kInf sentinel, not a number)
+    RLCCD_CHECK_FINITE(sl);
     if (sl < 0.0) {
       s.wns = std::min(s.wns, sl);
       s.tns += sl;
@@ -727,6 +730,8 @@ TimingSummary Sta::summary() const {
     double hs = endpoint_hold_slack(ep);
     s.worst_hold_slack = std::min(s.worst_hold_slack, hs);
   }
+  RLCCD_CHECK_FINITE(s.tns);
+  RLCCD_CHECK_FINITE(s.wns);
   return s;
 }
 

@@ -1,0 +1,86 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "common/telemetry.h"
+
+namespace rlccd {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::global().reset(); }
+  void TearDown() override { FaultInjector::global().reset(); }
+};
+
+TEST_F(FaultTest, UnarmedPointNeverFires) {
+  EXPECT_FALSE(FaultInjector::global().any_armed());
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(fault_fire("never_armed"));
+}
+
+TEST_F(FaultTest, FiresExactlyInTheArmedHitWindow) {
+  FaultInjector::global().arm({"win", /*hit=*/2, /*count=*/2, 0.0});
+  EXPECT_TRUE(FaultInjector::global().any_armed());
+  EXPECT_FALSE(fault_fire("win"));  // hit 1
+  EXPECT_TRUE(fault_fire("win"));   // hit 2: window starts
+  EXPECT_TRUE(fault_fire("win"));   // hit 3: window continues
+  EXPECT_FALSE(fault_fire("win"));  // hit 4: window exhausted
+}
+
+TEST_F(FaultTest, DeliversParamToTheFiringSite) {
+  FaultInjector::global().arm({"stall", 1, 1, 0.25});
+  double param = 0.0;
+  EXPECT_TRUE(fault_fire("stall", &param));
+  EXPECT_DOUBLE_EQ(param, 0.25);
+}
+
+TEST_F(FaultTest, ArmFromSpecParsesMultiplePoints) {
+  Status s = FaultInjector::global().arm_from_spec(
+      "io@1,nan@3:2,stall@1:1:0.5");
+  ASSERT_TRUE(s.ok()) << s.to_string();
+  EXPECT_TRUE(fault_fire("io"));
+  EXPECT_FALSE(fault_fire("nan"));  // hit 1
+  EXPECT_FALSE(fault_fire("nan"));  // hit 2
+  EXPECT_TRUE(fault_fire("nan"));   // hit 3
+  EXPECT_TRUE(fault_fire("nan"));   // hit 4 (count=2)
+  EXPECT_FALSE(fault_fire("nan"));  // hit 5
+  double param = 0.0;
+  EXPECT_TRUE(fault_fire("stall", &param));
+  EXPECT_DOUBLE_EQ(param, 0.5);
+}
+
+TEST_F(FaultTest, MalformedSpecArmsNothing) {
+  Status s = FaultInjector::global().arm_from_spec("good@1,bad@@2");
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(FaultInjector::global().any_armed());
+  EXPECT_FALSE(fault_fire("good"));
+}
+
+TEST_F(FaultTest, EveryFireIncrementsTheTelemetryCounter) {
+  MetricsCounter& ctr = MetricsRegistry::global().counter("fault.counted");
+  const std::uint64_t before = ctr.value();
+  FaultInjector::global().arm({"counted", 1, 3, 0.0});
+  EXPECT_TRUE(fault_fire("counted"));
+  EXPECT_TRUE(fault_fire("counted"));
+  EXPECT_TRUE(fault_fire("counted"));
+  EXPECT_FALSE(fault_fire("counted"));
+  EXPECT_EQ(ctr.value() - before, 3u);
+}
+
+TEST_F(FaultTest, ResetDisarmsAndZeroesHitCounters) {
+  FaultInjector::global().arm({"r", 2, 1, 0.0});
+  EXPECT_FALSE(fault_fire("r"));  // hit 1
+  FaultInjector::global().reset();
+  EXPECT_FALSE(FaultInjector::global().any_armed());
+  // Re-arming starts the count from zero again.
+  FaultInjector::global().arm({"r", 2, 1, 0.0});
+  EXPECT_FALSE(fault_fire("r"));  // hit 1 (counter was reset)
+  EXPECT_TRUE(fault_fire("r"));   // hit 2
+}
+
+TEST_F(FaultTest, StallPointIsNoOpWhenDisarmed) {
+  fault_stall_point("no_such_stall");  // must simply return
+}
+
+}  // namespace
+}  // namespace rlccd

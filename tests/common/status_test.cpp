@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rlccd {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, FactoriesFormatMessages) {
+  Status io = Status::io_error("cannot open %s: errno %d", "foo.bin", 2);
+  EXPECT_FALSE(io.ok());
+  EXPECT_EQ(io.code(), StatusCode::kIoError);
+  EXPECT_EQ(io.message(), "cannot open foo.bin: errno 2");
+
+  EXPECT_EQ(Status::corrupt("x").code(), StatusCode::kCorrupt);
+  EXPECT_EQ(Status::invalid_argument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::failed_precondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Status, ToStringNamesTheCode) {
+  Status s = Status::corrupt("CRC mismatch");
+  EXPECT_EQ(s.to_string(), "CORRUPT: CRC mismatch");
+}
+
+TEST(Status, WithContextPrepends) {
+  Status s = Status::corrupt("truncated at byte 12");
+  Status wrapped = s.with_context("ckpt-000003.rlccd");
+  EXPECT_EQ(wrapped.code(), StatusCode::kCorrupt);
+  EXPECT_EQ(wrapped.message(), "ckpt-000003.rlccd: truncated at byte 12");
+  // No-op on OK.
+  EXPECT_TRUE(Status().with_context("anything").ok());
+}
+
+Status try_helper(bool fail, bool* reached_end) {
+  RLCCD_TRY(fail ? Status::io_error("inner failure") : Status());
+  *reached_end = true;
+  return Status();
+}
+
+TEST(Status, TryMacroPropagatesErrorsAndPassesOk) {
+  bool reached = false;
+  Status s = try_helper(true, &reached);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "inner failure");
+  EXPECT_FALSE(reached);
+
+  reached = false;
+  EXPECT_TRUE(try_helper(false, &reached).ok());
+  EXPECT_TRUE(reached);
+}
+
+}  // namespace
+}  // namespace rlccd

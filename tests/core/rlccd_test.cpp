@@ -49,7 +49,7 @@ TEST(RlCcd, TransferLearningLoadsPretrainedGnn) {
   RlCcdConfig cfg = fast_config(d);
   RlCcd teacher(&d, cfg);
   std::string path = std::string(::testing::TempDir()) + "/epgnn.bin";
-  ASSERT_TRUE(teacher.save_gnn(path));
+  ASSERT_TRUE(teacher.save_gnn(path).ok());
 
   RlCcdConfig transfer_cfg = cfg;
   transfer_cfg.pretrained_gnn = path;

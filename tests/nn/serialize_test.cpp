@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
 #include "nn/modules.h"
 
 namespace rlccd {
@@ -18,11 +19,11 @@ TEST(Serialize, RoundTripPreservesValues) {
   Linear lin(4, 3, rng);
   std::vector<Tensor> params = lin.parameters();
   std::string path = temp_path("params.bin");
-  ASSERT_TRUE(save_parameters(params, path));
+  ASSERT_TRUE(save_parameters(params, path).ok());
 
   Linear fresh(4, 3, rng);  // different random init
   std::vector<Tensor> loaded = fresh.parameters();
-  ASSERT_TRUE(load_parameters(loaded, path));
+  ASSERT_TRUE(load_parameters(loaded, path).ok());
   for (std::size_t p = 0; p < params.size(); ++p) {
     for (std::size_t i = 0; i < params[p].size(); ++i) {
       EXPECT_FLOAT_EQ(loaded[p].data()[i], params[p].data()[i]);
@@ -31,15 +32,18 @@ TEST(Serialize, RoundTripPreservesValues) {
   std::remove(path.c_str());
 }
 
-TEST(Serialize, RejectsShapeMismatch) {
+TEST(Serialize, RejectsShapeMismatchWithDiagnostic) {
   Rng rng(8);
   Linear small(2, 2, rng);
   Linear big(3, 3, rng);
   std::string path = temp_path("mismatch.bin");
   std::vector<Tensor> sp = small.parameters();
-  ASSERT_TRUE(save_parameters(sp, path));
+  ASSERT_TRUE(save_parameters(sp, path).ok());
   std::vector<Tensor> bp = big.parameters();
-  EXPECT_FALSE(load_parameters(bp, path));
+  Status s = load_parameters(bp, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("shape"), std::string::npos) << s.message();
   std::remove(path.c_str());
 }
 
@@ -52,7 +56,9 @@ TEST(Serialize, RejectsWrongMagic) {
   Rng rng(9);
   Linear lin(2, 2, rng);
   std::vector<Tensor> params = lin.parameters();
-  EXPECT_FALSE(load_parameters(params, path));
+  Status s = load_parameters(params, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorrupt);
   std::remove(path.c_str());
 }
 
@@ -60,8 +66,28 @@ TEST(Serialize, MissingFileFails) {
   Rng rng(10);
   Linear lin(2, 2, rng);
   std::vector<Tensor> params = lin.parameters();
-  EXPECT_FALSE(load_parameters(params, "/nonexistent/dir/params.bin"));
-  EXPECT_FALSE(save_parameters(params, "/nonexistent/dir/params.bin"));
+  Status load = load_parameters(params, "/nonexistent/dir/params.bin");
+  EXPECT_FALSE(load.ok());
+  EXPECT_EQ(load.code(), StatusCode::kIoError);
+  Status save = save_parameters(params, "/nonexistent/dir/params.bin");
+  EXPECT_FALSE(save.ok());
+  EXPECT_EQ(save.code(), StatusCode::kIoError);
+}
+
+TEST(Serialize, InjectedWriteFaultReturnsIoError) {
+  Rng rng(12);
+  Linear lin(2, 2, rng);
+  std::vector<Tensor> params = lin.parameters();
+  std::string path = temp_path("fault_params.bin");
+  FaultInjector::global().reset();
+  FaultInjector::global().arm({"nn_save_io", 1, 1, 0.0});
+  Status s = save_parameters(params, path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // Fault window exhausted: the retry succeeds.
+  EXPECT_TRUE(save_parameters(params, path).ok());
+  FaultInjector::global().reset();
+  std::remove(path.c_str());
 }
 
 TEST(Serialize, CopyParameterValues) {

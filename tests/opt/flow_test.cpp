@@ -165,5 +165,40 @@ TEST(Flow, EmptyAndNonEmptySelectionsShareStepCount) {
               0.5 * static_cast<double>(def.cells_upsized) + 8.0);
 }
 
+TEST(Flow, PreCancelledTokenStopsAtFirstBoundaryButStillFinalizes) {
+  Design d = make_block();
+  Netlist work = *d.netlist;
+  FlowConfig cfg = default_flow_config(work.num_real_cells(), d.clock_period);
+  CancelToken token;
+  token.cancel();
+  cfg.cancel = &token;
+  MetricsCounter& ctr = MetricsRegistry::global().counter("flow.cancelled");
+  const std::uint64_t before = ctr.value();
+  FlowInput input{d.sta_config, d.clock_period, d.die, d.pi_toggles};
+  FlowResult r = run_placement_flow(work, input, cfg);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(ctr.value() - before, 1u);
+  // The flow bailed before any optimization pass ran...
+  EXPECT_EQ(r.cells_upsized, 0);
+  EXPECT_EQ(r.buffers_inserted, 0);
+  // ...but still produced a consistent final report.
+  EXPECT_LT(r.begin.tns, 0.0);
+  EXPECT_DOUBLE_EQ(r.final_summary.tns, r.begin.tns);
+}
+
+TEST(Flow, NullAndUnexpiredTokensChangeNothing) {
+  Design d = make_block();
+  FlowResult plain = run_flow(d);
+  Netlist work = *d.netlist;
+  FlowConfig cfg = default_flow_config(work.num_real_cells(), d.clock_period);
+  CancelToken token(3600.0);  // far-future deadline never expires mid-test
+  cfg.cancel = &token;
+  FlowInput input{d.sta_config, d.clock_period, d.die, d.pi_toggles};
+  FlowResult watched = run_placement_flow(work, input, cfg);
+  EXPECT_FALSE(watched.cancelled);
+  EXPECT_DOUBLE_EQ(watched.final_summary.tns, plain.final_summary.tns);
+  EXPECT_EQ(watched.cells_upsized, plain.cells_upsized);
+}
+
 }  // namespace
 }  // namespace rlccd

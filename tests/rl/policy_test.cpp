@@ -149,8 +149,8 @@ TEST(Policy, GnnSaveLoadRoundTrip) {
   Policy a(PolicyConfig{}, 8);
   Policy b(PolicyConfig{}, 9);  // different init
   std::string path = std::string(::testing::TempDir()) + "/gnn.bin";
-  ASSERT_TRUE(a.save_gnn(path));
-  ASSERT_TRUE(b.load_gnn(path));
+  ASSERT_TRUE(a.save_gnn(path).ok());
+  ASSERT_TRUE(b.load_gnn(path).ok());
   std::vector<Tensor> ga = a.gnn_parameters();
   std::vector<Tensor> gb = b.gnn_parameters();
   for (std::size_t p = 0; p < ga.size(); ++p) {

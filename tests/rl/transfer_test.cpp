@@ -38,7 +38,7 @@ TEST(Transfer, DonorToStudentWorkflow) {
     init_sample.assign(w0.data(), w0.data() + w0.size());
   }
   teacher.run();
-  ASSERT_TRUE(teacher.save_gnn(path));
+  ASSERT_TRUE(teacher.save_gnn(path).ok());
   {
     Tensor w0 = teacher.policy().gnn_parameters()[0];
     bool moved = false;
@@ -72,7 +72,7 @@ TEST(Transfer, TransferredTrainingIsDeterministic) {
   Design donor = make_design(175);
   RlCcd teacher(&donor, tiny_config(donor));
   teacher.run();
-  ASSERT_TRUE(teacher.save_gnn(path));
+  ASSERT_TRUE(teacher.save_gnn(path).ok());
 
   auto run_student = [&]() {
     Design d = make_design(177);

@@ -5,6 +5,8 @@
 //   rlccd_cli flow     <block> [--scale S]          # default placement flow
 //   rlccd_cli train    <block> [--scale S] [--iters N] [--workers N]
 //                      [--rho R] [--gnn-in FILE] [--gnn-out FILE]
+//                      [--checkpoint-dir DIR] [--resume]
+//                      [--rollout-deadline SECS]
 //
 // Global flags: --metrics-json FILE writes the process-wide telemetry
 // registry (counters, histograms, nested spans) after the command;
@@ -42,6 +44,9 @@ struct Args {
   std::string gnn_out;
   std::string metrics_json;
   bool progress = false;
+  std::string checkpoint_dir;
+  bool resume = false;
+  double rollout_deadline = 0.0;
 };
 
 // Streams flow/train progress events as one stderr line each.
@@ -93,6 +98,12 @@ bool parse(int argc, char** argv, Args& args) {
       args.metrics_json = v;
     } else if (flag == "--progress") {
       args.progress = true;
+    } else if (flag == "--checkpoint-dir" && (v = next())) {
+      args.checkpoint_dir = v;
+    } else if (flag == "--resume") {
+      args.resume = true;
+    } else if (flag == "--rollout-deadline" && (v = next())) {
+      args.rollout_deadline = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -124,8 +135,10 @@ int cmd_generate(const Args& args) {
   std::printf("period %.3f ns, die %.0f x %.0f um\n", d.clock_period,
               d.die.width, d.die.height);
   if (!args.out.empty()) {
-    if (!write_netlist_file(*d.netlist, args.out)) {
-      std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    Status s = write_netlist_file(*d.netlist, args.out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write netlist: %s\n",
+                   s.to_string().c_str());
       return 1;
     }
     std::printf("netlist written to %s\n", args.out.c_str());
@@ -174,6 +187,9 @@ int cmd_train(const Args& args) {
   cfg.train.max_iterations = args.iters;
   cfg.train.workers = args.workers;
   cfg.train.overlap_threshold = args.rho;
+  cfg.train.checkpoint_dir = args.checkpoint_dir;
+  cfg.train.resume = args.resume;
+  cfg.train.rollout_deadline_sec = args.rollout_deadline;
   cfg.pretrained_gnn = args.gnn_in;
   if (args.progress) cfg.observer = &g_progress;
   RlCcd agent(&d, cfg);
@@ -185,8 +201,10 @@ int cmd_train(const Args& args) {
               r.rl_flow.final_summary.tns, r.rl_flow.final_summary.nve, r.selection.size(),
               r.tns_gain_pct(), r.nve_gain_pct(), r.runtime_factor);
   if (!args.gnn_out.empty()) {
-    if (!agent.save_gnn(args.gnn_out)) {
-      std::fprintf(stderr, "cannot write %s\n", args.gnn_out.c_str());
+    Status s = agent.save_gnn(args.gnn_out);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cannot write EP-GNN weights: %s\n",
+                   s.to_string().c_str());
       return 1;
     }
     std::printf("EP-GNN weights written to %s\n", args.gnn_out.c_str());
@@ -204,6 +222,8 @@ int main(int argc, char** argv) {
                  "usage: rlccd_cli <generate|sta|flow|train> <block|cells> "
                  "[--scale S] [--seed N] [--iters N] [--workers N] [--rho R] "
                  "[--out FILE] [--gnn-in FILE] [--gnn-out FILE] "
+                 "[--checkpoint-dir DIR] [--resume] "
+                 "[--rollout-deadline SECS] "
                  "[--metrics-json FILE] [--progress]\n");
     return 2;
   }

@@ -1,6 +1,10 @@
 // Developer smoke test: end-to-end RL-CCD training on one block.
+//
+//   smoke_rl [block] [scale] [iters] [--checkpoint-dir DIR] [--resume]
+//            [--rollout-deadline SECS]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/log.h"
@@ -11,15 +15,44 @@ using namespace rlccd;
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Info);
-  std::string block_name = argc > 1 ? argv[1] : "block11";
-  double scale = argc > 2 ? std::atof(argv[2]) : 0.01;
-  int iters = argc > 3 ? std::atoi(argv[3]) : 12;
+  std::string block_name = "block11";
+  double scale = 0.01;
+  int iters = 12;
+  std::string checkpoint_dir;
+  bool resume = false;
+  double rollout_deadline = 0.0;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--rollout-deadline") == 0 &&
+               i + 1 < argc) {
+      rollout_deadline = std::atof(argv[++i]);
+    } else if (positional == 0) {
+      block_name = argv[i];
+      ++positional;
+    } else if (positional == 1) {
+      scale = std::atof(argv[i]);
+      ++positional;
+    } else if (positional == 2) {
+      iters = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
 
   Design design =
       generate_design(to_generator_config(find_block(block_name), scale));
   RlCcdConfig cfg = RlCcdConfig::for_design(design);
   cfg.train.max_iterations = iters;
   cfg.train.workers = 8;
+  cfg.train.checkpoint_dir = checkpoint_dir;
+  cfg.train.resume = resume;
+  cfg.train.rollout_deadline_sec = rollout_deadline;
 
   RlCcd agent(&design, cfg);
   RlCcdResult r = agent.run();
