@@ -2,9 +2,13 @@
 // update() engine versus the same flow forced to full recomputes
 // (StaConfig::incremental = false). Reports wall-clock speedup and the
 // reduction in propagated pin updates (the engine's work metric).
+//
+// Also measures the flight-recorder tax: the same incremental flow with the
+// trace ring enabled, which must stay within ~2% of the untraced run.
 #include <chrono>
 #include <cstdio>
 
+#include "common/trace.h"
 #include "core/rlccd.h"
 
 namespace rlccd {
@@ -128,5 +132,19 @@ int main() {
               full.seconds / inc.seconds,
               static_cast<double>(full.pin_updates) /
                   static_cast<double>(inc.pin_updates));
+
+  TraceRecorder::global().enable();
+  FlowCost traced = measure_flow(d, /*incremental=*/true, kRepeats);
+  TraceRecorder::global().disable();
+  std::printf("\ntracing overhead (incremental flow, ring enabled):\n");
+  std::printf("  untraced  : %8.3f ms\n", 1e3 * inc.seconds);
+  std::printf("  traced    : %8.3f ms  (%llu events, %llu dropped)\n",
+              1e3 * traced.seconds,
+              static_cast<unsigned long long>(
+                  TraceRecorder::global().buffered_events()),
+              static_cast<unsigned long long>(
+                  TraceRecorder::global().dropped_events()));
+  std::printf("  overhead %+.2f%%\n",
+              100.0 * (traced.seconds - inc.seconds) / inc.seconds);
   return 0;
 }

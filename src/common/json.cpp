@@ -1,0 +1,235 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rlccd {
+
+namespace {
+
+constexpr int kMaxDepth = 128;
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number_value() : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->string_value()
+                                        : std::string(fallback);
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->bool_value() : fallback;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  Status parse(JsonValue& out) {
+    RLCCD_TRY(value(out, 0));
+    skip_ws();
+    if (pos_ != s_.size()) {
+      return Status::corrupt("JSON: trailing content at byte %zu", pos_);
+    }
+    return Status();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool eat(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool eat_word(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status value(JsonValue& v, int depth) {
+    if (depth > kMaxDepth) {
+      return Status::corrupt("JSON: nesting deeper than %d", kMaxDepth);
+    }
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object(v, depth);
+    if (c == '[') return array(v, depth);
+    if (c == '"') {
+      v.type_ = JsonValue::Type::String;
+      return string(v.string_);
+    }
+    if (eat_word("null")) {
+      v.type_ = JsonValue::Type::Null;
+      return Status();
+    }
+    if (eat_word("true")) {
+      v.type_ = JsonValue::Type::Bool;
+      v.bool_ = true;
+      return Status();
+    }
+    if (eat_word("false")) {
+      v.type_ = JsonValue::Type::Bool;
+      v.bool_ = false;
+      return Status();
+    }
+    return number(v);
+  }
+
+  Status object(JsonValue& v, int depth) {
+    v.type_ = JsonValue::Type::Object;
+    eat('{');
+    if (eat('}')) return Status();
+    do {
+      skip_ws();
+      if (peek() != '"') {
+        return Status::corrupt("JSON: expected object key at byte %zu", pos_);
+      }
+      std::string key;
+      RLCCD_TRY(string(key));
+      if (!eat(':')) {
+        return Status::corrupt("JSON: expected ':' at byte %zu", pos_);
+      }
+      JsonValue member;
+      RLCCD_TRY(value(member, depth + 1));
+      v.object_.emplace_back(std::move(key), std::move(member));
+    } while (eat(','));
+    if (!eat('}')) {
+      return Status::corrupt("JSON: expected '}' at byte %zu", pos_);
+    }
+    return Status();
+  }
+
+  Status array(JsonValue& v, int depth) {
+    v.type_ = JsonValue::Type::Array;
+    eat('[');
+    if (eat(']')) return Status();
+    do {
+      JsonValue item;
+      RLCCD_TRY(value(item, depth + 1));
+      v.array_.push_back(std::move(item));
+    } while (eat(','));
+    if (!eat(']')) {
+      return Status::corrupt("JSON: expected ']' at byte %zu", pos_);
+    }
+    return Status();
+  }
+
+  Status string(std::string& out) {
+    ++pos_;  // opening quote, guaranteed by the caller
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_];
+      if (c == '\\') {
+        if (++pos_ >= s_.size()) break;
+        switch (s_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) {
+              return Status::corrupt("JSON: truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return Status::corrupt("JSON: bad \\u escape at byte %zu",
+                                       pos_);
+            }
+            pos_ += 4;
+            // UTF-8 encode the code point (surrogate pairs are passed through
+            // as-is; the exports only escape control characters).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Status::corrupt("JSON: bad escape '\\%c' at byte %zu",
+                                   s_[pos_], pos_);
+        }
+      } else {
+        out += c;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      return Status::corrupt("JSON: unterminated string");
+    }
+    ++pos_;  // closing quote
+    return Status();
+  }
+
+  Status number(JsonValue& v) {
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) != 0 ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) {
+      return Status::corrupt("JSON: unexpected character at byte %zu", pos_);
+    }
+    const std::string text(s_.substr(pos_, end - pos_));
+    char* parsed_end = nullptr;
+    const double value = std::strtod(text.c_str(), &parsed_end);
+    if (parsed_end == nullptr || *parsed_end != '\0') {
+      return Status::corrupt("JSON: malformed number '%s'", text.c_str());
+    }
+    v.type_ = JsonValue::Type::Number;
+    v.number_ = value;
+    pos_ = end;
+    return Status();
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+Status JsonValue::parse(std::string_view text, JsonValue& out) {
+  out = JsonValue();
+  return JsonParser(text).parse(out);
+}
+
+}  // namespace rlccd

@@ -1,0 +1,66 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// This is the read side of the observability pipeline: the telemetry layer
+// *writes* JSON by hand (telemetry.cpp, trace.cpp, audit.cpp — append-only
+// string building is faster and keeps those paths allocation-light), while
+// the report tool and the structural unit tests *read* it back through this
+// parser. Scope is deliberately small: UTF-8 pass-through, \uXXXX escapes
+// decoded to UTF-8, doubles for all numbers, objects as insertion-ordered
+// key/value vectors (exports never rely on duplicate keys).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rlccd {
+
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+
+  [[nodiscard]] bool bool_value() const { return bool_; }
+  [[nodiscard]] double number_value() const { return number_; }
+  [[nodiscard]] const std::string& string_value() const { return string_; }
+  [[nodiscard]] const std::vector<JsonValue>& array_items() const {
+    return array_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  object_items() const {
+    return object_;
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  // Typed convenience lookups with fallbacks, for tolerant report loading.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string_view fallback) const;
+  [[nodiscard]] bool bool_or(std::string_view key, bool fallback) const;
+
+  // Parses exactly one JSON document (trailing non-whitespace is an error).
+  static Status parse(std::string_view text, JsonValue& out);
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace rlccd

@@ -1,0 +1,65 @@
+// Append-style JSON emission helpers shared by the hand-written exporters
+// (telemetry, trace, audit). The write side stays hand-rolled — these paths
+// build multi-megabyte documents and a DOM would double the cost — while
+// the read side goes through common/json.h.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace rlccd {
+
+inline void json_escape(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// Compact form for human-facing exports (9 significant digits).
+inline void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+inline void append_json_number(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Round-trip-exact form (17 significant digits) for artifacts with
+// bit-stability guarantees (the selection audit's golden test compares
+// serialized records byte-for-byte across runs). Non-finite values become
+// null so the document stays valid JSON.
+inline void append_json_double_exact(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+}  // namespace rlccd

@@ -1,0 +1,36 @@
+// Shared ProgressObserver implementations for the CLI tools. One line per
+// event, e.g.
+//
+//   [flow] useful_skew      #2 1.204s tns=-113.220 nve=41.000
+//
+// Kept in the library (not per-tool copies) so the format is tested once
+// and every tool renders identically.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/telemetry.h"
+
+namespace rlccd {
+
+// Renders one event as a single text line: "[phase] step", a "#index" when
+// the index is set, the wall-clock seconds, then each metric as name=value
+// with three decimals.
+[[nodiscard]] std::string format_progress_line(const ProgressEvent& event);
+
+// Streams each event as one line to a stdio stream (stderr by default),
+// with an optional fixed prefix (smoke_flow indents by two spaces).
+class StderrProgress : public ProgressObserver {
+ public:
+  explicit StderrProgress(std::string prefix = {}, std::FILE* stream = nullptr)
+      : prefix_(std::move(prefix)), stream_(stream) {}
+
+  void on_event(const ProgressEvent& event) override;
+
+ private:
+  std::string prefix_;
+  std::FILE* stream_;  // nullptr means stderr (resolved at call time)
+};
+
+}  // namespace rlccd

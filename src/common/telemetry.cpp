@@ -5,6 +5,9 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/json_writer.h"
+#include "common/trace.h"
+
 namespace rlccd {
 
 namespace {
@@ -70,35 +73,10 @@ ThreadSpanState::~ThreadSpanState() {
   if (!root.children.empty()) MetricsRegistry::global().merge_spans(root);
 }
 
-void json_escape(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-void append_number(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.9g", v);
-  out += buf;
-}
+void append_number(std::string& out, double v) { append_json_number(out, v); }
 
 void append_number(std::string& out, std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
-  out += buf;
+  append_json_number(out, v);
 }
 
 void span_to_json(std::string& out, const SpanNode& node) {
@@ -154,6 +132,38 @@ void spans_array_to_json(std::string& out, const SpanNode& root) {
   out += ']';
 }
 
+void histograms_to_json(
+    std::string& out,
+    const std::vector<std::pair<std::string, MetricsHistogram::Snapshot>>&
+        histograms) {
+  out += "\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& [name, hs] = histograms[i];
+    if (i) out += ',';
+    out += '"';
+    json_escape(out, name);
+    out += "\":{\"count\":";
+    append_number(out, hs.count);
+    out += ",\"sum\":";
+    append_number(out, hs.sum);
+    out += ",\"min\":";
+    append_number(out, hs.min);
+    out += ",\"max\":";
+    append_number(out, hs.max);
+    out += ",\"buckets\":[";
+    for (std::size_t b = 0; b < hs.buckets.size(); ++b) {
+      if (b) out += ',';
+      out += '[';
+      append_number(out, static_cast<double>(hs.buckets[b].first));
+      out += ',';
+      append_number(out, hs.buckets[b].second);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += '}';
+}
+
 }  // namespace
 
 // -- counters -----------------------------------------------------------------
@@ -168,19 +178,44 @@ void MetricsCounter::add(std::uint64_t n) {
 
 // -- histograms ---------------------------------------------------------------
 
+int MetricsHistogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
+  return std::clamp(exp + kBias, 0, kNumBuckets - 1);
+}
+
 void MetricsHistogram::record(double value) {
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add_double(sum_, value);
   atomic_min_double(min_, value);
   atomic_max_double(max_, value);
-  int bucket = 0;
-  if (value > 0.0) {
-    int exp = 0;
-    std::frexp(value, &exp);  // value = m * 2^exp, m in [0.5, 1)
-    bucket = std::clamp(exp + kBias, 0, kNumBuckets - 1);
-  }
+  const int bucket = bucket_index(value);
   buckets_[static_cast<std::size_t>(bucket)].fetch_add(
       1, std::memory_order_relaxed);
+  for (TelemetryScope* s = t_active_scope; s != nullptr; s = s->parent_) {
+    s->record_histogram(this, value, bucket - kBias);
+  }
+}
+
+void MetricsHistogram::Snapshot::merge_value(double value, int exponent) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  auto it = std::lower_bound(
+      buckets.begin(), buckets.end(), exponent,
+      [](const auto& pair, int e) { return pair.first < e; });
+  if (it != buckets.end() && it->first == exponent) {
+    ++it->second;
+  } else {
+    buckets.insert(it, {exponent, 1});
+  }
 }
 
 MetricsHistogram::Snapshot MetricsHistogram::snapshot() const {
@@ -257,6 +292,10 @@ ScopedSpan::~ScopedSpan() {
   node->count += 1;
   node->total_sec += elapsed;
 
+  // Flight-recorder hook: one Chrome-trace complete event per span close.
+  // Compiled out under RLCCD_NO_TRACE; one relaxed atomic load otherwise.
+  RLCCD_TRACE_COMPLETE(node->name, start_sec_, elapsed);
+
   // Feed active capture scopes with the path relative to each scope's base.
   if (t_active_scope != nullptr) {
     const std::size_t top = st.stack.size() - 1;  // index of `node`
@@ -309,6 +348,18 @@ void TelemetryScope::record_counter(const MetricsCounter* counter,
   counters_.emplace_back(counter, n);
 }
 
+void TelemetryScope::record_histogram(const MetricsHistogram* hist,
+                                      double value, int exponent) {
+  for (auto& [h, snap] : histograms_) {
+    if (h == hist) {
+      snap.merge_value(value, exponent);
+      return;
+    }
+  }
+  histograms_.emplace_back(hist, MetricsHistogram::Snapshot{});
+  histograms_.back().second.merge_value(value, exponent);
+}
+
 TelemetrySnapshot TelemetryScope::snapshot() const {
   TelemetrySnapshot snap;
   snap.spans = spans_;
@@ -317,6 +368,12 @@ TelemetrySnapshot TelemetryScope::snapshot() const {
     snap.counters.emplace_back(c->name(), total);
   }
   std::sort(snap.counters.begin(), snap.counters.end());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [h, hist_snap] : histograms_) {
+    snap.histograms.emplace_back(h->name(), hist_snap);
+  }
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return snap;
 }
 
@@ -329,9 +386,19 @@ std::uint64_t TelemetrySnapshot::counter(std::string_view name) const {
   return 0;
 }
 
+const MetricsHistogram::Snapshot* TelemetrySnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
 std::string TelemetrySnapshot::to_json() const {
   std::string out = "{";
   counters_to_json(out, counters);
+  out += ',';
+  histograms_to_json(out, histograms);
   out += ',';
   spans_array_to_json(out, spans);
   out += '}';
@@ -344,6 +411,13 @@ std::string TelemetrySnapshot::to_csv() const {
     out += "counter," + n + ',';
     append_number(out, v);
     out += '\n';
+  }
+  for (const auto& [n, h] : histograms) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, ",%llu,%.9g,%.9g,%.9g\n",
+                  static_cast<unsigned long long>(h.count), h.sum, h.min,
+                  h.max);
+    out += "histogram," + n + buf;
   }
   spans_to_csv(out, spans, "");
   return out;
@@ -405,6 +479,10 @@ TelemetrySnapshot MetricsRegistry::snapshot() const {
     for (const auto& [name, c] : counters_) {
       snap.counters.emplace_back(name, c->value());
     }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms.emplace_back(name, h->snapshot());
+    }
   }
   {
     std::lock_guard<std::mutex> lock(span_mutex_);
@@ -413,56 +491,29 @@ TelemetrySnapshot MetricsRegistry::snapshot() const {
   return snap;
 }
 
-std::string MetricsRegistry::to_json() const {
-  TelemetrySnapshot snap = snapshot();
-  std::string out = "{";
-  counters_to_json(out, snap.counters);
-  out += ",\"histograms\":{";
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    bool first = true;
-    for (const auto& [name, h] : histograms_) {
-      MetricsHistogram::Snapshot hs = h->snapshot();
-      if (!first) out += ',';
-      first = false;
-      out += '"';
-      json_escape(out, name);
-      out += "\":{\"count\":";
-      append_number(out, hs.count);
-      out += ",\"sum\":";
-      append_number(out, hs.sum);
-      out += ",\"min\":";
-      append_number(out, hs.min);
-      out += ",\"max\":";
-      append_number(out, hs.max);
-      out += ",\"buckets\":[";
-      for (std::size_t i = 0; i < hs.buckets.size(); ++i) {
-        if (i) out += ',';
-        out += '[';
-        append_number(out, static_cast<double>(hs.buckets[i].first));
-        out += ',';
-        append_number(out, hs.buckets[i].second);
-        out += ']';
-      }
-      out += "]}";
-    }
-  }
-  out += "},";
-  spans_array_to_json(out, snap.spans);
-  out += '}';
-  return out;
-}
+std::string MetricsRegistry::to_json() const { return snapshot().to_json(); }
 
 std::string MetricsRegistry::to_csv() const { return snapshot().to_csv(); }
 
-bool MetricsRegistry::write_json(const std::string& path) const {
-  std::string json = to_json();
+namespace {
+
+bool write_text_file(const std::string& path, const std::string& text) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
   ok = std::fputc('\n', f) != EOF && ok;
   ok = std::fclose(f) == 0 && ok;
   return ok;
+}
+
+}  // namespace
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  return write_text_file(path, to_json());
+}
+
+bool MetricsRegistry::write_csv(const std::string& path) const {
+  return write_text_file(path, to_csv());
 }
 
 void MetricsRegistry::reset() {

@@ -79,6 +79,7 @@ class MetricsHistogram {
   MetricsHistogram(const MetricsHistogram&) = delete;
   MetricsHistogram& operator=(const MetricsHistogram&) = delete;
 
+  // Lock-free; also feeds the calling thread's active TelemetryScope chain.
   void record(double value);
 
   struct Snapshot {
@@ -92,9 +93,16 @@ class MetricsHistogram {
     [[nodiscard]] double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
+    // Folds one recorded value in (per-scope capture uses the same bucket
+    // boundaries as the global histogram).
+    void merge_value(double value, int exponent);
   };
   [[nodiscard]] Snapshot snapshot() const;
   [[nodiscard]] const std::string& name() const { return name_; }
+
+  // Bucket index in [0, kNumBuckets) for a value; the snapshot exponent is
+  // `index - kBias`.
+  [[nodiscard]] static int bucket_index(double value);
 
  private:
   friend class MetricsRegistry;
@@ -148,14 +156,18 @@ class ScopedSpan {
 
 // -- snapshots ----------------------------------------------------------------
 
-// A self-contained copy of the spans and counter deltas captured by a
-// TelemetryScope (or of the whole registry). Plain data; safe to store in
-// results and copy across threads.
+// A self-contained copy of the spans, counter deltas and histogram deltas
+// captured by a TelemetryScope (or of the whole registry). Plain data; safe
+// to store in results and copy across threads.
 struct TelemetrySnapshot {
   SpanNode spans;  // synthetic root (empty name); children are top-level spans
   std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, MetricsHistogram::Snapshot>>
+      histograms;  // name-sorted
 
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] const MetricsHistogram::Snapshot* histogram(
+      std::string_view name) const;
   [[nodiscard]] const SpanNode* find_span(std::string_view path) const {
     return spans.find(path);
   }
@@ -177,14 +189,19 @@ class TelemetryScope {
 
  private:
   friend class MetricsCounter;
+  friend class MetricsHistogram;
   friend class ScopedSpan;
   void record_span(std::span<const std::string_view> path, double sec);
   void record_counter(const MetricsCounter* counter, std::uint64_t n);
+  void record_histogram(const MetricsHistogram* hist, double value,
+                        int exponent);
 
   TelemetryScope* parent_;
   std::size_t base_index_;  // span-stack depth at construction
   SpanNode spans_;
   std::vector<std::pair<const MetricsCounter*, std::uint64_t>> counters_;
+  std::vector<std::pair<const MetricsHistogram*, MetricsHistogram::Snapshot>>
+      histograms_;
 };
 
 // -- registry -----------------------------------------------------------------
@@ -203,12 +220,13 @@ class MetricsRegistry {
   // own batch fills or at thread exit. No-op while spans are open.
   static void flush_thread_spans();
 
-  // Counters + the global span aggregate (histograms are export-only).
-  // Drains the calling thread's pending spans first.
+  // Counters, histogram snapshots and the global span aggregate. Drains the
+  // calling thread's pending spans first.
   [[nodiscard]] TelemetrySnapshot snapshot() const;
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string to_csv() const;
   bool write_json(const std::string& path) const;
+  bool write_csv(const std::string& path) const;
 
   // Zeroes every counter/histogram and clears the span aggregate. Object
   // addresses survive (cached references stay valid). Test helper; not

@@ -1,0 +1,110 @@
+// Flight recorder: a timeline trace of *individual* events, complementing
+// the aggregated span trees in telemetry.h. Aggregates answer "how much
+// total time went into sizing"; the trace answers "where did the wall-clock
+// go on this specific iteration" — it records every span open/close as one
+// Chrome-trace complete event ("ph":"X") plus explicit instant events
+// ("ph":"i") at interesting moments (checkpoint written, rollback,
+// trajectory poisoned), and exports the whole timeline as Chrome-trace JSON
+// that chrome://tracing and Perfetto load directly.
+//
+// Design constraints, in order:
+//   * Zero overhead when compiled out: configure with -DRLCCD_TRACE=OFF and
+//     the RLCCD_TRACE_* macros expand to nothing — the ScopedSpan hot path
+//     is byte-identical to a build without this header.
+//   * Near-zero overhead when compiled in but not enabled (the default at
+//     runtime): one relaxed atomic load per span close.
+//   * Bounded memory when enabled: each thread records into a fixed-size
+//     ring buffer (single producer, no locks on the record path); when the
+//     ring wraps, the oldest events are overwritten and the registry
+//     counter "trace.events_dropped" counts the loss. The newest events are
+//     the ones you want when a run misbehaves.
+//
+// Export walks every thread's ring under the recorder mutex. Recording
+// threads must be quiescent (joined, or between spans) for a loss-free
+// export; the tools export after their work completes. Thread rings outlive
+// their threads (shared ownership), so worker timelines survive the join.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rlccd {
+
+namespace trace_detail {
+// Runtime gate, read on every span close when tracing is compiled in.
+// Namespace-scope so the hook's fast path inlines into telemetry.cpp.
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace trace_detail
+
+struct TraceEvent {
+  // Span names are copied inline (the aggregate tree nodes that own them
+  // are cleared on batch merges, so pointers would dangle). Longer names
+  // are truncated; every current span name fits.
+  static constexpr std::size_t kMaxName = 47;
+  char name[kMaxName + 1];
+  double start_sec;  // steady-clock seconds
+  double dur_sec;    // < 0: instant event
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  // Starts recording with `capacity` events per thread (rings are created
+  // lazily on each thread's first event). Re-enabling drops any previously
+  // buffered events.
+  void enable(std::size_t capacity = kDefaultCapacity);
+  // Stops recording; buffered events remain exportable.
+  void disable();
+  [[nodiscard]] static bool enabled() {
+    return trace_detail::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  // Chrome-trace JSON ("traceEvents" array of X/i events, ts/dur in
+  // microseconds relative to enable()). Oldest surviving events first per
+  // thread.
+  [[nodiscard]] std::string to_chrome_json() const;
+  bool write_chrome_json(const std::string& path) const;
+
+  // Events currently buffered / dropped to ring wrap-around since enable().
+  [[nodiscard]] std::uint64_t buffered_events() const;
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
+  // Record-path hooks; prefer the macros below. No-ops unless enabled.
+  static void record_complete(std::string_view name, double start_sec,
+                              double dur_sec);
+  static void record_instant(std::string_view name);
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;  // 64Ki ≈ 4 MB
+
+ private:
+  TraceRecorder() = default;
+};
+
+// RLCCD_TRACE_COMPLETE(name, start_sec, dur_sec) — one closed span.
+// RLCCD_TRACE_INSTANT(name)                      — a point-in-time marker.
+//
+// Compiled out entirely (expands to a void no-op, no argument evaluation)
+// when the build defines RLCCD_NO_TRACE (cmake -DRLCCD_TRACE=OFF).
+#ifdef RLCCD_NO_TRACE
+#define RLCCD_TRACE_COMPLETE(name, start_sec, dur_sec) ((void)0)
+#define RLCCD_TRACE_INSTANT(name) ((void)0)
+#else
+#define RLCCD_TRACE_COMPLETE(name, start_sec, dur_sec)                   \
+  do {                                                                   \
+    if (::rlccd::TraceRecorder::enabled()) {                             \
+      ::rlccd::TraceRecorder::record_complete((name), (start_sec),       \
+                                              (dur_sec));                \
+    }                                                                    \
+  } while (0)
+#define RLCCD_TRACE_INSTANT(name)                                        \
+  do {                                                                   \
+    if (::rlccd::TraceRecorder::enabled()) {                             \
+      ::rlccd::TraceRecorder::record_instant(name);                      \
+    }                                                                    \
+  } while (0)
+#endif
+
+}  // namespace rlccd

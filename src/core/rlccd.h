@@ -28,6 +28,10 @@ struct RlCcdConfig {
   // Convenience: propagated to train.observer when that is unset, so facade
   // users get per-iteration progress without reaching into TrainConfig.
   ProgressObserver* observer = nullptr;
+  // Same propagation for decision provenance (train.audit). The facade
+  // additionally emits one FlowAuditRecord per final comparison flow
+  // ("default" and "rl") with per-endpoint begin/final slacks.
+  AuditSink* audit = nullptr;
 
   // Sensible defaults (flow budgets, skew bounds) scaled for `design`.
   static RlCcdConfig for_design(const Design& design);

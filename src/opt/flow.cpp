@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace rlccd {
 
@@ -56,6 +57,13 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
     result.final_summary = sta.summary();
     result.final_clock = sta.clock();
     result.sta_stats = sta.stats();
+    {
+      const std::vector<double> final_slacks =
+          sta.endpoint_slacks(input.prioritized);
+      for (std::size_t i = 0; i < result.prioritized_outcomes.size(); ++i) {
+        result.prioritized_outcomes[i].final_slack = final_slacks[i];
+      }
+    }
     SwitchingActivity act =
         propagate_activity(netlist, ActivityConfig{}, input.pi_toggles);
     result.power_final = compute_power(netlist, act);
@@ -70,6 +78,7 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
     static MetricsCounter& counter =
         MetricsRegistry::global().counter("flow.cancelled");
     counter.increment();
+    RLCCD_TRACE_INSTANT("flow.cancelled");
     RLCCD_LOG_WARN("flow cancelled at %s boundary", boundary);
     emit_step(config, "cancelled", -1, 0.0, {});
     return true;
@@ -81,6 +90,13 @@ void run_flow_steps(Netlist& netlist, const FlowInput& input,
     const double t0 = now_sec();
     sta.update();
     result.begin = sta.summary();
+    const std::vector<double> begin_slacks =
+        sta.endpoint_slacks(input.prioritized);
+    result.prioritized_outcomes.reserve(input.prioritized.size());
+    for (std::size_t i = 0; i < input.prioritized.size(); ++i) {
+      result.prioritized_outcomes.push_back(
+          {input.prioritized[i], begin_slacks[i], begin_slacks[i]});
+    }
     SwitchingActivity act =
         propagate_activity(netlist, ActivityConfig{}, input.pi_toggles);
     result.power_begin = compute_power(netlist, act);

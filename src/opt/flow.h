@@ -88,6 +88,14 @@ struct FlowInput {
   std::span<const PinId> prioritized = {};
 };
 
+// Begin/final slack of one prioritized endpoint across a flow run: did
+// over-fixing this endpoint actually pay off?
+struct EndpointOutcome {
+  PinId pin;
+  double begin_slack = 0.0;
+  double final_slack = 0.0;
+};
+
 struct FlowResult {
   TimingSummary begin;          // post global place, before any optimization
   TimingSummary after_skew;     // after the CCD useful-skew step (margins off)
@@ -105,6 +113,9 @@ struct FlowResult {
   // The run hit FlowConfig::cancel and stopped at a pass boundary; the
   // summaries above reflect the partially optimized netlist.
   bool cancelled = false;
+  // One entry per FlowInput::prioritized endpoint, in input order (empty
+  // for the native flow): begin/final slack of the over-fixed endpoints.
+  std::vector<EndpointOutcome> prioritized_outcomes;
   // Per-flow capture: nested per-step spans ("flow/useful_skew", ...) and
   // the counter deltas recorded while this flow ran.
   TelemetrySnapshot telemetry;

@@ -1,0 +1,118 @@
+// Run reports: load the flight-recorder artifacts of one run (metrics JSON
+// from MetricsRegistry/TelemetrySnapshot plus the audit JSONL from
+// JsonlAuditWriter), render a human-readable text report, and diff two runs
+// with regression thresholds.
+//
+// The loader is tolerant by design: either artifact may be absent (a flow
+// run has no audit; a crashed run may have only the audit), and unknown
+// record types or extra JSON keys are skipped, so reports from newer
+// binaries still load. Only structurally broken files fail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/telemetry.h"
+
+namespace rlccd {
+
+// Everything extracted from one run's artifacts.
+struct RunReport {
+  // From metrics JSON:
+  SpanNode spans;  // synthetic root; empty when no metrics file was given
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  bool has_metrics = false;
+
+  // From audit JSONL:
+  struct IterationPoint {
+    int iteration = 0;
+    int survivors = 0;
+    int poisoned = 0;
+    int cancelled = 0;
+    double mean_reward = 0.0;
+    double mean_tns = 0.0;
+    double iter_best_tns = 0.0;
+    double best_tns = 0.0;
+    double mean_steps = 0.0;
+    double mean_entropy = 0.0;
+    double grad_norm = 0.0;
+    double baseline = 0.0;
+  };
+  struct EndpointFrequency {
+    std::uint32_t endpoint = 0;
+    std::uint64_t picked = 0;  // times chosen by an action
+    std::uint64_t masked = 0;  // times masked by another endpoint's action
+  };
+  struct FlowOutcome {
+    std::string label;
+    double wns = 0.0;
+    double tns = 0.0;
+    std::uint64_t nve = 0;
+    std::size_t outcomes = 0;   // prioritized endpoints recorded
+    std::size_t improved = 0;   // final slack better than begin slack
+  };
+  std::vector<IterationPoint> iterations;
+  std::vector<EndpointFrequency> endpoint_freq;  // by endpoint index
+  std::vector<FlowOutcome> flows;
+  std::uint64_t rollouts = 0;
+  std::uint64_t poisoned_rollouts = 0;
+  std::uint64_t cancelled_rollouts = 0;
+  bool has_audit = false;
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  // Aggregate over every span named "flow" at any depth (trainer rollouts
+  // record it under "rollout/flow", the facade under
+  // "rlccd/final_flows/flow"): total seconds and run count.
+  [[nodiscard]] double flow_total_sec() const;
+  [[nodiscard]] std::uint64_t flow_runs() const;
+  // Final TNS of the run: the "rl" flow record when present, else the last
+  // iteration's best TNS. NaN when neither exists.
+  [[nodiscard]] double final_tns() const;
+};
+
+// Parses a metrics JSON document (the "counters"/"spans" keys) into `out`.
+Status parse_metrics_json(const std::string& text, RunReport& out);
+// Parses audit JSON Lines into `out` (accumulates across calls).
+Status parse_audit_jsonl(const std::string& text, RunReport& out);
+
+// Loads a run from `path`: a directory containing metrics.json and/or
+// audit.jsonl, or a single metrics-JSON / audit-JSONL file (sniffed by
+// content). Fails when nothing loadable is found.
+Status load_run(const std::string& path, RunReport& out);
+
+// Human-readable single-run report: span-tree hot paths, TNS trajectory,
+// selection-entropy trend, per-endpoint pick frequency, flow outcomes.
+std::string render_text_report(const RunReport& report);
+
+// -- diffing ------------------------------------------------------------------
+
+struct DiffThresholds {
+  // Allowed regression before the diff fails, in percent. Runtime compares
+  // mean seconds per flow run; TNS compares final_tns() (more negative =
+  // regression).
+  double max_runtime_regress_pct = 10.0;
+  double max_tns_regress_pct = 2.0;
+};
+
+struct ReportDiff {
+  struct Entry {
+    std::string name;
+    double base = 0.0;
+    double candidate = 0.0;
+    double delta_pct = 0.0;  // signed change relative to base
+    bool checked = false;    // participates in the regression verdict
+    bool regressed = false;
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] bool regressed() const;
+  [[nodiscard]] std::string to_text() const;
+  [[nodiscard]] std::string to_json() const;  // machine-readable report.json
+};
+
+ReportDiff diff_runs(const RunReport& base, const RunReport& candidate,
+                     const DiffThresholds& thresholds);
+
+}  // namespace rlccd

@@ -1,0 +1,194 @@
+#include "rl/audit.h"
+
+#include "common/json_writer.h"
+
+namespace rlccd {
+
+namespace {
+
+void append_key(std::string& out, const char* key) {
+  out += '"';
+  out += key;
+  out += "\":";
+}
+
+void append_bool(std::string& out, bool v) { out += v ? "true" : "false"; }
+
+void append_int(std::string& out, long long v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  out += buf;
+}
+
+}  // namespace
+
+double SelectionAudit::mean_entropy() const {
+  if (steps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const AuditStep& s : steps) sum += s.entropy;
+  return sum / static_cast<double>(steps.size());
+}
+
+std::string RolloutAuditRecord::to_json() const {
+  std::string out = "{\"type\":\"rollout\",";
+  append_key(out, "iteration");
+  append_int(out, iteration);
+  out += ',';
+  append_key(out, "worker");
+  append_int(out, worker);
+  out += ',';
+  append_key(out, "flow_ran");
+  append_bool(out, flow_ran);
+  out += ',';
+  append_key(out, "poisoned");
+  append_bool(out, poisoned);
+  out += ',';
+  append_key(out, "cancelled");
+  append_bool(out, cancelled);
+  out += ',';
+  append_key(out, "tns");
+  append_json_double_exact(out, tns);
+  out += ',';
+  append_key(out, "reward");
+  append_json_double_exact(out, reward);
+  out += ',';
+  append_key(out, "steps");
+  out += '[';
+  const SelectionAudit& a = *audit;
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    const AuditStep& s = a.steps[i];
+    if (i) out += ',';
+    out += "{\"chosen\":";
+    append_int(out, s.chosen);
+    out += ",\"slack\":";
+    append_json_double_exact(out, s.slack);
+    out += ",\"log_prob\":";
+    append_json_double_exact(out, s.log_prob);
+    out += ",\"entropy\":";
+    append_json_double_exact(out, s.entropy);
+    out += ",\"top_probs\":[";
+    for (std::size_t k = 0; k < s.top_probs.size(); ++k) {
+      if (k) out += ',';
+      out += '[';
+      append_int(out, s.top_probs[k].first);
+      out += ',';
+      append_json_double_exact(out, s.top_probs[k].second);
+      out += ']';
+    }
+    out += "],\"masked\":[";
+    for (std::size_t k = 0; k < s.masked.size(); ++k) {
+      if (k) out += ',';
+      out += '[';
+      append_int(out, s.masked[k].endpoint);
+      out += ',';
+      append_json_double_exact(out, s.masked[k].overlap);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string IterationAuditRecord::to_json() const {
+  std::string out = "{\"type\":\"iteration\",";
+  append_key(out, "iteration");
+  append_int(out, iteration);
+  out += ',';
+  append_key(out, "survivors");
+  append_int(out, survivors);
+  out += ',';
+  append_key(out, "poisoned");
+  append_int(out, poisoned);
+  out += ',';
+  append_key(out, "cancelled");
+  append_int(out, cancelled);
+  const std::pair<const char*, double> fields[] = {
+      {"mean_reward", mean_reward},   {"mean_tns", mean_tns},
+      {"iter_best_tns", iter_best_tns}, {"best_tns", best_tns},
+      {"mean_steps", mean_steps},     {"mean_entropy", mean_entropy},
+      {"grad_norm", grad_norm},       {"baseline", baseline},
+  };
+  for (const auto& [key, value] : fields) {
+    out += ',';
+    append_key(out, key);
+    append_json_double_exact(out, value);
+  }
+  out += '}';
+  return out;
+}
+
+std::string FlowAuditRecord::to_json() const {
+  std::string out = "{\"type\":\"flow\",\"label\":\"";
+  json_escape(out, label);
+  out += "\",";
+  append_key(out, "wns");
+  append_json_double_exact(out, wns);
+  out += ',';
+  append_key(out, "tns");
+  append_json_double_exact(out, tns);
+  out += ',';
+  append_key(out, "nve");
+  append_json_number(out, nve);
+  out += ',';
+  append_key(out, "outcomes");
+  out += '[';
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i) out += ',';
+    out += '[';
+    append_json_number(out, outcomes[i].pin);
+    out += ',';
+    append_json_double_exact(out, outcomes[i].begin_slack);
+    out += ',';
+    append_json_double_exact(out, outcomes[i].final_slack);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+Status JsonlAuditWriter::open(const std::string& path,
+                              std::unique_ptr<JsonlAuditWriter>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::io_error("cannot open audit file %s for writing",
+                            path.c_str());
+  }
+  out.reset(new JsonlAuditWriter(f, path));
+  return Status();
+}
+
+JsonlAuditWriter::~JsonlAuditWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlAuditWriter::write_line(const std::string& line) {
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void JsonlAuditWriter::on_rollout(const RolloutAuditRecord& record) {
+  write_line(record.to_json());
+}
+
+void JsonlAuditWriter::on_iteration(const IterationAuditRecord& record) {
+  write_line(record.to_json());
+}
+
+void JsonlAuditWriter::on_flow(const FlowAuditRecord& record) {
+  write_line(record.to_json());
+}
+
+Status JsonlAuditWriter::close() {
+  if (file_ == nullptr) return Status();
+  const bool had_error = std::ferror(file_) != 0;
+  const bool close_ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (had_error || !close_ok) {
+    return Status::io_error("error writing audit file %s", path_.c_str());
+  }
+  return Status();
+}
+
+}  // namespace rlccd

@@ -14,7 +14,11 @@ namespace rlccd {
 namespace {
 
 constexpr char kMagic[10] = {'R', 'L', 'C', 'C', 'D', 'C', 'K', 'P', 'T', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2 added the IterationStats provenance fields (mean_entropy, grad_norm,
+// baseline). Older checkpoints are rejected at load (resume falls back to
+// starting fresh), which is safe: replaying from a v1 checkpoint would
+// leave those fields zero in the restored history.
+constexpr std::uint32_t kVersion = 2;
 
 // -- little scalar codec ------------------------------------------------------
 
@@ -100,6 +104,9 @@ std::string serialize_payload(const TrainCheckpoint& ckpt) {
     append_pod(out, it.iter_best_tns);
     append_pod(out, it.best_tns);
     append_pod(out, it.mean_steps);
+    append_pod(out, it.mean_entropy);
+    append_pod(out, it.grad_norm);
+    append_pod(out, it.baseline);
   }
   append_pod(out, static_cast<std::int32_t>(s.iterations));
   append_pod(out, static_cast<std::int32_t>(s.flow_runs));
@@ -166,6 +173,9 @@ Status parse_payload(TrainCheckpoint& ckpt, const std::string& bytes) {
     RLCCD_TRY(parse_pod(bytes, offset, it.iter_best_tns, "history"));
     RLCCD_TRY(parse_pod(bytes, offset, it.best_tns, "history"));
     RLCCD_TRY(parse_pod(bytes, offset, it.mean_steps, "history"));
+    RLCCD_TRY(parse_pod(bytes, offset, it.mean_entropy, "history"));
+    RLCCD_TRY(parse_pod(bytes, offset, it.grad_norm, "history"));
+    RLCCD_TRY(parse_pod(bytes, offset, it.baseline, "history"));
   }
   std::int32_t iterations = 0, flow_runs = 0;
   RLCCD_TRY(parse_pod(bytes, offset, iterations, "iterations"));

@@ -17,7 +17,8 @@ void SelectionEnv::reset() {
   num_valid_ = n;
 }
 
-int SelectionEnv::step(std::size_t index) {
+int SelectionEnv::step(std::size_t index,
+                       std::vector<AuditMaskEvent>* masked_out) {
   RLCCD_EXPECTS(index < valid_.size());
   RLCCD_EXPECTS(valid_[index] != 0);
   valid_[index] = 0;
@@ -29,11 +30,15 @@ int SelectionEnv::step(std::size_t index) {
   const ConeIndex& cones = graph_->cones();
   for (std::size_t j = 0; j < valid_.size(); ++j) {
     if (!valid_[j]) continue;
-    if (cones.overlap(index, j) > rho_) {
+    const double overlap = cones.overlap(index, j);
+    if (overlap > rho_) {
       valid_[j] = 0;
       masked_or_selected_[j] = 1;
       --num_valid_;
       ++masked;
+      if (masked_out != nullptr) {
+        masked_out->push_back({static_cast<std::uint32_t>(j), overlap});
+      }
     }
   }
   return masked;

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "rl/audit.h"
 #include "rl/design_graph.h"
 
 namespace rlccd {
@@ -26,8 +27,10 @@ class SelectionEnv {
   // 1 = still selectable.
   [[nodiscard]] const std::vector<char>& valid() const { return valid_; }
   // Selects endpoint `index`; masks overlapping endpoints; returns how many
-  // endpoints were masked by this action.
-  int step(std::size_t index);
+  // endpoints were masked by this action. When `masked_out` is non-null,
+  // every endpoint masked by this action is appended with the cone-overlap
+  // ratio that masked it (decision provenance; read-only side channel).
+  int step(std::size_t index, std::vector<AuditMaskEvent>* masked_out = nullptr);
 
   [[nodiscard]] const std::vector<std::size_t>& selected() const {
     return selected_;

@@ -1,5 +1,6 @@
 #include "rl/policy.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -24,10 +25,41 @@ Policy::Policy(const PolicyConfig& config, std::uint64_t seed)
   init_xavier(attn_v_, rng);
 }
 
+namespace {
+
+// Fills one AuditStep from the masked log-softmax of this step: entropy of
+// the valid distribution and the top-k probabilities (descending, ties by
+// endpoint index). Pure observation — no RNG, no graph mutation.
+void capture_audit_step(AuditStep& step, const Tensor& log_probs,
+                        const std::vector<char>& valid) {
+  double entropy = 0.0;
+  std::vector<std::pair<std::uint32_t, double>> probs;
+  for (std::size_t i = 0; i < log_probs.rows(); ++i) {
+    if (!valid[i]) continue;
+    const double lp = log_probs.at(i, 0);
+    const double p = std::exp(lp);
+    if (p > 0.0) entropy -= p * lp;
+    probs.emplace_back(static_cast<std::uint32_t>(i), p);
+  }
+  step.entropy = entropy;
+  const std::size_t k = std::min(SelectionAudit::kTopK, probs.size());
+  std::partial_sort(probs.begin(), probs.begin() + static_cast<long>(k),
+                    probs.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  probs.resize(k);
+  step.top_probs = std::move(probs);
+}
+
+}  // namespace
+
 Policy::RolloutResult Policy::rollout(const DesignGraph& graph,
                                       SelectionEnv& env, Rng& rng,
-                                      bool greedy, RolloutMode mode) const {
+                                      bool greedy, RolloutMode mode,
+                                      SelectionAudit* audit) const {
   RolloutResult result;
+  if (audit != nullptr) audit->clear();
   const bool stepwise = mode != RolloutMode::FullGraph;
   const bool backward = mode == RolloutMode::StepwiseBackward;
   if (!stepwise) {
@@ -72,6 +104,7 @@ Policy::RolloutResult Policy::rollout(const DesignGraph& graph,
           MetricsRegistry::global().counter("policy.nonfinite_logits");
       ctr_nonfinite.increment();
       result.poisoned = true;
+      if (audit != nullptr) audit->poisoned = true;
       break;
     }
 
@@ -107,6 +140,16 @@ Policy::RolloutResult Policy::rollout(const DesignGraph& graph,
     }
     result.actions.push_back(action);
 
+    AuditStep* audit_step = nullptr;
+    if (audit != nullptr) {
+      audit->steps.emplace_back();
+      audit_step = &audit->steps.back();
+      audit_step->chosen = static_cast<std::uint32_t>(action);
+      audit_step->slack = graph.endpoint_slacks()[action];
+      audit_step->log_prob = log_p.item();
+      capture_audit_step(*audit_step, log_probs, env.valid());
+    }
+
     // 5. Overlap masking (Alg. 1 line 11) and next-step LSTM input.
     prev_embedding = ops::gather_rows(f_ep, {action});
     if (stepwise) {
@@ -116,7 +159,7 @@ Policy::RolloutResult Policy::rollout(const DesignGraph& graph,
       state.h = state.h.detach_copy();
       state.c = state.c.detach_copy();
     }
-    env.step(action);
+    env.step(action, audit_step != nullptr ? &audit_step->masked : nullptr);
     ++result.steps;
   }
 

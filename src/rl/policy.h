@@ -53,10 +53,15 @@ class Policy {
   };
 
   // Runs one trajectory on `env` (reset by the caller). When `greedy`, the
-  // argmax endpoint is taken instead of sampling.
+  // argmax endpoint is taken instead of sampling. When `audit` is non-null,
+  // each step's decision provenance (chosen endpoint, slack, log-prob,
+  // entropy, top-k probabilities, mask events) is recorded into it; the
+  // capture is read-only — it consumes no RNG draws and never changes the
+  // trajectory, so audited and unaudited runs are bit-identical.
   RolloutResult rollout(const DesignGraph& graph, SelectionEnv& env, Rng& rng,
                         bool greedy = false,
-                        RolloutMode mode = RolloutMode::FullGraph) const;
+                        RolloutMode mode = RolloutMode::FullGraph,
+                        SelectionAudit* audit = nullptr) const;
 
   [[nodiscard]] std::vector<Tensor> parameters() const;
   // EP-GNN weights only — the transferable part (paper Sec. IV-B: the

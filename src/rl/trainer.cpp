@@ -10,6 +10,7 @@
 #include "common/fault.h"
 #include "common/finite.h"
 #include "common/log.h"
+#include "common/trace.h"
 #include "nn/serialize.h"
 #include "rl/checkpoint.h"
 
@@ -214,6 +215,7 @@ TrainStats ReinforceTrainer::train() {
     bool cancelled = false;  // rollout watchdog fired
     std::vector<PinId> selection;
     std::vector<std::vector<float>> grads;  // per parameter
+    SelectionAudit audit;                   // decision provenance
   };
 
   // Last known-good state for in-memory rollback after repeated dropped
@@ -258,12 +260,13 @@ TrainStats ReinforceTrainer::train() {
         // parameter grads (zero on entry) with per-step graphs freed.
         Policy::RolloutResult ro =
             pol.rollout(graph_, env, rng, /*greedy=*/false,
-                        Policy::RolloutMode::StepwiseBackward);
+                        Policy::RolloutMode::StepwiseBackward, &out.audit);
         out.steps = ro.steps;
         out.selection = ro.selected;
         if (ro.poisoned) {
           out.poisoned = true;
           ctr_poisoned.increment();
+          RLCCD_TRACE_INSTANT("train.trajectory_poisoned");
           RLCCD_LOG_WARN("worker %d: non-finite logits; trajectory dropped",
                          w);
           return;
@@ -273,6 +276,7 @@ TrainStats ReinforceTrainer::train() {
         if (fr.cancelled) {
           out.cancelled = true;
           ctr_cancelled.increment();
+          RLCCD_TRACE_INSTANT("train.rollout_cancelled");
           RLCCD_LOG_WARN(
               "worker %d: rollout exceeded %.1fs deadline; cancelled", w,
               config_.rollout_deadline_sec);
@@ -315,6 +319,24 @@ TrainStats ReinforceTrainer::train() {
     }
     for (std::thread& t : threads) t.join();
 
+    // Provenance: one rollout record per worker, in worker order, on this
+    // thread (sinks need no locking).
+    if (config_.audit != nullptr) {
+      for (int w = 0; w < config_.workers; ++w) {
+        const WorkerOut& out = outs[static_cast<std::size_t>(w)];
+        RolloutAuditRecord rec;
+        rec.iteration = iter;
+        rec.worker = w;
+        rec.tns = out.tns;
+        rec.reward = out.reward;
+        rec.flow_ran = out.flow_ran;
+        rec.poisoned = out.poisoned;
+        rec.cancelled = out.cancelled;
+        rec.audit = &out.audit;
+        config_.audit->on_rollout(rec);
+      }
+    }
+
     int survivors = 0;
     int n_poisoned = 0;
     int n_cancelled = 0;
@@ -335,6 +357,7 @@ TrainStats ReinforceTrainer::train() {
       // optimizer back to the last known-good state.
       ++consecutive_failures;
       ctr_iter_failed.increment();
+      RLCCD_TRACE_INSTANT("train.iteration_dropped");
       bool rolled_back = false;
       if (consecutive_failures >= config_.rollback_after) {
         Status rs = restore_policy_state(last_good);
@@ -342,6 +365,7 @@ TrainStats ReinforceTrainer::train() {
           rolled_back = true;
           consecutive_failures = 0;
           ctr_rollbacks.increment();
+          RLCCD_TRACE_INSTANT("train.rollback");
           RLCCD_LOG_WARN(
               "iter %2d: rolled back to last good state (iteration %d)", iter,
               last_good.next_iter);
@@ -368,6 +392,15 @@ TrainStats ReinforceTrainer::train() {
         event.metrics = metrics;
         config_.observer->on_event(event);
       }
+      if (config_.audit != nullptr) {
+        IterationAuditRecord rec;
+        rec.iteration = iter;
+        rec.survivors = 0;
+        rec.poisoned = n_poisoned;
+        rec.cancelled = n_cancelled;
+        rec.baseline = baseline;
+        config_.audit->on_iteration(rec);
+      }
       continue;
     }
     consecutive_failures = 0;
@@ -385,7 +418,7 @@ TrainStats ReinforceTrainer::train() {
         for (std::size_t i = 0; i < g.size(); ++i) g[i] += src[i] * inv_w;
       }
     }
-    clip_grad_norm(master, config_.grad_clip);
+    const double grad_norm = clip_grad_norm(master, config_.grad_clip);
     optimizer.step();
 
     // Iteration bookkeeping over the surviving trajectories.
@@ -396,6 +429,7 @@ TrainStats ReinforceTrainer::train() {
       is.mean_reward += out.reward;
       is.mean_tns += out.tns;
       is.mean_steps += out.steps;
+      is.mean_entropy += out.audit.mean_entropy();
       if (out.tns > iter_best) iter_best = out.tns;
       if (out.tns > stats.best_tns) {
         stats.best_tns = out.tns;
@@ -407,10 +441,30 @@ TrainStats ReinforceTrainer::train() {
     is.mean_reward /= n;
     is.mean_tns /= n;
     is.mean_steps /= n;
+    is.mean_entropy /= n;
     is.iter_best_tns = iter_best;
     is.best_tns = stats.best_tns;
+    is.grad_norm = grad_norm;
+    is.baseline = baseline;  // the value this iteration's advantage used
     stats.history.push_back(is);
     ++stats.iterations;
+
+    if (config_.audit != nullptr) {
+      IterationAuditRecord rec;
+      rec.iteration = iter;
+      rec.survivors = survivors;
+      rec.poisoned = n_poisoned;
+      rec.cancelled = n_cancelled;
+      rec.mean_reward = is.mean_reward;
+      rec.mean_tns = is.mean_tns;
+      rec.iter_best_tns = is.iter_best_tns;
+      rec.best_tns = is.best_tns;
+      rec.mean_steps = is.mean_steps;
+      rec.mean_entropy = is.mean_entropy;
+      rec.grad_norm = is.grad_norm;
+      rec.baseline = is.baseline;
+      config_.audit->on_iteration(rec);
+    }
 
     const double iter_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -421,7 +475,8 @@ TrainStats ReinforceTrainer::train() {
       const ProgressMetric metrics[] = {
           {"mean_reward", is.mean_reward}, {"mean_tns", is.mean_tns},
           {"iter_best_tns", is.iter_best_tns}, {"best_tns", is.best_tns},
-          {"mean_steps", is.mean_steps},
+          {"mean_steps", is.mean_steps},   {"mean_entropy", is.mean_entropy},
+          {"grad_norm", is.grad_norm},
       };
       ProgressEvent event;
       event.phase = "train";
@@ -453,6 +508,7 @@ TrainStats ReinforceTrainer::train() {
       Status s = save_checkpoint(last_good, path);
       if (s.ok()) {
         ctr_ckpt_written.increment();
+        RLCCD_TRACE_INSTANT("train.checkpoint_written");
         if (config_.observer != nullptr) {
           const ProgressMetric metrics[] = {
               {"iterations", static_cast<double>(stats.iterations)}};
@@ -487,10 +543,20 @@ TrainStats ReinforceTrainer::train() {
   {
     SelectionEnv env(&graph_, config_.overlap_threshold);
     Rng rng(config_.seed ^ 0x5EEDull);
+    SelectionAudit greedy_audit;
     Policy::RolloutResult ro = policy_->rollout(
-        graph_, env, rng, /*greedy=*/true, Policy::RolloutMode::Inference);
+        graph_, env, rng, /*greedy=*/true, Policy::RolloutMode::Inference,
+        config_.audit != nullptr ? &greedy_audit : nullptr);
     FlowResult fr = evaluate_selection(ro.selected);
     ++stats.flow_runs;
+    if (config_.audit != nullptr) {
+      RolloutAuditRecord rec;  // iteration -1 marks the greedy decode
+      rec.tns = fr.final_summary.tns;
+      rec.flow_ran = true;
+      rec.poisoned = ro.poisoned;
+      rec.audit = &greedy_audit;
+      config_.audit->on_rollout(rec);
+    }
     if (fr.final_summary.tns > stats.best_tns) {
       stats.best_tns = fr.final_summary.tns;
       stats.best_selection = ro.selected;

@@ -30,6 +30,7 @@
 #include "common/cancel.h"
 #include "nn/optim.h"
 #include "opt/flow.h"
+#include "rl/audit.h"
 #include "rl/policy.h"
 
 namespace rlccd {
@@ -52,6 +53,13 @@ struct TrainConfig {
   // that called train(), after the iteration's workers have joined. Not
   // owned; must outlive train().
   ProgressObserver* observer = nullptr;
+  // Receives decision-provenance records: one rollout record per worker per
+  // iteration (in worker order) and one iteration record per iteration,
+  // emitted on the thread that called train() after the workers have
+  // joined. The trainer collects the provenance either way (the audit
+  // fields of IterationStats are always populated); the sink only controls
+  // where the full records go. Not owned; must outlive train().
+  AuditSink* audit = nullptr;
 
   // --- Fault tolerance ---
   // Directory for ckpt-NNNNNN.rlccd files; empty disables checkpointing.
@@ -76,6 +84,10 @@ struct IterationStats {
   double iter_best_tns = 0.0;  // best trajectory this iteration
   double best_tns = 0.0;       // best seen so far (incl. this iteration)
   double mean_steps = 0.0;     // selection count per trajectory
+  // Provenance aggregates (checkpoint format v2):
+  double mean_entropy = 0.0;   // mean policy entropy over surviving rollouts
+  double grad_norm = 0.0;      // pre-clip norm of the merged gradient
+  double baseline = 0.0;       // baseline used for this iteration's advantage
 };
 
 struct TrainStats {

@@ -705,6 +705,16 @@ double Sta::endpoint_hold_slack(PinId endpoint) const {
   return t.arrival_min - (capture + lc.hold_time);
 }
 
+std::vector<double> Sta::endpoint_slacks(
+    std::span<const PinId> endpoints) const {
+  std::vector<double> slacks;
+  slacks.reserve(endpoints.size());
+  for (PinId ep : endpoints) {
+    slacks.push_back(is_endpoint(ep) ? endpoint_slack(ep) : kInf);
+  }
+  return slacks;
+}
+
 std::vector<PinId> Sta::violating_endpoints() const {
   std::vector<PinId> out;
   for (PinId ep : graph_.endpoints()) {

@@ -126,6 +126,10 @@ class Sta {
 
   [[nodiscard]] double endpoint_slack(PinId endpoint) const;
   [[nodiscard]] double endpoint_hold_slack(PinId endpoint) const;
+  // Bulk form: slack per pin in `endpoints` order; non-endpoints get +inf
+  // (callers passing a prioritized list need not pre-filter).
+  [[nodiscard]] std::vector<double> endpoint_slacks(
+      std::span<const PinId> endpoints) const;
   // Endpoints with slack < 0, in stable order.
   [[nodiscard]] std::vector<PinId> violating_endpoints() const;
 

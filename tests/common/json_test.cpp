@@ -1,0 +1,81 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace rlccd {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::parse("null", v).ok());
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(JsonValue::parse("true", v).ok());
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.bool_value());
+  ASSERT_TRUE(JsonValue::parse("false", v).ok());
+  EXPECT_FALSE(v.bool_value());
+  ASSERT_TRUE(JsonValue::parse("-12.5e2", v).ok());
+  EXPECT_DOUBLE_EQ(v.number_value(), -1250.0);
+  ASSERT_TRUE(JsonValue::parse("\"hi\"", v).ok());
+  EXPECT_EQ(v.string_value(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  JsonValue v;
+  Status s = JsonValue::parse(
+      R"({"counters":{"sta.full_runs":3},"spans":[{"name":"flow","total_sec":1.25,"children":[]}],"ok":true})",
+      v);
+  ASSERT_TRUE(s.ok()) << s.to_string();
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_or("sta.full_runs", 0.0), 3.0);
+  const JsonValue* spans = v.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  ASSERT_EQ(spans->array_items().size(), 1u);
+  const JsonValue& flow = spans->array_items()[0];
+  EXPECT_EQ(flow.string_or("name", ""), "flow");
+  EXPECT_DOUBLE_EQ(flow.number_or("total_sec", 0.0), 1.25);
+  EXPECT_TRUE(flow.find("children")->array_items().empty());
+  EXPECT_TRUE(v.bool_or("ok", false));
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, DecodesEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::parse(R"("a\n\t\"\\\u0041\u00e9")", v).ok());
+  EXPECT_EQ(v.string_value(), "a\n\t\"\\A\xc3\xa9");
+}
+
+TEST(Json, TypedLookupsFallBack) {
+  JsonValue v;
+  ASSERT_TRUE(JsonValue::parse(R"({"s":"x","n":1})", v).ok());
+  EXPECT_DOUBLE_EQ(v.number_or("s", -1.0), -1.0) << "wrong type falls back";
+  EXPECT_EQ(v.string_or("n", "d"), "d");
+  EXPECT_DOUBLE_EQ(v.number_or("absent", 7.0), 7.0);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::parse("", v).ok());
+  EXPECT_FALSE(JsonValue::parse("{", v).ok());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}", v).ok());
+  EXPECT_FALSE(JsonValue::parse("[1,2", v).ok());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", v).ok());
+  EXPECT_FALSE(JsonValue::parse("1 2", v).ok()) << "trailing content";
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1}x", v).ok());
+  EXPECT_FALSE(JsonValue::parse("nul", v).ok());
+  EXPECT_FALSE(JsonValue::parse("--3", v).ok());
+}
+
+TEST(Json, DepthLimitGuardsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  JsonValue v;
+  EXPECT_FALSE(JsonValue::parse(deep, v).ok());
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -1,0 +1,223 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "common/json.h"
+#include "common/telemetry.h"
+
+namespace rlccd {
+namespace {
+
+// Every trace test owns the global recorder for its duration: enable()
+// drops anything a previous test buffered, and the test disables before
+// returning so unrelated telemetry tests never record events.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { TraceRecorder::global().disable(); }
+};
+
+JsonValue parse_trace(const TraceRecorder& rec) {
+  JsonValue doc;
+  Status s = JsonValue::parse(rec.to_chrome_json(), doc);
+  EXPECT_TRUE(s.ok()) << s.to_string();
+  return doc;
+}
+
+const JsonValue* find_event(const JsonValue& doc, std::string_view name) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) return nullptr;
+  for (const JsonValue& e : events->array_items()) {
+    if (e.string_or("name", "") == name) return &e;
+  }
+  return nullptr;
+}
+
+// Everything below the gate exercises the record path, which only exists
+// when tracing is compiled in; the RLCCD_TRACE=OFF build keeps the
+// always-valid behaviors (empty export, no-op macros) tested at the bottom.
+#ifndef RLCCD_NO_TRACE
+
+TEST_F(TraceTest, ChromeJsonIsStructurallyValid) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.enable();
+  {
+    RLCCD_SPAN("trace_outer");
+    RLCCD_SPAN("trace_inner");
+  }
+  RLCCD_TRACE_INSTANT("trace_marker");
+  rec.disable();
+
+  JsonValue doc = parse_trace(rec);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.string_or("displayTimeUnit", ""), "ms");
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Complete events: the Perfetto-required fields with sane values.
+  const JsonValue* outer = find_event(doc, "trace_outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->string_or("ph", ""), "X");
+  EXPECT_EQ(outer->string_or("cat", ""), "span");
+  EXPECT_GE(outer->number_or("ts", -1.0), 0.0);
+  EXPECT_GE(outer->number_or("dur", -1.0), 0.0);
+  ASSERT_NE(outer->find("pid"), nullptr);
+  ASSERT_NE(outer->find("tid"), nullptr);
+  EXPECT_NE(find_event(doc, "trace_inner"), nullptr);
+
+  // Instant events: "ph":"i" with thread scope.
+  const JsonValue* marker = find_event(doc, "trace_marker");
+  ASSERT_NE(marker, nullptr);
+  EXPECT_EQ(marker->string_or("ph", ""), "i");
+  EXPECT_EQ(marker->string_or("cat", ""), "marker");
+  EXPECT_EQ(marker->string_or("s", ""), "t");
+  EXPECT_EQ(marker->find("dur"), nullptr);
+
+  // The inner span closed first, so it must not start before the outer one.
+  EXPECT_GE(find_event(doc, "trace_inner")->number_or("ts", -1.0), 0.0);
+}
+
+TEST_F(TraceTest, RingDropsOldestAndCountsTheLoss) {
+  TraceRecorder& rec = TraceRecorder::global();
+  MetricsCounter& dropped_counter =
+      MetricsRegistry::global().counter("trace.events_dropped");
+  const std::uint64_t counter_before = dropped_counter.value();
+
+  constexpr std::size_t kCapacity = 16;  // enable() clamps below this
+  constexpr int kRecorded = 40;
+  rec.enable(kCapacity);
+  for (int i = 0; i < kRecorded; ++i) {
+    RLCCD_TRACE_INSTANT(i < kRecorded - static_cast<int>(kCapacity)
+                            ? "old_event"
+                            : "new_event");
+  }
+  rec.disable();
+
+  EXPECT_EQ(rec.buffered_events(), kCapacity);
+  EXPECT_EQ(rec.dropped_events(), kRecorded - kCapacity);
+  EXPECT_EQ(dropped_counter.value() - counter_before, kRecorded - kCapacity);
+
+  // Drop-oldest: only the newest events survive the wrap.
+  JsonValue doc = parse_trace(rec);
+  EXPECT_EQ(find_event(doc, "old_event"), nullptr);
+  ASSERT_NE(find_event(doc, "new_event"), nullptr);
+  EXPECT_EQ(doc.find("traceEvents")->array_items().size(), kCapacity);
+}
+
+TEST_F(TraceTest, EnableClampsTinyCapacities) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.enable(1);
+  for (int i = 0; i < 16; ++i) RLCCD_TRACE_INSTANT("tiny");
+  rec.disable();
+  EXPECT_EQ(rec.buffered_events(), 16u) << "minimum ring capacity is 16";
+  EXPECT_EQ(rec.dropped_events(), 0u);
+}
+
+#endif  // RLCCD_NO_TRACE
+
+TEST_F(TraceTest, DisabledRecorderBuffersNothing) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.enable();
+  rec.disable();
+  ASSERT_FALSE(TraceRecorder::enabled());
+
+  RLCCD_TRACE_INSTANT("while_disabled");
+  RLCCD_TRACE_COMPLETE("span_while_disabled", 0.0, 1.0);
+  {
+    RLCCD_SPAN("telemetry_span_while_disabled");
+  }
+  EXPECT_EQ(rec.buffered_events(), 0u);
+  JsonValue doc = parse_trace(rec);
+  EXPECT_EQ(find_event(doc, "while_disabled"), nullptr);
+}
+
+#ifndef RLCCD_NO_TRACE
+
+TEST_F(TraceTest, ReEnableDropsPreviousBuffer) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.enable();
+  RLCCD_TRACE_INSTANT("first_session");
+  rec.disable();
+  rec.enable();
+  RLCCD_TRACE_INSTANT("second_session");
+  rec.disable();
+
+  JsonValue doc = parse_trace(rec);
+  EXPECT_EQ(find_event(doc, "first_session"), nullptr);
+  EXPECT_NE(find_event(doc, "second_session"), nullptr);
+  EXPECT_EQ(rec.buffered_events(), 1u);
+  EXPECT_EQ(rec.dropped_events(), 0u);
+}
+
+TEST_F(TraceTest, LongNamesAreTruncatedNotCorrupted) {
+  const std::string long_name(3 * TraceEvent::kMaxName, 'x');
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.enable();
+  RLCCD_TRACE_INSTANT(long_name);
+  rec.disable();
+
+  JsonValue doc = parse_trace(rec);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_EQ(events->array_items().size(), 1u);
+  const std::string got = events->array_items()[0].string_or("name", "");
+  EXPECT_EQ(got, long_name.substr(0, TraceEvent::kMaxName));
+}
+
+TEST_F(TraceTest, WorkerThreadEventsSurviveJoin) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.enable();
+  RLCCD_TRACE_INSTANT("main_thread_event");
+  std::thread worker([] {
+    RLCCD_SPAN("worker_span");
+  });
+  worker.join();
+  rec.disable();
+
+  JsonValue doc = parse_trace(rec);
+  const JsonValue* main_ev = find_event(doc, "main_thread_event");
+  const JsonValue* worker_ev = find_event(doc, "worker_span");
+  ASSERT_NE(main_ev, nullptr);
+  ASSERT_NE(worker_ev, nullptr);
+  EXPECT_NE(main_ev->number_or("tid", -1.0), worker_ev->number_or("tid", -1.0))
+      << "each thread exports its own timeline row";
+}
+
+#endif  // RLCCD_NO_TRACE
+
+#ifndef RLCCD_NO_TRACE
+TEST_F(TraceTest, MacrosDoNotEvaluateArgumentsWhenDisabled) {
+  // The runtime gate must short-circuit before any work happens; building
+  // the name below would be visible as a buffered event if it did not.
+  ASSERT_FALSE(TraceRecorder::enabled());
+  const std::uint64_t buffered_before =
+      TraceRecorder::global().buffered_events();
+  int evaluations = 0;
+  auto name = [&evaluations]() -> std::string {
+    ++evaluations;
+    return "expensive_name";
+  };
+  (void)name;
+  RLCCD_TRACE_INSTANT(name());
+  EXPECT_EQ(evaluations, 0) << "arguments sit behind the enabled() branch";
+  EXPECT_EQ(TraceRecorder::global().buffered_events(), buffered_before);
+}
+#else
+TEST_F(TraceTest, MacrosCompileOutEntirely) {
+  // Under RLCCD_NO_TRACE the macros must not evaluate their arguments.
+  int evaluations = 0;
+  auto name = [&evaluations]() -> std::string {
+    ++evaluations;
+    return "never";
+  };
+  (void)name;
+  RLCCD_TRACE_INSTANT(name());
+  RLCCD_TRACE_COMPLETE(name(), 0.0, 1.0);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+}  // namespace
+}  // namespace rlccd

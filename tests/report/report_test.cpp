@@ -1,0 +1,285 @@
+#include "report/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/telemetry.h"
+#include "rl/audit.h"
+
+namespace rlccd {
+namespace {
+
+// -- metrics parsing ----------------------------------------------------------
+
+TEST(ReportMetrics, ParsesRegistryExportRoundTrip) {
+  // Feed the parser the real exporter's output, not a handwritten imitation.
+  MetricsRegistry::global().counter("report.test_counter").add(17);
+  TelemetryScope scope;
+  {
+    RLCCD_SPAN("report_outer");
+    RLCCD_SPAN("flow");
+  }
+  RunReport report;
+  ASSERT_TRUE(parse_metrics_json(scope.snapshot().to_json(), report).ok());
+  EXPECT_TRUE(report.has_metrics);
+  EXPECT_FALSE(report.has_audit);
+
+  const SpanNode* outer = report.spans.find_child("report_outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(report.flow_runs(), 1u) << "nested flow spans are aggregated";
+  EXPECT_GE(report.flow_total_sec(), 0.0);
+}
+
+TEST(ReportMetrics, CounterLookup) {
+  RunReport report;
+  ASSERT_TRUE(parse_metrics_json(
+                  R"({"counters":{"sta.full_runs":42},"spans":[]})", report)
+                  .ok());
+  EXPECT_EQ(report.counter("sta.full_runs"), 42u);
+  EXPECT_EQ(report.counter("absent"), 0u);
+}
+
+TEST(ReportMetrics, RejectsStructurallyBrokenJson) {
+  RunReport report;
+  EXPECT_FALSE(parse_metrics_json("{\"counters\":", report).ok());
+}
+
+// -- audit parsing ------------------------------------------------------------
+
+// Serialize real audit records so the parser is tested against the actual
+// writer format, including the %.17g doubles.
+std::string sample_audit_jsonl() {
+  SelectionAudit audit;
+  AuditStep s1;
+  s1.chosen = 3;
+  s1.slack = -0.5;
+  s1.masked = {{5, 0.42}, {6, 0.31}};
+  AuditStep s2;
+  s2.chosen = 5;  // picked later even though masked earlier in s1
+  audit.steps = {s1, s2};
+
+  RolloutAuditRecord rollout;
+  rollout.iteration = 0;
+  rollout.worker = 0;
+  rollout.tns = -20.0;
+  rollout.flow_ran = true;
+  rollout.audit = &audit;
+
+  IterationAuditRecord it0;
+  it0.iteration = 0;
+  it0.survivors = 2;
+  it0.best_tns = -15.0;
+  it0.mean_entropy = 2.5;
+  IterationAuditRecord it1 = it0;
+  it1.iteration = 1;
+  it1.best_tns = -12.0;
+  it1.mean_entropy = 2.0;
+
+  FlowAuditRecord fdefault;
+  fdefault.label = "default";
+  fdefault.tns = -14.0;
+  FlowAuditRecord frl;
+  frl.label = "rl";
+  frl.wns = -0.5;
+  frl.tns = -10.0;
+  frl.nve = 7;
+  frl.outcomes.push_back({11, -0.6, -0.2});  // improved
+  frl.outcomes.push_back({12, -0.3, -0.4});  // worsened
+
+  std::string lines;
+  lines += rollout.to_json() + "\n";
+  lines += it0.to_json() + "\n";
+  lines += it1.to_json() + "\n";
+  lines += fdefault.to_json() + "\n";
+  lines += frl.to_json() + "\n";
+  lines += R"({"type":"future_record","ignored":true})" "\n";
+  return lines;
+}
+
+TEST(ReportAudit, AccumulatesRecordsFromWriterFormat) {
+  RunReport report;
+  ASSERT_TRUE(parse_audit_jsonl(sample_audit_jsonl(), report).ok());
+  EXPECT_TRUE(report.has_audit);
+  EXPECT_EQ(report.rollouts, 1u);
+  ASSERT_EQ(report.iterations.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.iterations[1].best_tns, -12.0);
+  EXPECT_DOUBLE_EQ(report.iterations[1].mean_entropy, 2.0);
+
+  // Pick/mask frequency: endpoint 3 picked once; 5 masked once AND picked
+  // once; 6 masked once.
+  auto freq = [&](std::uint32_t ep) -> const RunReport::EndpointFrequency* {
+    for (const auto& f : report.endpoint_freq) {
+      if (f.endpoint == ep) return &f;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(freq(3), nullptr);
+  EXPECT_EQ(freq(3)->picked, 1u);
+  EXPECT_EQ(freq(3)->masked, 0u);
+  ASSERT_NE(freq(5), nullptr);
+  EXPECT_EQ(freq(5)->picked, 1u);
+  EXPECT_EQ(freq(5)->masked, 1u);
+  ASSERT_NE(freq(6), nullptr);
+  EXPECT_EQ(freq(6)->masked, 1u);
+
+  // Flow outcomes with improved counts.
+  ASSERT_EQ(report.flows.size(), 2u);
+  EXPECT_EQ(report.flows[1].label, "rl");
+  EXPECT_EQ(report.flows[1].outcomes, 2u);
+  EXPECT_EQ(report.flows[1].improved, 1u);
+
+  // final_tns prefers the "rl" flow record.
+  EXPECT_DOUBLE_EQ(report.final_tns(), -10.0);
+}
+
+TEST(ReportAudit, FinalTnsFallsBackToLastIterationThenNan) {
+  RunReport no_flow;
+  IterationAuditRecord it;
+  it.iteration = 0;
+  it.best_tns = -33.0;
+  ASSERT_TRUE(parse_audit_jsonl(it.to_json() + "\n", no_flow).ok());
+  EXPECT_DOUBLE_EQ(no_flow.final_tns(), -33.0);
+
+  RunReport empty;
+  EXPECT_TRUE(std::isnan(empty.final_tns()));
+}
+
+// -- run loading --------------------------------------------------------------
+
+TEST(ReportLoad, LoadsDirectoryAndSniffsSingleFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "report_load_test";
+  fs::create_directories(dir);
+  {
+    std::ofstream(dir / "metrics.json")
+        << R"({"counters":{"sta.full_runs":5},"spans":[]})";
+    std::ofstream(dir / "audit.jsonl") << sample_audit_jsonl();
+  }
+
+  RunReport both;
+  ASSERT_TRUE(load_run(dir.string(), both).ok());
+  EXPECT_TRUE(both.has_metrics);
+  EXPECT_TRUE(both.has_audit);
+  EXPECT_EQ(both.counter("sta.full_runs"), 5u);
+  EXPECT_EQ(both.rollouts, 1u);
+
+  RunReport metrics_only;
+  ASSERT_TRUE(load_run((dir / "metrics.json").string(), metrics_only).ok());
+  EXPECT_TRUE(metrics_only.has_metrics);
+  EXPECT_FALSE(metrics_only.has_audit);
+
+  RunReport audit_only;
+  ASSERT_TRUE(load_run((dir / "audit.jsonl").string(), audit_only).ok());
+  EXPECT_FALSE(audit_only.has_metrics);
+  EXPECT_TRUE(audit_only.has_audit);
+
+  RunReport missing;
+  EXPECT_FALSE(load_run((dir / "nothing_here").string(), missing).ok());
+  fs::remove_all(dir);
+}
+
+// -- text report --------------------------------------------------------------
+
+TEST(ReportText, RendersEverySection) {
+  RunReport report;
+  ASSERT_TRUE(parse_metrics_json(
+                  R"({"counters":{"sta.full_runs":5},"spans":[)"
+                  R"({"name":"flow","count":2,"total_sec":1.0,)"
+                  R"("exclusive_sec":1.0,"children":[]}]})",
+                  report)
+                  .ok());
+  ASSERT_TRUE(parse_audit_jsonl(sample_audit_jsonl(), report).ok());
+  const std::string text = render_text_report(report);
+  EXPECT_NE(text.find("hot paths"), std::string::npos) << text;
+  EXPECT_NE(text.find("TNS trajectory"), std::string::npos);
+  EXPECT_NE(text.find("endpoint pick frequency"), std::string::npos);
+  EXPECT_NE(text.find("final flows"), std::string::npos);
+  EXPECT_NE(text.find("rollouts: 1"), std::string::npos);
+}
+
+// -- diffing ------------------------------------------------------------------
+
+RunReport run_with(double flow_sec, std::uint64_t flow_count, double tns) {
+  RunReport r;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                R"({"counters":{},"spans":[{"name":"flow","count":%llu,)"
+                R"("total_sec":%f,"exclusive_sec":%f,"children":[]}]})",
+                static_cast<unsigned long long>(flow_count), flow_sec,
+                flow_sec);
+  EXPECT_TRUE(parse_metrics_json(buf, r).ok());
+  FlowAuditRecord flow;
+  flow.label = "rl";
+  flow.tns = tns;
+  EXPECT_TRUE(parse_audit_jsonl(flow.to_json() + "\n", r).ok());
+  return r;
+}
+
+TEST(ReportDiffTest, IdenticalRunsPass) {
+  RunReport base = run_with(1.0, 10, -10.0);
+  ReportDiff diff = diff_runs(base, base, DiffThresholds{});
+  EXPECT_FALSE(diff.regressed());
+  EXPECT_NE(diff.to_text().find("verdict: ok"), std::string::npos);
+}
+
+TEST(ReportDiffTest, InjectedTnsRegressionFails) {
+  RunReport base = run_with(1.0, 10, -10.0);
+  RunReport worse = run_with(1.0, 10, -14.0);  // 40% worse than -10
+  ReportDiff diff = diff_runs(base, worse, DiffThresholds{});
+  EXPECT_TRUE(diff.regressed());
+  EXPECT_NE(diff.to_text().find("REGRESSED"), std::string::npos);
+  // An equally-sized improvement must not trip the check.
+  RunReport better = run_with(1.0, 10, -6.0);
+  EXPECT_FALSE(diff_runs(base, better, DiffThresholds{}).regressed());
+}
+
+TEST(ReportDiffTest, RuntimeRegressionComparesPerFlowSeconds) {
+  RunReport base = run_with(1.0, 10, -10.0);  // 0.1 s/run
+  // Same per-run cost with more runs must pass...
+  RunReport more_runs = run_with(2.0, 20, -10.0);
+  EXPECT_FALSE(diff_runs(base, more_runs, DiffThresholds{}).regressed());
+  // ...while a 50% per-run slowdown fails the default 10% threshold.
+  RunReport slower = run_with(1.5, 10, -10.0);
+  EXPECT_TRUE(diff_runs(base, slower, DiffThresholds{}).regressed());
+}
+
+TEST(ReportDiffTest, NegativeThresholdDisablesCheck) {
+  RunReport base = run_with(1.0, 10, -10.0);
+  RunReport slower_and_worse = run_with(3.0, 10, -20.0);
+  DiffThresholds off;
+  off.max_runtime_regress_pct = -1.0;
+  off.max_tns_regress_pct = -1.0;
+  EXPECT_FALSE(diff_runs(base, slower_and_worse, off).regressed());
+}
+
+TEST(ReportDiffTest, JsonDiffIsMachineReadable) {
+  RunReport base = run_with(1.0, 10, -10.0);
+  RunReport worse = run_with(1.0, 10, -14.0);
+  ReportDiff diff = diff_runs(base, worse, DiffThresholds{});
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::parse(diff.to_json(), doc).ok());
+  EXPECT_TRUE(doc.bool_or("regressed", false));
+  const JsonValue* entries = doc.find("entries");
+  ASSERT_NE(entries, nullptr);
+  bool found_tns = false;
+  for (const JsonValue& e : entries->array_items()) {
+    if (e.string_or("name", "") != "final_tns") continue;
+    found_tns = true;
+    EXPECT_TRUE(e.bool_or("checked", false));
+    EXPECT_TRUE(e.bool_or("regressed", false));
+    EXPECT_DOUBLE_EQ(e.number_or("base", 0.0), -10.0);
+    EXPECT_DOUBLE_EQ(e.number_or("candidate", 0.0), -14.0);
+  }
+  EXPECT_TRUE(found_tns);
+}
+
+}  // namespace
+}  // namespace rlccd

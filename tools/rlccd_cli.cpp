@@ -8,20 +8,27 @@
 //                      [--checkpoint-dir DIR] [--resume]
 //                      [--rollout-deadline SECS]
 //
-// Global flags: --metrics-json FILE writes the process-wide telemetry
-// registry (counters, histograms, nested spans) after the command;
-// --progress streams per-pass / per-iteration events to stderr.
+// Global flags: --metrics-json FILE / --metrics-csv FILE write the
+// process-wide telemetry registry (counters, histograms, nested spans)
+// after the command; --trace-json FILE records a Chrome-trace timeline
+// (open in Perfetto or chrome://tracing); --audit-jsonl FILE streams RL
+// decision provenance during `train`; --progress streams per-pass /
+// per-iteration events to stderr. Feed the artifacts to rlccd_report.
 //
 // Blocks are the paper's Table-II names (block1..block19); a plain number
 // generates an anonymous design with that many cells.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/log.h"
+#include "common/progress.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 #include "core/rlccd.h"
+#include "rl/audit.h"
 #include "designgen/blocks.h"
 #include "netlist/serialize.h"
 #include "netlist/stats.h"
@@ -43,30 +50,20 @@ struct Args {
   std::string gnn_in;
   std::string gnn_out;
   std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace_json;
+  std::string audit_jsonl;
   bool progress = false;
   std::string checkpoint_dir;
   bool resume = false;
   double rollout_deadline = 0.0;
 };
 
-// Streams flow/train progress events as one stderr line each.
-class StderrProgress : public ProgressObserver {
- public:
-  void on_event(const ProgressEvent& e) override {
-    std::fprintf(stderr, "[%.*s] %-16.*s", static_cast<int>(e.phase.size()),
-                 e.phase.data(), static_cast<int>(e.step.size()),
-                 e.step.data());
-    if (e.index >= 0) std::fprintf(stderr, " #%d", e.index);
-    std::fprintf(stderr, " %.3fs", e.seconds);
-    for (const ProgressMetric& m : e.metrics) {
-      std::fprintf(stderr, " %.*s=%.3f", static_cast<int>(m.name.size()),
-                   m.name.data(), m.value);
-    }
-    std::fputc('\n', stderr);
-  }
-};
-
 StderrProgress g_progress;
+
+// Decision-provenance writer for `train`; opened in main when
+// --audit-jsonl is set.
+std::unique_ptr<JsonlAuditWriter> g_audit;
 
 bool parse(int argc, char** argv, Args& args) {
   if (argc < 3) return false;
@@ -96,6 +93,12 @@ bool parse(int argc, char** argv, Args& args) {
       args.gnn_out = v;
     } else if (flag == "--metrics-json" && (v = next())) {
       args.metrics_json = v;
+    } else if (flag == "--metrics-csv" && (v = next())) {
+      args.metrics_csv = v;
+    } else if (flag == "--trace-json" && (v = next())) {
+      args.trace_json = v;
+    } else if (flag == "--audit-jsonl" && (v = next())) {
+      args.audit_jsonl = v;
     } else if (flag == "--progress") {
       args.progress = true;
     } else if (flag == "--checkpoint-dir" && (v = next())) {
@@ -192,6 +195,7 @@ int cmd_train(const Args& args) {
   cfg.train.rollout_deadline_sec = args.rollout_deadline;
   cfg.pretrained_gnn = args.gnn_in;
   if (args.progress) cfg.observer = &g_progress;
+  if (g_audit != nullptr) cfg.audit = g_audit.get();
   RlCcd agent(&d, cfg);
   RlCcdResult r = agent.run();
   std::printf("default: TNS %.3f  NVE %zu\n", r.default_flow.final_summary.tns,
@@ -224,8 +228,17 @@ int main(int argc, char** argv) {
                  "[--out FILE] [--gnn-in FILE] [--gnn-out FILE] "
                  "[--checkpoint-dir DIR] [--resume] "
                  "[--rollout-deadline SECS] "
-                 "[--metrics-json FILE] [--progress]\n");
+                 "[--metrics-json FILE] [--metrics-csv FILE] "
+                 "[--trace-json FILE] [--audit-jsonl FILE] [--progress]\n");
     return 2;
+  }
+  if (!args.trace_json.empty()) TraceRecorder::global().enable();
+  if (!args.audit_jsonl.empty()) {
+    Status s = JsonlAuditWriter::open(args.audit_jsonl, g_audit);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
   }
   int rc = -1;
   if (args.command == "generate") rc = cmd_generate(args);
@@ -242,6 +255,33 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("telemetry written to %s\n", args.metrics_json.c_str());
+  }
+  if (!args.metrics_csv.empty()) {
+    if (!MetricsRegistry::global().write_csv(args.metrics_csv)) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_csv.c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", args.metrics_csv.c_str());
+  }
+  if (!args.trace_json.empty()) {
+    TraceRecorder& rec = TraceRecorder::global();
+    rec.disable();
+    if (!rec.write_chrome_json(args.trace_json)) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_json.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                args.trace_json.c_str(),
+                static_cast<unsigned long long>(rec.buffered_events()),
+                static_cast<unsigned long long>(rec.dropped_events()));
+  }
+  if (g_audit != nullptr) {
+    Status s = g_audit->close();
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("audit written to %s\n", args.audit_jsonl.c_str());
   }
   return rc;
 }

@@ -2,53 +2,42 @@
 // naive prioritization strategies, prints summaries. Not installed; used to
 // calibrate the substrate while developing.
 //
-//   smoke_flow [block] [scale] [trials] [--metrics-json PATH] [--progress]
+//   smoke_flow [block] [scale] [trials] [--metrics-json PATH]
+//              [--metrics-csv PATH] [--trace-json PATH] [--progress]
 //
-// --metrics-json writes the process-wide telemetry registry (counters,
-// histograms, nested per-pass span trees) as JSON after all runs.
+// --metrics-json / --metrics-csv write the process-wide telemetry registry
+// (counters, histograms, nested per-pass span trees) after all runs;
+// --trace-json records a Chrome-trace timeline of every span.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/log.h"
+#include "common/progress.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/trace.h"
 #include "designgen/blocks.h"
 #include "designgen/generator.h"
 #include "opt/flow.h"
 
 using namespace rlccd;
 
-namespace {
-
-// Streams one line per flow step as it completes.
-class StderrProgress : public ProgressObserver {
- public:
-  void on_event(const ProgressEvent& e) override {
-    std::fprintf(stderr, "  [%.*s] %-16.*s", static_cast<int>(e.phase.size()),
-                 e.phase.data(), static_cast<int>(e.step.size()),
-                 e.step.data());
-    if (e.index >= 0) std::fprintf(stderr, " #%d", e.index);
-    std::fprintf(stderr, " %.3fs", e.seconds);
-    for (const ProgressMetric& m : e.metrics) {
-      std::fprintf(stderr, " %.*s=%.3f", static_cast<int>(m.name.size()),
-                   m.name.data(), m.value);
-    }
-    std::fputc('\n', stderr);
-  }
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Info);
   std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace_json;
   bool progress = false;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--metrics-json" && i + 1 < argc) {
       metrics_json = argv[++i];
+    } else if (arg == "--metrics-csv" && i + 1 < argc) {
+      metrics_csv = argv[++i];
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      trace_json = argv[++i];
     } else if (arg == "--progress") {
       progress = true;
     } else {
@@ -58,6 +47,7 @@ int main(int argc, char** argv) {
   std::string block_name = !positional.empty() ? positional[0] : "block11";
   double scale =
       positional.size() > 1 ? std::atof(positional[1].c_str()) : 0.01;
+  if (!trace_json.empty()) TraceRecorder::global().enable();
 
   Design design = generate_design(
       to_generator_config(find_block(block_name), scale));
@@ -72,7 +62,7 @@ int main(int argc, char** argv) {
   std::printf("begin: WNS %.3f TNS %.2f NVE %zu / %zu endpoints\n",
               begin.wns, begin.tns, begin.nve, begin.num_endpoints);
 
-  StderrProgress progress_observer;
+  StderrProgress progress_observer("  ");
   FlowConfig cfg = default_flow_config(nl.num_real_cells(),
                                        design.clock_period);
   if (progress) cfg.observer = &progress_observer;
@@ -144,6 +134,25 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("telemetry written to %s\n", metrics_json.c_str());
+  }
+  if (!metrics_csv.empty()) {
+    if (!MetricsRegistry::global().write_csv(metrics_csv)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_csv.c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", metrics_csv.c_str());
+  }
+  if (!trace_json.empty()) {
+    TraceRecorder& rec = TraceRecorder::global();
+    rec.disable();
+    if (!rec.write_chrome_json(trace_json)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                trace_json.c_str(),
+                static_cast<unsigned long long>(rec.buffered_events()),
+                static_cast<unsigned long long>(rec.dropped_events()));
   }
   return 0;
 }

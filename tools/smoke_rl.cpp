@@ -1,15 +1,25 @@
 // Developer smoke test: end-to-end RL-CCD training on one block.
 //
 //   smoke_rl [block] [scale] [iters] [--checkpoint-dir DIR] [--resume]
-//            [--rollout-deadline SECS]
+//            [--rollout-deadline SECS] [--metrics-json FILE]
+//            [--metrics-csv FILE] [--trace-json FILE] [--audit-jsonl FILE]
+//
+// The flight-recorder flags mirror rlccd_cli: --trace-json records a
+// Chrome-trace timeline, --audit-jsonl streams RL decision provenance,
+// and --metrics-json/--metrics-csv dump the telemetry registry. Feed the
+// artifacts to rlccd_report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/log.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "core/rlccd.h"
 #include "designgen/blocks.h"
+#include "rl/audit.h"
 
 using namespace rlccd;
 
@@ -21,6 +31,10 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   bool resume = false;
   double rollout_deadline = 0.0;
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace_json;
+  std::string audit_jsonl;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
@@ -30,6 +44,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--rollout-deadline") == 0 &&
                i + 1 < argc) {
       rollout_deadline = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-csv") == 0 && i + 1 < argc) {
+      metrics_csv = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      trace_json = argv[++i];
+    } else if (std::strcmp(argv[i], "--audit-jsonl") == 0 && i + 1 < argc) {
+      audit_jsonl = argv[++i];
     } else if (positional == 0) {
       block_name = argv[i];
       ++positional;
@@ -45,6 +67,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_json.empty()) TraceRecorder::global().enable();
+  std::unique_ptr<JsonlAuditWriter> audit;
+  if (!audit_jsonl.empty()) {
+    Status s = JsonlAuditWriter::open(audit_jsonl, audit);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+
   Design design =
       generate_design(to_generator_config(find_block(block_name), scale));
   RlCcdConfig cfg = RlCcdConfig::for_design(design);
@@ -53,6 +85,7 @@ int main(int argc, char** argv) {
   cfg.train.checkpoint_dir = checkpoint_dir;
   cfg.train.resume = resume;
   cfg.train.rollout_deadline_sec = rollout_deadline;
+  if (audit != nullptr) cfg.audit = audit.get();
 
   RlCcd agent(&design, cfg);
   RlCcdResult r = agent.run();
@@ -66,5 +99,40 @@ int main(int argc, char** argv) {
               "%.1f%% NVE, runtime x%.1f\n",
               r.rl_flow.final_summary.tns, r.rl_flow.final_summary.nve, r.selection.size(),
               r.tns_gain_pct(), r.nve_gain_pct(), r.runtime_factor);
+
+  if (!metrics_json.empty()) {
+    if (!MetricsRegistry::global().write_json(metrics_json)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_json.c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", metrics_json.c_str());
+  }
+  if (!metrics_csv.empty()) {
+    if (!MetricsRegistry::global().write_csv(metrics_csv)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_csv.c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", metrics_csv.c_str());
+  }
+  if (!trace_json.empty()) {
+    TraceRecorder& rec = TraceRecorder::global();
+    rec.disable();
+    if (!rec.write_chrome_json(trace_json)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                trace_json.c_str(),
+                static_cast<unsigned long long>(rec.buffered_events()),
+                static_cast<unsigned long long>(rec.dropped_events()));
+  }
+  if (audit != nullptr) {
+    Status s = audit->close();
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("audit written to %s\n", audit_jsonl.c_str());
+  }
   return 0;
 }
