@@ -7,6 +7,8 @@
 // trace ring enabled, which must stay within ~2% of the untraced run.
 #include <chrono>
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "common/trace.h"
 #include "core/rlccd.h"
@@ -44,12 +46,22 @@ FlowCost measure_flow(const Design& d, bool incremental, int repeats) {
   return best;
 }
 
+struct EditCost {
+  double sec_full = 0.0;
+  double sec_inc = 0.0;
+  std::uint64_t pins_full = 0;
+  std::uint64_t pins_inc = 0;
+};
+
 // Mutation-level comparison: repeated single-cell resizes, re-analyzed after
 // each edit — the access pattern of every greedy optimization loop.
-void measure_single_edits(const Design& d) {
+EditCost measure_single_edits(const Design& d) {
   const int kEdits = 200;
-  std::uint64_t pins_full = 0, pins_inc = 0;
-  double sec_full = 0.0, sec_inc = 0.0;
+  EditCost cost;
+  std::uint64_t& pins_full = cost.pins_full;
+  std::uint64_t& pins_inc = cost.pins_inc;
+  double& sec_full = cost.sec_full;
+  double& sec_inc = cost.sec_inc;
 
   for (int mode = 0; mode < 2; ++mode) {
     bool incremental = (mode == 1);
@@ -96,13 +108,20 @@ void measure_single_edits(const Design& d) {
   std::printf("  speedup %.2fx, pin-update reduction %.2fx\n\n",
               sec_full / sec_inc,
               static_cast<double>(pins_full) / static_cast<double>(pins_inc));
+  return cost;
 }
 
 }  // namespace
 }  // namespace rlccd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rlccd;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
   GeneratorConfig gcfg;
   gcfg.name = "micro2000";
   gcfg.target_cells = 2000;
@@ -115,7 +134,7 @@ int main() {
               d.netlist->num_real_cells(), d.netlist->num_pins(),
               d.clock_period);
 
-  measure_single_edits(d);
+  EditCost edits = measure_single_edits(d);
 
   const int kRepeats = 3;
   FlowCost full = measure_flow(d, /*incremental=*/false, kRepeats);
@@ -146,5 +165,40 @@ int main() {
                   TraceRecorder::global().dropped_events()));
   std::printf("  overhead %+.2f%%\n",
               100.0 * (traced.seconds - inc.seconds) / inc.seconds);
+
+  // Bench document for rlccd_report: the speedup / reduction ratios are
+  // checked against the committed baseline in CI, the absolute times are
+  // informational.
+  if (!json_path.empty()) {
+    const std::pair<const char*, double> metrics[] = {
+        {"single_edit_full_ms", 1e3 * edits.sec_full},
+        {"single_edit_inc_ms", 1e3 * edits.sec_inc},
+        {"single_edit_speedup", edits.sec_full / edits.sec_inc},
+        {"single_edit_pin_reduction",
+         static_cast<double>(edits.pins_full) /
+             static_cast<double>(edits.pins_inc)},
+        {"flow_full_ms", 1e3 * full.seconds},
+        {"flow_inc_ms", 1e3 * inc.seconds},
+        {"flow_speedup", full.seconds / inc.seconds},
+        {"flow_pin_reduction", static_cast<double>(full.pin_updates) /
+                                   static_cast<double>(inc.pin_updates)},
+        {"trace_overhead_pct",
+         100.0 * (traced.seconds - inc.seconds) / inc.seconds},
+    };
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\"bench\":\"incremental\",\"metrics\":{");
+    bool first = true;
+    for (const auto& [name, value] : metrics) {
+      std::fprintf(f, "%s\"%s\":%.6f", first ? "" : ",", name, value);
+      first = false;
+    }
+    std::fprintf(f, "}}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,99 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace rlccd {
+
+namespace {
+
+// Chunk r of a static partition of [0, n) into p pieces: the first n % p
+// chunks get one extra element. Depends only on (n, p, r).
+void chunk_bounds(std::size_t n, int p, int r, std::size_t* begin,
+                  std::size_t* end) {
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t extra = n % static_cast<std::size_t>(p);
+  const std::size_t rr = static_cast<std::size_t>(r);
+  *begin = rr * base + std::min(rr, extra);
+  *end = *begin + base + (rr < extra ? 1 : 0);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) : num_threads_(std::max(1, threads)) {}
+
+ThreadPool::~ThreadPool() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : helpers_) t.join();
+}
+
+int ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  helpers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int r = 1; r < num_threads_; ++r) {
+    helpers_.emplace_back([this, r]() { worker_loop(r); });
+  }
+}
+
+void ThreadPool::worker_loop(int rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      n = total_;
+    }
+    std::size_t begin = 0, end = 0;
+    chunk_bounds(n, num_threads_, rank, &begin, &end);
+    if (begin < end) (*fn)(begin, end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n < std::max<std::size_t>(grain, 1)) {
+    fn(0, n);
+    return;
+  }
+  ensure_started();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    total_ = n;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller runs chunk 0 while the helpers drain theirs.
+  std::size_t begin = 0, end = 0;
+  chunk_bounds(n, num_threads_, 0, &begin, &end);
+  if (begin < end) fn(begin, end);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    fn_ = nullptr;
+  }
+}
+
+}  // namespace rlccd

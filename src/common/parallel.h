@@ -1,0 +1,68 @@
+// Deterministic fork-join thread pool for wavefront kernels.
+//
+// parallel_for(n, fn) partitions [0, n) into one contiguous chunk per
+// worker and runs fn(begin, end) on each. The partition depends only on
+// (n, num workers) — never on scheduling — so any kernel whose chunks
+// write disjoint locations and read only data from earlier wavefronts
+// produces bit-identical results at every thread count, including 1.
+//
+// Threads are lazily spawned on first parallel use and parked on a
+// condition variable between calls; a pool constructed with one thread
+// never spawns anything and runs every loop inline on the caller. Small
+// loops (n < grain) also run inline — the wake/join handshake costs more
+// than the work for narrow wavefront levels.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rlccd {
+
+class ThreadPool {
+ public:
+  // `threads` is the total worker count including the calling thread;
+  // values < 1 are clamped to 1. The pool spawns threads - 1 helpers.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int num_threads() const { return num_threads_; }
+
+  // Runs fn(begin, end) over a static partition of [0, n). Blocks until
+  // every chunk has finished. Not reentrant: fn must not call back into
+  // the same pool.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  // Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  // legally report 0).
+  static int default_threads();
+
+ private:
+  void ensure_started();
+  void worker_loop(int rank);
+
+  int num_threads_ = 1;
+  bool started_ = false;
+  std::vector<std::thread> helpers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Work descriptor for the current parallel_for; generation_ bumps wake
+  // the helpers, pending_ counts unfinished chunks.
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  std::size_t total_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace rlccd

@@ -5,7 +5,8 @@
 namespace rlccd {
 
 std::vector<PinId> select_worst_k(const Sta& sta, std::size_t k) {
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio;
+  sta.violating_endpoints(vio);
   std::sort(vio.begin(), vio.end(), [&](PinId a, PinId b) {
     return sta.endpoint_slack(a) < sta.endpoint_slack(b);
   });
@@ -14,7 +15,8 @@ std::vector<PinId> select_worst_k(const Sta& sta, std::size_t k) {
 }
 
 std::vector<PinId> select_random_k(const Sta& sta, std::size_t k, Rng& rng) {
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio;
+  sta.violating_endpoints(vio);
   rng.shuffle(vio);
   if (vio.size() > k) vio.resize(k);
   std::sort(vio.begin(), vio.end());

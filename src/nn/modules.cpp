@@ -31,12 +31,13 @@ LSTMCell::LSTMCell(std::size_t input_size, std::size_t hidden_size, Rng& rng)
       gate_o_(input_size + hidden_size, hidden_size, rng),
       gate_c_(input_size + hidden_size, hidden_size, rng) {}
 
-LSTMCell::State LSTMCell::zero_state() const {
-  return {Tensor::zeros(1, hidden_), Tensor::zeros(1, hidden_)};
+LSTMCell::State LSTMCell::zero_state(std::size_t batch) const {
+  return {Tensor::zeros(batch, hidden_), Tensor::zeros(batch, hidden_)};
 }
 
 LSTMCell::State LSTMCell::forward(const Tensor& x, const State& prev) const {
-  RLCCD_EXPECTS(x.rows() == 1 && x.cols() == input_);
+  RLCCD_EXPECTS(x.rows() >= 1 && x.cols() == input_);
+  RLCCD_EXPECTS(prev.h.rows() == x.rows() && prev.c.rows() == x.rows());
   Tensor hx = ops::concat_cols(prev.h, x);  // [1, h+x]
   Tensor i = ops::sigmoid(gate_i_.forward(hx));
   Tensor f = ops::sigmoid(gate_f_.forward(hx));

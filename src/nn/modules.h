@@ -38,12 +38,14 @@ class LSTMCell {
   LSTMCell(std::size_t input_size, std::size_t hidden_size, Rng& rng);
 
   struct State {
-    Tensor h;  // [1, hidden]
-    Tensor c;  // [1, hidden]
+    Tensor h;  // [batch, hidden]
+    Tensor c;  // [batch, hidden]
   };
 
-  [[nodiscard]] State zero_state() const;
-  // x: [1, input] -> next state.
+  [[nodiscard]] State zero_state(std::size_t batch = 1) const;
+  // x: [batch, input] -> next state. All gate arithmetic is row-independent,
+  // so a batch of B rows computes exactly the B independent single-row
+  // forwards bit-for-bit (used by the batched rollout path).
   [[nodiscard]] State forward(const Tensor& x, const State& prev) const;
 
   [[nodiscard]] std::vector<Tensor> parameters() const;

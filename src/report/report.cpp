@@ -230,6 +230,36 @@ Status parse_audit_jsonl(const std::string& text, RunReport& out) {
   return Status();
 }
 
+Status parse_bench_json(const std::string& text, RunReport& out) {
+  JsonValue doc;
+  RLCCD_TRY(JsonValue::parse(text, doc));
+  if (!doc.is_object()) {
+    return Status::corrupt("bench document is not a JSON object");
+  }
+  const std::string bench = doc.string_or("bench", "");
+  if (bench.empty()) {
+    return Status::corrupt("bench document has no \"bench\" name");
+  }
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return Status::corrupt("bench document has no \"metrics\" object");
+  }
+  for (const auto& [name, value] : metrics->object_items()) {
+    const std::string key = bench + "." + name;
+    auto it = std::find_if(
+        out.bench_metrics.begin(), out.bench_metrics.end(),
+        [&](const auto& m) { return m.first == key; });
+    if (it != out.bench_metrics.end()) {
+      it->second = value.number_value();
+    } else {
+      out.bench_metrics.emplace_back(key, value.number_value());
+    }
+  }
+  std::sort(out.bench_metrics.begin(), out.bench_metrics.end());
+  out.has_bench = true;
+  return Status();
+}
+
 Status load_run(const std::string& path, RunReport& out) {
   out = RunReport{};
   std::error_code ec;
@@ -249,20 +279,43 @@ Status load_run(const std::string& path, RunReport& out) {
       RLCCD_TRY(parse_audit_jsonl(text, out).with_context(audit_path));
       loaded = true;
     }
+    // Bench baselines: every BENCH_*.json in the directory, in sorted order
+    // so duplicate metric names resolve deterministically.
+    std::vector<std::string> bench_paths;
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+        bench_paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(bench_paths.begin(), bench_paths.end());
+    for (const std::string& bp : bench_paths) {
+      std::string text;
+      RLCCD_TRY(read_file(bp, text));
+      RLCCD_TRY(parse_bench_json(text, out).with_context(bp));
+      loaded = true;
+    }
     if (!loaded) {
-      return Status::not_found("%s has neither metrics.json nor audit.jsonl",
-                               path.c_str());
+      return Status::not_found(
+          "%s has no metrics.json, audit.jsonl or BENCH_*.json",
+          path.c_str());
     }
     return Status();
   }
   std::string text;
   RLCCD_TRY(read_file(path, text));
   // Sniff: a metrics document is one JSON object with a "counters" or
-  // "spans" key; anything else is treated as audit JSONL.
+  // "spans" key, a bench document has "bench" + "metrics"; anything else is
+  // treated as audit JSONL.
   JsonValue doc;
-  if (JsonValue::parse(text, doc).ok() && doc.is_object() &&
-      (doc.find("counters") != nullptr || doc.find("spans") != nullptr)) {
-    return parse_metrics_json(text, out).with_context(path);
+  if (JsonValue::parse(text, doc).ok() && doc.is_object()) {
+    if (doc.find("counters") != nullptr || doc.find("spans") != nullptr) {
+      return parse_metrics_json(text, out).with_context(path);
+    }
+    if (doc.find("bench") != nullptr && doc.find("metrics") != nullptr) {
+      return parse_bench_json(text, out).with_context(path);
+    }
   }
   return parse_audit_jsonl(text, out).with_context(path);
 }
@@ -316,6 +369,13 @@ std::string render_text_report(const RunReport& report) {
       append_line(out, "%10u %8llu %8llu", top[i].endpoint,
                   static_cast<unsigned long long>(top[i].picked),
                   static_cast<unsigned long long>(top[i].masked));
+    }
+    out += '\n';
+  }
+  if (report.has_bench) {
+    append_line(out, "== bench metrics ==");
+    for (const auto& [name, value] : report.bench_metrics) {
+      append_line(out, "%-40s %14.4f", name.c_str(), value);
     }
     out += '\n';
   }
@@ -452,6 +512,37 @@ ReportDiff diff_runs(const RunReport& base, const RunReport& candidate,
     if (!base.iterations.empty() && !candidate.iterations.empty()) {
       info("final_mean_entropy", base.iterations.back().mean_entropy,
            candidate.iterations.back().mean_entropy);
+    }
+  }
+
+  // Bench metrics present in both runs. Ratio metrics (speedups and work
+  // reductions, higher is better) are hardware-comparable and fail the diff
+  // when the candidate drops more than the threshold below the baseline;
+  // absolute times stay informational because CI machines vary.
+  if (base.has_bench && candidate.has_bench) {
+    auto is_ratio = [](const std::string& name) {
+      return name.find("speedup") != std::string::npos ||
+             name.find("reduction") != std::string::npos;
+    };
+    for (const auto& metric : base.bench_metrics) {
+      const std::string& name = metric.first;
+      const double base_value = metric.second;
+      const auto it = std::find_if(
+          candidate.bench_metrics.begin(), candidate.bench_metrics.end(),
+          [&](const auto& m) { return m.first == name; });
+      if (it == candidate.bench_metrics.end()) continue;
+      ReportDiff::Entry e;
+      e.name = name;
+      e.base = base_value;
+      e.candidate = it->second;
+      e.delta_pct = pct_of(e.candidate - e.base, e.base);
+      if (is_ratio(name)) {
+        e.checked = thresholds.max_speedup_regress_pct >= 0.0;
+        e.regressed =
+            e.checked &&
+            e.delta_pct < -thresholds.max_speedup_regress_pct;
+      }
+      diff.entries.push_back(std::move(e));
     }
   }
   return diff;

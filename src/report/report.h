@@ -61,6 +61,14 @@ struct RunReport {
   std::uint64_t cancelled_rollouts = 0;
   bool has_audit = false;
 
+  // From BENCH_*.json files (the bench binaries' --json output): flat
+  // metric names prefixed with the bench name ("sta_kernels.speedup_t8"),
+  // sorted by name. Ratio metrics (names containing "speedup" or
+  // "reduction") are hardware-comparable and participate in the diff
+  // verdict; absolute times are informational only.
+  std::vector<std::pair<std::string, double>> bench_metrics;
+  bool has_bench = false;
+
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
   // Aggregate over every span named "flow" at any depth (trainer rollouts
   // record it under "rollout/flow", the facade under
@@ -76,10 +84,15 @@ struct RunReport {
 Status parse_metrics_json(const std::string& text, RunReport& out);
 // Parses audit JSON Lines into `out` (accumulates across calls).
 Status parse_audit_jsonl(const std::string& text, RunReport& out);
+// Parses one bench document ({"bench": name, "metrics": {k: number}}) into
+// `out`, prefixing each metric with the bench name (accumulates across
+// calls; duplicate names keep the last value).
+Status parse_bench_json(const std::string& text, RunReport& out);
 
-// Loads a run from `path`: a directory containing metrics.json and/or
-// audit.jsonl, or a single metrics-JSON / audit-JSONL file (sniffed by
-// content). Fails when nothing loadable is found.
+// Loads a run from `path`: a directory containing metrics.json,
+// audit.jsonl and/or BENCH_*.json files, or a single metrics-JSON /
+// bench-JSON / audit-JSONL file (sniffed by content). Fails when nothing
+// loadable is found.
 Status load_run(const std::string& path, RunReport& out);
 
 // Human-readable single-run report: span-tree hot paths, TNS trajectory,
@@ -94,6 +107,11 @@ struct DiffThresholds {
   // regression).
   double max_runtime_regress_pct = 10.0;
   double max_tns_regress_pct = 2.0;
+  // Allowed drop in bench ratio metrics (speedups / work reductions, higher
+  // is better) before the diff fails. Ratios are checked instead of
+  // absolute times because CI hardware varies run to run; negative
+  // disables.
+  double max_speedup_regress_pct = 25.0;
 };
 
 struct ReportDiff {

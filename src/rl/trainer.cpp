@@ -239,6 +239,30 @@ TrainStats ReinforceTrainer::train() {
     for (int w = 0; w < config_.workers; ++w) clones.push_back(policy_->clone());
 
     std::vector<WorkerOut> outs(static_cast<std::size_t>(config_.workers));
+
+    // Phase A (batched mode only): one lock-step batched decode for every
+    // worker on this thread. Forking the root RNG is pure (it never mutates
+    // the root state), so the per-worker streams are the exact streams the
+    // per-worker path forks inside its threads, and checkpoints carry the
+    // same root RNG state either way.
+    std::vector<Policy::RolloutResult> ros;
+    if (config_.batched_inference) {
+      RLCCD_SPAN("rollout_batched");
+      std::vector<SelectionEnv> envs;
+      std::vector<Rng> rngs;
+      std::vector<SelectionAudit*> audits;
+      envs.reserve(static_cast<std::size_t>(config_.workers));
+      rngs.reserve(static_cast<std::size_t>(config_.workers));
+      audits.reserve(static_cast<std::size_t>(config_.workers));
+      for (int w = 0; w < config_.workers; ++w) {
+        envs.emplace_back(&graph_, config_.overlap_threshold);
+        rngs.push_back(root_rng.fork(static_cast<std::uint64_t>(iter) * 131 +
+                                     static_cast<std::uint64_t>(w)));
+        audits.push_back(&outs[static_cast<std::size_t>(w)].audit);
+      }
+      ros = policy_->rollout_batched(graph_, envs, rngs, audits);
+    }
+
     std::vector<std::thread> threads;
     for (int w = 0; w < config_.workers; ++w) {
       threads.emplace_back([&, w]() {
@@ -247,20 +271,24 @@ TrainStats ReinforceTrainer::train() {
         RLCCD_SPAN("rollout");
         Policy& pol = clones[static_cast<std::size_t>(w)];
         WorkerOut& out = outs[static_cast<std::size_t>(w)];
-        Rng rng = root_rng.fork(
-            static_cast<std::uint64_t>(iter) * 131 +
-            static_cast<std::uint64_t>(w));
         // Watchdog: the flow polls this token at pass boundaries, so a
         // stuck rollout cancels instead of wedging the whole iteration.
         CancelToken watchdog(config_.rollout_deadline_sec);
         // Deterministic stall fault: parks the worker past its deadline.
         fault_stall_point("rollout_stall");
-        SelectionEnv env(&graph_, config_.overlap_threshold);
-        // Stepwise rollout: sum_t grad(log pi_t) lands in the clone's
-        // parameter grads (zero on entry) with per-step graphs freed.
-        Policy::RolloutResult ro =
-            pol.rollout(graph_, env, rng, /*greedy=*/false,
-                        Policy::RolloutMode::StepwiseBackward, &out.audit);
+        Policy::RolloutResult ro;
+        if (config_.batched_inference) {
+          ro = std::move(ros[static_cast<std::size_t>(w)]);
+        } else {
+          Rng rng = root_rng.fork(
+              static_cast<std::uint64_t>(iter) * 131 +
+              static_cast<std::uint64_t>(w));
+          SelectionEnv env(&graph_, config_.overlap_threshold);
+          // Stepwise rollout: sum_t grad(log pi_t) lands in the clone's
+          // parameter grads (zero on entry) with per-step graphs freed.
+          ro = pol.rollout(graph_, env, rng, /*greedy=*/false,
+                           Policy::RolloutMode::StepwiseBackward, &out.audit);
+        }
         out.steps = ro.steps;
         out.selection = ro.selected;
         if (ro.poisoned) {
@@ -294,6 +322,23 @@ TrainStats ReinforceTrainer::train() {
               "worker %d: non-finite reward (TNS %g); trajectory dropped", w,
               out.tns);
           return;
+        }
+
+        // Phase C (batched mode only): teacher-forced StepwiseBackward
+        // replay of the decoded trajectory on this worker's clone. The
+        // replay runs the identical op sequence with the identical inputs
+        // (same clone parameters, same env transitions, forced actions), so
+        // it accumulates bit-identical sum_t grad(log pi_t) to a live
+        // per-worker stepwise rollout — without holding any graph across the
+        // batched decode.
+        if (config_.batched_inference) {
+          SelectionEnv replay_env(&graph_, config_.overlap_threshold);
+          Rng replay_rng(0);  // never drawn from in forced mode
+          Policy::RolloutResult replay = pol.rollout(
+              graph_, replay_env, replay_rng, /*greedy=*/false,
+              Policy::RolloutMode::StepwiseBackward, /*audit=*/nullptr,
+              &ro.actions);
+          RLCCD_ASSERT(!replay.poisoned && replay.steps == ro.steps);
         }
 
         // REINFORCE: grad = -(r - b) * sum_t grad(log pi_t); the baseline

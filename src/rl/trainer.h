@@ -44,6 +44,15 @@ struct TrainConfig {
   double grad_clip = 5.0;
   double overlap_threshold = 0.3;  // rho (paper default)
   double baseline_decay = 0.7;
+  // Decode all workers' trajectories with one lock-step batched policy
+  // evaluation per step (EP-GNN / LSTM / attention over every still-active
+  // worker stacked into a single tensor) on the training thread, instead of
+  // `workers` independent single-row forwards inside the worker threads.
+  // Gradients come from a teacher-forced StepwiseBackward replay on each
+  // surviving worker's clone. Bit-identical TrainStats, audit records and
+  // checkpoints to the per-worker path (which is kept, and pinned against
+  // this one by the equivalence tests).
+  bool batched_inference = true;
   std::uint64_t seed = 1;
   FlowConfig flow;
   // Streams one ProgressEvent (phase "train", step "iteration") per

@@ -13,15 +13,9 @@ constexpr double kInf = 1e30;
 constexpr double kPsToNs = 1e-3;
 // Fraction of wire delay added to the propagated transition.
 constexpr double kWireSlewFactor = 0.3;
-
-// Exact comparison of the forward-propagated fields. Recomputing a pin from
-// unchanged inputs reproduces the identical arithmetic, so the incremental
-// frontier dies out precisely where timing is genuinely unaffected — no
-// epsilon, no drift versus a full run.
-bool forward_equal(const PinTiming& a, const PinTiming& b) {
-  return a.arrival_max == b.arrival_max && a.arrival_min == b.arrival_min &&
-         a.slew == b.slew && a.reachable == b.reachable;
-}
+// Below this many cells a wavefront runs inline: the pool's wake/join
+// handshake costs more than the work.
+constexpr std::size_t kWavefrontGrain = 64;
 }  // namespace
 
 Sta::Sta(const Netlist* netlist, StaConfig config, double clock_period)
@@ -34,7 +28,16 @@ Sta::Sta(const Netlist* netlist, StaConfig config, double clock_period)
   ctr_forward_pins_ = &reg.counter("sta.pin_updates.forward");
   ctr_backward_pins_ = &reg.counter("sta.pin_updates.backward");
   ctr_relevel_batches_ = &reg.counter("sta.relevel_batches");
+  ctr_wavefronts_ = &reg.counter("sta.wavefronts");
   hist_update_pins_ = &reg.histogram("sta.update.pin_updates");
+}
+
+ThreadPool& Sta::pool() {
+  const int want = std::max(1, config_.num_threads);
+  if (!pool_ || pool_->num_threads() != want) {
+    pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return *pool_;
 }
 
 void Sta::flush_stats_to_registry() {
@@ -49,6 +52,7 @@ void Sta::flush_stats_to_registry() {
                           flushed_stats_.backward_pin_updates);
   ctr_relevel_batches_->add(stats_.relevel_batches -
                             flushed_stats_.relevel_batches);
+  ctr_wavefronts_->add(stats_.wavefronts - flushed_stats_.wavefronts);
   if (pins > 0) hist_update_pins_->record(static_cast<double>(pins));
   flushed_stats_ = stats_;
 }
@@ -67,25 +71,11 @@ double Sta::wire_delay(PinId sink) const {
 }
 
 void Sta::set_margin(PinId endpoint, double margin) {
-  if (margin == 0.0) {
-    auto it = margins_.find(endpoint);
-    if (it == margins_.end()) return;
-    margins_.erase(it);
-  } else {
-    auto [it, inserted] = margins_.try_emplace(endpoint, margin);
-    if (!inserted) {
-      if (it->second == margin) return;
-      it->second = margin;
-    }
-  }
-  margin_dirty_.push_back(endpoint);
+  if (margins_.set(endpoint, margin)) margin_dirty_.push_back(endpoint);
 }
 
 void Sta::clear_margins() {
-  for (const auto& [ep, margin] : margins_) {
-    (void)margin;
-    margin_dirty_.push_back(ep);
-  }
+  for (PinId ep : margins_.active()) margin_dirty_.push_back(ep);
   margins_.clear();
 }
 
@@ -93,10 +83,7 @@ double Sta::endpoint_required(PinId endpoint) const {
   const Netlist& nl = *netlist_;
   const Pin& p = nl.pin(endpoint);
   const LibCell& lc = nl.lib_cell(p.cell);
-  double margin = 0.0;
-  if (auto it = margins_.find(endpoint); it != margins_.end()) {
-    margin = it->second;
-  }
+  double margin = margins_.get(endpoint);
   if (lc.is_sequential()) {
     return clock_.period() + clock_arrival(p.cell) - lc.setup_time - margin;
   }
@@ -166,7 +153,7 @@ void Sta::update() {
     graph_.apply_structural(nl, structural, &new_endpoints);
     ++stats_.relevel_batches;
   }
-  timing_.resize(nl.num_pins());
+  store_.resize(nl.num_pins());
 
   // 2. Expand journal entries + clock dirt into the seed frontier.
   collect_seeds(pending);
@@ -255,30 +242,32 @@ void Sta::mark_forward_changed(CellId cell) {
 
 int Sta::recompute_sink_pin(PinId sink) {
   const Netlist& nl = *netlist_;
-  PinTiming& t = timing_[sink.index()];
+  const std::size_t si = sink.index();
   PinTiming nt{};
-  nt.required = t.required;
   const Pin& p = nl.pin(sink);
   if (p.net.valid()) {
     const Net& net = nl.net(p.net);
     if (net.driver.valid()) {
-      const PinTiming& drv = timing_[net.driver.index()];
-      if (drv.reachable) {
+      const std::size_t di = net.driver.index();
+      if (store_.reachable(di)) {
         double wd = wire_delay(sink);
-        nt.arrival_max = drv.arrival_max + wd;
-        nt.arrival_min = drv.arrival_min + wd;
-        nt.slew = drv.slew + kWireSlewFactor * wd;
+        nt.arrival_max = store_.arrival_max(di) + wd;
+        nt.arrival_min = store_.arrival_min(di) + wd;
+        nt.slew = store_.slew(di) + kWireSlewFactor * wd;
         nt.reachable = true;
       }
     }
   }
   ++stats_.forward_pin_updates;
   int changed = 0;
-  if (nt.slew != t.slew || nt.reachable != t.reachable) changed |= kPinElec;
-  if (nt.arrival_max != t.arrival_max || nt.arrival_min != t.arrival_min) {
+  if (nt.slew != store_.slew(si) || nt.reachable != store_.reachable(si)) {
+    changed |= kPinElec;
+  }
+  if (nt.arrival_max != store_.arrival_max(si) ||
+      nt.arrival_min != store_.arrival_min(si)) {
     changed |= kPinArrival;
   }
-  if (changed != 0) t = nt;
+  if (changed != 0) store_.put_forward(si, nt);
   return changed;
 }
 
@@ -314,14 +303,13 @@ void Sta::recompute_source_forward(CellId cell_id) {
     const Pin& out = nl.pin(c.output);
     double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
     PinTiming nt{};
-    nt.required = timing_[c.output.index()].required;
     nt.arrival_max = config_.input_delay;
     nt.arrival_min = config_.input_delay;
     nt.slew = lc.output_slew(load);
     nt.reachable = true;
     ++stats_.forward_pin_updates;
-    if (!forward_equal(timing_[c.output.index()], nt)) {
-      timing_[c.output.index()] = nt;
+    if (!store_.forward_equal(c.output.index(), nt)) {
+      store_.put_forward(c.output.index(), nt);
       mark_forward_changed(cell_id);
       propagate_output_change(c);
     }
@@ -329,26 +317,24 @@ void Sta::recompute_source_forward(CellId cell_id) {
     double ck_arrival = clock_arrival(cell_id);
     // CK pin timing (informational).
     PinTiming nck{};
-    nck.required = timing_[c.inputs[1].index()].required;
     nck.arrival_max = ck_arrival;
     nck.arrival_min = ck_arrival;
     nck.slew = config_.clock_slew;
     nck.reachable = true;
     ++stats_.forward_pin_updates;
-    timing_[c.inputs[1].index()] = nck;
+    store_.put_forward(c.inputs[1].index(), nck);
     // Q launch.
     const Pin& out = nl.pin(c.output);
     double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
     PinTiming nq{};
-    nq.required = timing_[c.output.index()].required;
     double d = lc.arc_delay(/*input_pin=*/1, load, config_.clock_slew);
     nq.arrival_max = ck_arrival + d;
     nq.arrival_min = ck_arrival + d;
     nq.slew = lc.output_slew(load);
     nq.reachable = true;
     ++stats_.forward_pin_updates;
-    if (!forward_equal(timing_[c.output.index()], nq)) {
-      timing_[c.output.index()] = nq;
+    if (!store_.forward_equal(c.output.index(), nq)) {
+      store_.put_forward(c.output.index(), nq);
       mark_forward_changed(cell_id);
       propagate_output_change(c);
     }
@@ -371,15 +357,14 @@ void Sta::recompute_comb_forward(CellId cell_id) {
   const Pin& out_pin = nl.pin(c.output);
   double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
   PinTiming nt{};
-  nt.required = timing_[c.output.index()].required;
   nt.arrival_max = -kInf;
   nt.arrival_min = kInf;
   for (std::size_t i = 0; i < c.inputs.size(); ++i) {
-    const PinTiming& in = timing_[c.inputs[i].index()];
-    if (!in.reachable) continue;
-    double d = lc.arc_delay(static_cast<int>(i), load, in.slew);
-    nt.arrival_max = std::max(nt.arrival_max, in.arrival_max + d);
-    nt.arrival_min = std::min(nt.arrival_min, in.arrival_min + d);
+    const std::size_t ii = c.inputs[i].index();
+    if (!store_.reachable(ii)) continue;
+    double d = lc.arc_delay(static_cast<int>(i), load, store_.slew(ii));
+    nt.arrival_max = std::max(nt.arrival_max, store_.arrival_max(ii) + d);
+    nt.arrival_min = std::min(nt.arrival_min, store_.arrival_min(ii) + d);
     nt.reachable = true;
   }
   if (nt.reachable) {
@@ -389,9 +374,8 @@ void Sta::recompute_comb_forward(CellId cell_id) {
     nt.arrival_min = 0.0;
   }
   ++stats_.forward_pin_updates;
-  bool out_changed = !forward_equal(timing_[c.output.index()], nt);
-  if (out_changed) {
-    timing_[c.output.index()] = nt;
+  if (!store_.forward_equal(c.output.index(), nt)) {
+    store_.put_forward(c.output.index(), nt);
     propagate_output_change(c);
   }
 }
@@ -445,7 +429,7 @@ double Sta::pull_from_sinks_value(PinId driver_pin) const {
   if (!p.net.valid()) return kInf;
   double req = kInf;
   for (PinId sink : nl.net(p.net).sinks) {
-    double sink_req = timing_[sink.index()].required;
+    double sink_req = store_.required(sink.index());
     if (sink_req >= kInf) continue;
     req = std::min(req, sink_req - wire_delay(sink));
   }
@@ -456,8 +440,8 @@ void Sta::reseed_endpoint(PinId endpoint, bool force) {
   if (!graph_.is_endpoint(endpoint)) return;
   double req = endpoint_required(endpoint);
   ++stats_.backward_pin_updates;
-  if (!force && timing_[endpoint.index()].required == req) return;
-  timing_[endpoint.index()].required = req;
+  if (!force && store_.required(endpoint.index()) == req) return;
+  store_.required(endpoint.index()) = req;
   push_required_source(endpoint);
 }
 
@@ -467,18 +451,18 @@ void Sta::recompute_comb_backward(CellId cell_id) {
   const LibCell& lc = nl.library().cell(c.lib);
   double out_req = pull_from_sinks_value(c.output);
   ++stats_.backward_pin_updates;
-  timing_[c.output.index()].required = out_req;
+  store_.required(c.output.index()) = out_req;
   const Pin& out_pin = nl.pin(c.output);
   double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
   for (std::size_t i = 0; i < c.inputs.size(); ++i) {
-    PinTiming& in = timing_[c.inputs[i].index()];
+    const std::size_t ii = c.inputs[i].index();
     double nr = kInf;
     if (out_req < kInf) {
-      nr = out_req - lc.arc_delay(static_cast<int>(i), load, in.slew);
+      nr = out_req - lc.arc_delay(static_cast<int>(i), load, store_.slew(ii));
     }
     ++stats_.backward_pin_updates;
-    if (nr == in.required) continue;
-    in.required = nr;
+    if (nr == store_.required(ii)) continue;
+    store_.required(ii) = nr;
     push_required_source(c.inputs[i]);
   }
 }
@@ -488,7 +472,7 @@ void Sta::repull_output_required(CellId cell_id) {
   const Cell& c = nl.cell(cell_id);
   if (!c.output.valid()) return;
   ++stats_.backward_pin_updates;
-  timing_[c.output.index()].required = pull_from_sinks_value(c.output);
+  store_.required(c.output.index()) = pull_from_sinks_value(c.output);
 }
 
 void Sta::backward_incremental(std::span<const PinId> new_endpoints) {
@@ -531,149 +515,218 @@ void Sta::backward_incremental(std::span<const PinId> new_endpoints) {
   for (CellId c : final_sources_) repull_output_required(c);
 }
 
-// -- full passes --------------------------------------------------------------
+// -- full passes (wavefront kernels) ------------------------------------------
+
+void Sta::forward_cell_kernel(CellId id) {
+  const Netlist& nl = *netlist_;
+  const Cell& c = nl.cell(id);
+  const LibCell& lc = nl.library().cell(c.lib);
+  const Pin& out_pin = nl.pin(c.output);
+  double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
+  const std::size_t oi = c.output.index();
+  double amax = -kInf;
+  double amin = kInf;
+  bool reach = false;
+  for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+    const PinId sink = c.inputs[i];
+    const Pin& p = nl.pin(sink);
+    if (!p.net.valid()) continue;
+    const Net& net = nl.net(p.net);
+    if (!net.driver.valid()) continue;
+    const std::size_t di = net.driver.index();
+    if (!store_.reachable(di)) continue;
+    // Pull the input pin through its wire arc (writes only this cell's own
+    // pin; the driver sits on a strictly lower wavefront).
+    const std::size_t ii = sink.index();
+    double wd = wire_delay(sink);
+    store_.arrival_max(ii) = store_.arrival_max(di) + wd;
+    store_.arrival_min(ii) = store_.arrival_min(di) + wd;
+    store_.slew(ii) = store_.slew(di) + kWireSlewFactor * wd;
+    store_.set_reachable(ii, true);
+    double d = lc.arc_delay(static_cast<int>(i), load, store_.slew(ii));
+    amax = std::max(amax, store_.arrival_max(ii) + d);
+    amin = std::min(amin, store_.arrival_min(ii) + d);
+    reach = true;
+  }
+  if (reach) {
+    store_.arrival_max(oi) = amax;
+    store_.arrival_min(oi) = amin;
+    store_.slew(oi) = lc.output_slew(load);
+  } else {
+    store_.arrival_max(oi) = 0.0;
+    store_.arrival_min(oi) = 0.0;
+  }
+  store_.set_reachable(oi, reach);
+}
 
 void Sta::forward_pass() {
   const Netlist& nl = *netlist_;
-  timing_.assign(nl.num_pins(), PinTiming{});
+  store_.assign(nl.num_pins());
+  ThreadPool& tp = pool();
 
-  // Launch from startpoints: primary inputs and flop CK->Q arcs.
-  for (const Cell& c : nl.cells()) {
-    const LibCell& lc = nl.library().cell(c.lib);
-    if (lc.kind == CellKind::Input) {
-      PinTiming& t = timing_[c.output.index()];
-      const Pin& out = nl.pin(c.output);
-      double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
-      t.arrival_max = config_.input_delay;
-      t.arrival_min = config_.input_delay;
-      t.slew = lc.output_slew(load);
-      t.reachable = true;
-    } else if (lc.is_sequential()) {
-      double ck_arrival = clock_arrival(c.id);
-      // CK pin timing (informational).
-      PinTiming& ck = timing_[c.inputs[1].index()];
-      ck.arrival_max = ck.arrival_min = ck_arrival;
-      ck.slew = config_.clock_slew;
-      ck.reachable = true;
-      // Q launch.
-      PinTiming& q = timing_[c.output.index()];
-      const Pin& out = nl.pin(c.output);
-      double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
-      double d = lc.arc_delay(/*input_pin=*/1, load, config_.clock_slew);
-      q.arrival_max = ck_arrival + d;
-      q.arrival_min = ck_arrival + d;
-      q.slew = lc.output_slew(load);
-      q.reachable = true;
-    }
-  }
+  // Launch from startpoints: primary inputs and flop CK->Q arcs. Each cell
+  // writes only its own pins — safe as one parallel batch.
+  const std::size_t n_cells = nl.num_cells();
+  tp.parallel_for(
+      n_cells,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t ci = begin; ci < end; ++ci) {
+          const Cell& c = nl.cell(CellId(static_cast<std::uint32_t>(ci)));
+          const LibCell& lc = nl.library().cell(c.lib);
+          if (lc.kind == CellKind::Input) {
+            const Pin& out = nl.pin(c.output);
+            double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
+            const std::size_t oi = c.output.index();
+            store_.arrival_max(oi) = config_.input_delay;
+            store_.arrival_min(oi) = config_.input_delay;
+            store_.slew(oi) = lc.output_slew(load);
+            store_.set_reachable(oi, true);
+          } else if (lc.is_sequential()) {
+            double ck_arrival = clock_arrival(c.id);
+            // CK pin timing (informational).
+            const std::size_t cki = c.inputs[1].index();
+            store_.arrival_max(cki) = ck_arrival;
+            store_.arrival_min(cki) = ck_arrival;
+            store_.slew(cki) = config_.clock_slew;
+            store_.set_reachable(cki, true);
+            // Q launch.
+            const Pin& out = nl.pin(c.output);
+            double load = out.net.valid() ? nl.net_load_cap(out.net) : 0.0;
+            double d = lc.arc_delay(/*input_pin=*/1, load, config_.clock_slew);
+            const std::size_t oi = c.output.index();
+            store_.arrival_max(oi) = ck_arrival + d;
+            store_.arrival_min(oi) = ck_arrival + d;
+            store_.slew(oi) = lc.output_slew(load);
+            store_.set_reachable(oi, true);
+          }
+        }
+      },
+      kWavefrontGrain);
+  ++stats_.wavefronts;
 
-  // Fill one input pin's timing from its driving net; returns reachability.
-  auto propagate_to_sink = [&](PinId sink) -> bool {
-    const Pin& p = nl.pin(sink);
-    if (!p.net.valid()) return false;
-    const Net& net = nl.net(p.net);
-    if (!net.driver.valid()) return false;
-    const PinTiming& drv = timing_[net.driver.index()];
-    if (!drv.reachable) return false;
-    double wd = wire_delay(sink);
-    PinTiming& t = timing_[sink.index()];
-    t.arrival_max = drv.arrival_max + wd;
-    t.arrival_min = drv.arrival_min + wd;
-    t.slew = drv.slew + kWireSlewFactor * wd;
-    t.reachable = true;
-    return true;
-  };
-
-  // Combinational propagation in level order.
-  for (CellId id : graph_.order()) {
-    const Cell& c = nl.cell(id);
-    const LibCell& lc = nl.library().cell(c.lib);
-    const Pin& out_pin = nl.pin(c.output);
-    double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
-    PinTiming& out = timing_[c.output.index()];
-    out.arrival_max = -kInf;
-    out.arrival_min = kInf;
-    out.reachable = false;
-    for (std::size_t i = 0; i < c.inputs.size(); ++i) {
-      if (!propagate_to_sink(c.inputs[i])) continue;
-      const PinTiming& in = timing_[c.inputs[i].index()];
-      double d = lc.arc_delay(static_cast<int>(i), load, in.slew);
-      out.arrival_max = std::max(out.arrival_max, in.arrival_max + d);
-      out.arrival_min = std::min(out.arrival_min, in.arrival_min + d);
-      out.reachable = true;
-    }
-    if (out.reachable) {
-      out.slew = lc.output_slew(load);
-    } else {
-      out.arrival_max = 0.0;
-      out.arrival_min = 0.0;
+  // Combinational propagation, one wavefront per level: every cell of a
+  // level reads only strictly-lower-level pins and writes only its own.
+  if (!graph_.order().empty()) {
+    for (std::uint32_t lvl = 0; lvl <= graph_.max_level(); ++lvl) {
+      std::span<const CellId> cells = graph_.level_cells(lvl);
+      if (cells.empty()) continue;
+      tp.parallel_for(
+          cells.size(),
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              forward_cell_kernel(cells[i]);
+            }
+          },
+          kWavefrontGrain);
+      ++stats_.wavefronts;
     }
   }
 
   // Endpoint pins (flop D, primary-output inputs) receive their net arcs.
-  for (const Cell& c : nl.cells()) {
-    const LibCell& lc = nl.library().cell(c.lib);
-    if (lc.is_sequential() || lc.kind == CellKind::Output) {
-      propagate_to_sink(c.inputs[0]);
-    }
+  tp.parallel_for(
+      n_cells,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t ci = begin; ci < end; ++ci) {
+          const Cell& c = nl.cell(CellId(static_cast<std::uint32_t>(ci)));
+          const LibCell& lc = nl.library().cell(c.lib);
+          if (!lc.is_sequential() && lc.kind != CellKind::Output) continue;
+          const PinId sink = c.inputs[0];
+          const Pin& p = nl.pin(sink);
+          if (!p.net.valid()) continue;
+          const Net& net = nl.net(p.net);
+          if (!net.driver.valid()) continue;
+          const std::size_t di = net.driver.index();
+          if (!store_.reachable(di)) continue;
+          const std::size_t ii = sink.index();
+          double wd = wire_delay(sink);
+          store_.arrival_max(ii) = store_.arrival_max(di) + wd;
+          store_.arrival_min(ii) = store_.arrival_min(di) + wd;
+          store_.slew(ii) = store_.slew(di) + kWireSlewFactor * wd;
+          store_.set_reachable(ii, true);
+        }
+      },
+      kWavefrontGrain);
+  ++stats_.wavefronts;
+}
+
+void Sta::backward_cell_kernel(CellId id) {
+  const Netlist& nl = *netlist_;
+  const Cell& c = nl.cell(id);
+  const LibCell& lc = nl.library().cell(c.lib);
+  // Pull through the output net: sink requireds live on this cell's
+  // consumers (strictly higher wavefronts) or endpoint pins (seeded).
+  double out_req = pull_from_sinks_value(c.output);
+  store_.required(c.output.index()) = out_req;
+  const Pin& out_pin = nl.pin(c.output);
+  double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
+  for (std::size_t i = 0; i < c.inputs.size(); ++i) {
+    const std::size_t ii = c.inputs[i].index();
+    if (out_req >= kInf) continue;
+    double d = lc.arc_delay(static_cast<int>(i), load, store_.slew(ii));
+    store_.required(ii) = out_req - d;
   }
 }
 
 void Sta::backward_pass() {
   const Netlist& nl = *netlist_;
-  for (PinTiming& t : timing_) t.required = kInf;
+  std::vector<double>& required = store_.required_array();
+  std::fill(required.begin(), required.end(), kInf);
+  ThreadPool& tp = pool();
 
-  // Seed endpoint required times.
-  for (PinId ep : graph_.endpoints()) {
-    timing_[ep.index()].required = endpoint_required(ep);
-  }
+  // Seed endpoint required times (distinct pins — one parallel batch).
+  std::span<const PinId> eps = graph_.endpoints();
+  tp.parallel_for(
+      eps.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          required[eps[i].index()] = endpoint_required(eps[i]);
+        }
+      },
+      kWavefrontGrain);
+  ++stats_.wavefronts;
 
-  // Required time of a driver pin from its net's sinks.
-  auto pull_from_sinks = [&](PinId driver_pin) {
-    const Pin& p = nl.pin(driver_pin);
-    if (!p.net.valid()) return;
-    double req = kInf;
-    for (PinId sink : nl.net(p.net).sinks) {
-      double sink_req = timing_[sink.index()].required;
-      if (sink_req >= kInf) continue;
-      req = std::min(req, sink_req - wire_delay(sink));
-    }
-    timing_[driver_pin.index()].required = req;
-  };
-
-  // Reverse level order: consumers' input requireds exist before the
-  // producing cell pulls them through its output net.
-  std::span<const CellId> order = graph_.order();
-  for (std::size_t i = order.size(); i-- > 0;) {
-    const Cell& c = nl.cell(order[i]);
-    const LibCell& lc = nl.library().cell(c.lib);
-    pull_from_sinks(c.output);
-    const Pin& out_pin = nl.pin(c.output);
-    double load = out_pin.net.valid() ? nl.net_load_cap(out_pin.net) : 0.0;
-    double out_req = timing_[c.output.index()].required;
-    for (std::size_t j = 0; j < c.inputs.size(); ++j) {
-      PinTiming& in = timing_[c.inputs[j].index()];
-      if (out_req >= kInf) continue;
-      double d = lc.arc_delay(static_cast<int>(j), load, in.slew);
-      in.required = out_req - d;
+  // Reverse level order, one wavefront per level: consumers' input
+  // requireds exist before the producing cell pulls them through its
+  // output net, and each cell writes only its own pins.
+  if (!graph_.order().empty()) {
+    for (std::uint32_t lvl = graph_.max_level() + 1; lvl-- > 0;) {
+      std::span<const CellId> cells = graph_.level_cells(lvl);
+      if (cells.empty()) continue;
+      tp.parallel_for(
+          cells.size(),
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              backward_cell_kernel(cells[i]);
+            }
+          },
+          kWavefrontGrain);
+      ++stats_.wavefronts;
     }
   }
 
   // Startpoint output pins (flop Q, primary inputs).
-  for (const Cell& c : nl.cells()) {
-    const LibCell& lc = nl.library().cell(c.lib);
-    if (lc.is_sequential() || lc.kind == CellKind::Input) {
-      pull_from_sinks(c.output);
-    }
-  }
+  tp.parallel_for(
+      nl.num_cells(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t ci = begin; ci < end; ++ci) {
+          const Cell& c = nl.cell(CellId(static_cast<std::uint32_t>(ci)));
+          const LibCell& lc = nl.library().cell(c.lib);
+          if (lc.is_sequential() || lc.kind == CellKind::Input) {
+            required[c.output.index()] = pull_from_sinks_value(c.output);
+          }
+        }
+      },
+      kWavefrontGrain);
+  ++stats_.wavefronts;
 }
 
 // -- queries ------------------------------------------------------------------
 
 double Sta::slack(PinId pin) const {
-  const PinTiming& t = timing(pin);
-  if (!t.reachable || t.required >= kInf) return kInf;
-  return t.required - t.arrival_max;
+  const std::size_t i = pin.index();
+  RLCCD_EXPECTS(i < store_.size());
+  if (!store_.reachable(i) || store_.required(i) >= kInf) return kInf;
+  return store_.required(i) - store_.arrival_max(i);
 }
 
 double Sta::cell_worst_slack(CellId cell_id) const {
@@ -688,39 +741,50 @@ double Sta::cell_worst_slack(CellId cell_id) const {
 
 double Sta::endpoint_slack(PinId endpoint) const {
   RLCCD_EXPECTS(is_endpoint(endpoint));
-  const PinTiming& t = timing(endpoint);
-  if (!t.reachable) return kInf;
-  return t.required - t.arrival_max;
+  const std::size_t i = endpoint.index();
+  if (!store_.reachable(i)) return kInf;
+  return store_.required(i) - store_.arrival_max(i);
 }
 
 double Sta::endpoint_hold_slack(PinId endpoint) const {
   RLCCD_EXPECTS(is_endpoint(endpoint));
   const Netlist& nl = *netlist_;
   const Pin& p = nl.pin(endpoint);
-  const PinTiming& t = timing(endpoint);
-  if (!t.reachable) return kInf;
+  const std::size_t i = endpoint.index();
+  if (!store_.reachable(i)) return kInf;
   const LibCell& lc = nl.lib_cell(p.cell);
   if (!lc.is_sequential()) return kInf;  // no hold check at primary outputs
   double capture = clock_arrival(p.cell);
-  return t.arrival_min - (capture + lc.hold_time);
+  return store_.arrival_min(i) - (capture + lc.hold_time);
+}
+
+void Sta::endpoint_slacks(std::span<const PinId> endpoints,
+                          std::vector<double>& out) const {
+  out.clear();
+  out.reserve(endpoints.size());
+  for (PinId ep : endpoints) {
+    out.push_back(is_endpoint(ep) ? endpoint_slack(ep) : kInf);
+  }
 }
 
 std::vector<double> Sta::endpoint_slacks(
     std::span<const PinId> endpoints) const {
   std::vector<double> slacks;
-  slacks.reserve(endpoints.size());
-  for (PinId ep : endpoints) {
-    slacks.push_back(is_endpoint(ep) ? endpoint_slack(ep) : kInf);
-  }
+  endpoint_slacks(endpoints, slacks);
   return slacks;
 }
 
-std::vector<PinId> Sta::violating_endpoints() const {
-  std::vector<PinId> out;
+void Sta::violating_endpoints(std::vector<PinId>& out) const {
+  out.clear();
   for (PinId ep : graph_.endpoints()) {
     double s = endpoint_slack(ep);
     if (s < 0.0 && s > -kInf) out.push_back(ep);
   }
+}
+
+std::vector<PinId> Sta::violating_endpoints() const {
+  std::vector<PinId> out;
+  violating_endpoints(out);
   return out;
 }
 

@@ -14,8 +14,17 @@
 // the paper uses to make the useful-skew engine "over-fix" the RL-selected
 // endpoints.
 //
+// Storage is structure-of-arrays (TimingStore): one flat array per timing
+// field, indexed by pin. Callers go through accessors (timing()/slack()/
+// per-field getters) and never see the layout.
+//
 // Two evaluation modes:
-//   * run()    — full recompute of every pin (always correct, O(pins)),
+//   * run()    — full recompute of every pin (always correct, O(pins)).
+//     The full passes process the levelized graph as *wavefronts*: within
+//     one level every cell reads only prior-level (forward) or later-level
+//     (backward) values and writes only its own pins, so the per-level
+//     parallel-for over StaConfig::num_threads threads is race-free and
+//     bit-identical to the serial sweep at any thread count.
 //   * update() — incremental: consumes the netlist's mutation journal, the
 //     clock schedule's dirty-flop list and pending margin edits, then
 //     re-propagates only the affected cones level-by-level over the
@@ -25,15 +34,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/parallel.h"
 #include "common/telemetry.h"
 #include "netlist/netlist.h"
 #include "sta/clock_schedule.h"
 #include "sta/timing_graph.h"
+#include "sta/timing_store.h"
 
 namespace rlccd {
 
@@ -44,14 +55,10 @@ struct StaConfig {
   // When false, update() always falls back to a full run() — the
   // pre-incremental behavior, kept selectable for benchmarking.
   bool incremental = true;
-};
-
-struct PinTiming {
-  double arrival_max = 0.0;
-  double arrival_min = 0.0;
-  double slew = 0.0;           // worst (max) transition at the pin
-  double required = 0.0;       // setup required time (max analysis)
-  bool reachable = false;      // on a timed path from a startpoint
+  // Worker threads for the full-pass wavefront kernels (1 = serial, the
+  // incremental frontier is always serial). Results are bit-identical
+  // across thread counts.
+  int num_threads = 1;
 };
 
 struct TimingSummary {
@@ -70,14 +77,13 @@ struct StaStats {
   std::uint64_t forward_pin_updates = 0;
   std::uint64_t backward_pin_updates = 0;
   std::uint64_t relevel_batches = 0;
+  // Level batches swept by the full passes (both directions); the unit of
+  // wavefront parallelism.
+  std::uint64_t wavefronts = 0;
   [[nodiscard]] std::uint64_t pin_updates() const {
     return forward_pin_updates + backward_pin_updates;
   }
 };
-
-// Per-endpoint margins: extra required-time tightening (ns; negative values
-// loosen the endpoint).
-using EndpointMargins = std::unordered_map<PinId, double>;
 
 class Sta {
  public:
@@ -106,9 +112,31 @@ class Sta {
   void update();
 
   // -- results (valid after run()/update()) ----------------------------------
-  [[nodiscard]] const PinTiming& timing(PinId pin) const {
-    RLCCD_EXPECTS(pin.index() < timing_.size());
-    return timing_[pin.index()];
+  // Materialized per-pin view; prefer the per-field accessors below in hot
+  // loops that need only one field.
+  [[nodiscard]] PinTiming timing(PinId pin) const {
+    RLCCD_EXPECTS(pin.index() < store_.size());
+    return store_.get(pin.index());
+  }
+  [[nodiscard]] double arrival_max(PinId pin) const {
+    RLCCD_EXPECTS(pin.index() < store_.size());
+    return store_.arrival_max(pin.index());
+  }
+  [[nodiscard]] double arrival_min(PinId pin) const {
+    RLCCD_EXPECTS(pin.index() < store_.size());
+    return store_.arrival_min(pin.index());
+  }
+  [[nodiscard]] double pin_slew(PinId pin) const {
+    RLCCD_EXPECTS(pin.index() < store_.size());
+    return store_.slew(pin.index());
+  }
+  [[nodiscard]] double required(PinId pin) const {
+    RLCCD_EXPECTS(pin.index() < store_.size());
+    return store_.required(pin.index());
+  }
+  [[nodiscard]] bool reachable(PinId pin) const {
+    RLCCD_EXPECTS(pin.index() < store_.size());
+    return store_.reachable(pin.index());
   }
   // Setup slack at a pin: required - arrival_max.
   [[nodiscard]] double slack(PinId pin) const;
@@ -127,10 +155,16 @@ class Sta {
   [[nodiscard]] double endpoint_slack(PinId endpoint) const;
   [[nodiscard]] double endpoint_hold_slack(PinId endpoint) const;
   // Bulk form: slack per pin in `endpoints` order; non-endpoints get +inf
-  // (callers passing a prioritized list need not pre-filter).
+  // (callers passing a prioritized list need not pre-filter). The
+  // out-parameter overload reuses the caller's buffer (cleared first) —
+  // the opt passes call this every flow pass.
+  void endpoint_slacks(std::span<const PinId> endpoints,
+                       std::vector<double>& out) const;
   [[nodiscard]] std::vector<double> endpoint_slacks(
       std::span<const PinId> endpoints) const;
-  // Endpoints with slack < 0, in stable order.
+  // Endpoints with slack < 0, in stable order; the out-parameter overload
+  // reuses the caller's buffer (cleared first).
+  void violating_endpoints(std::vector<PinId>& out) const;
   [[nodiscard]] std::vector<PinId> violating_endpoints() const;
 
   [[nodiscard]] TimingSummary summary() const;
@@ -145,9 +179,19 @@ class Sta {
   }
 
  private:
-  // -- full passes ------------------------------------------------------------
+  // -- full passes (wavefront kernels) ---------------------------------------
   void forward_pass();
   void backward_pass();
+  // Forward-propagates one cell's pins: input pins pulled from their
+  // driving nets, output pin from the worst input arc. Writes only `cell`'s
+  // own pins; reads only lower-level values. Safe to run concurrently for
+  // all cells of one wavefront.
+  void forward_cell_kernel(CellId cell);
+  // Backward analog: output required pulled from the net's sinks, input
+  // requireds derived through the cell arcs.
+  void backward_cell_kernel(CellId cell);
+  // Lazily built pool sized to config_.num_threads.
+  ThreadPool& pool();
 
   // -- incremental machinery --------------------------------------------------
   void collect_seeds(std::span<const Mutation> pending);
@@ -194,10 +238,11 @@ class Sta {
   EndpointMargins margins_;
 
   TimingGraph graph_;
-  std::vector<PinTiming> timing_;  // indexed by pin
+  TimingStore store_;  // SoA timing fields, indexed by pin
   bool has_run_ = false;
   std::uint64_t journal_cursor_ = 0;
   std::vector<PinId> margin_dirty_;
+  std::unique_ptr<ThreadPool> pool_;
 
   StaStats stats_;
   // Registry mirror: per-instance stats_ deltas are flushed onto the
@@ -210,6 +255,7 @@ class Sta {
   MetricsCounter* ctr_forward_pins_;
   MetricsCounter* ctr_backward_pins_;
   MetricsCounter* ctr_relevel_batches_;
+  MetricsCounter* ctr_wavefronts_;
   MetricsHistogram* hist_update_pins_;
   void flush_stats_to_registry();
 

@@ -159,6 +159,7 @@ void TimingGraph::rebuild_order() {
     if (is_comb_[i]) ++counts[level_[i] + 1];
   }
   for (std::size_t l = 1; l < counts.size(); ++l) counts[l] += counts[l - 1];
+  level_offsets_ = counts;  // counts[l] = first order_ slot of level l
   order_.assign(comb_total, CellId{});
   for (std::size_t i = 0; i < level_.size(); ++i) {
     if (!is_comb_[i]) continue;

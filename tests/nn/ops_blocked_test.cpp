@@ -1,0 +1,125 @@
+// The blocked ops behind batched rollout inference: spmm_blocked and
+// add_block_rows must be bit-identical, per block, to the single-block ops
+// they batch (spmm / add_rowvec) — both forward values and the gradients
+// flowing into their dense operands.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/ops.h"
+#include "nn/sparse.h"
+
+namespace rlccd {
+namespace {
+
+Tensor random_tensor(std::size_t rows, std::size_t cols, Rng& rng,
+                     bool requires_grad) {
+  Tensor t = Tensor::zeros(rows, cols, requires_grad);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+SparseOperand random_sparse(std::size_t rows, std::size_t cols, Rng& rng) {
+  std::vector<SparseMatrix::Triplet> triplets;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng.uniform() < 0.3) {
+        triplets.push_back(
+            {static_cast<std::uint32_t>(r), static_cast<std::uint32_t>(c),
+             static_cast<float>(rng.uniform(-1.0, 1.0))});
+      }
+    }
+  }
+  return SparseOperand(SparseMatrix::from_triplets(rows, cols, triplets));
+}
+
+TEST(OpsBlocked, SpmmBlockedMatchesPerBlockSpmmBitExact) {
+  Rng rng(17);
+  const std::size_t kRows = 6, kCols = 9, kFeat = 5, kBlocks = 3;
+  SparseOperand sp = random_sparse(kRows, kCols, rng);
+
+  Tensor stacked = random_tensor(kBlocks * kCols, kFeat, rng,
+                                 /*requires_grad=*/true);
+  Tensor out = ops::spmm_blocked(sp, stacked, kBlocks);
+  ASSERT_EQ(out.rows(), kBlocks * kRows);
+  ASSERT_EQ(out.cols(), kFeat);
+  ops::sum(out).backward();
+
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    Tensor xb = Tensor::zeros(kCols, kFeat, /*requires_grad=*/true);
+    std::copy(stacked.data() + b * kCols * kFeat,
+              stacked.data() + (b + 1) * kCols * kFeat, xb.data());
+    Tensor ob = ops::spmm(sp, xb);
+    ops::sum(ob).backward();
+    for (std::size_t i = 0; i < ob.size(); ++i) {
+      ASSERT_EQ(out.data()[b * kRows * kFeat + i], ob.data()[i])
+          << "block " << b << " value " << i;
+    }
+    const std::vector<float>& gb = xb.grad();
+    const std::vector<float>& gs = stacked.grad();
+    for (std::size_t i = 0; i < gb.size(); ++i) {
+      ASSERT_EQ(gs[b * kCols * kFeat + i], gb[i])
+          << "block " << b << " grad " << i;
+    }
+  }
+}
+
+TEST(OpsBlocked, AddBlockRowsMatchesPerBlockAddRowvecBitExact) {
+  Rng rng(23);
+  const std::size_t kBlockRows = 4, kFeat = 7, kBlocks = 3;
+  Tensor a = random_tensor(kBlocks * kBlockRows, kFeat, rng,
+                           /*requires_grad=*/true);
+  Tensor rows = random_tensor(kBlocks, kFeat, rng, /*requires_grad=*/true);
+
+  Tensor out = ops::add_block_rows(a, rows, kBlocks);
+  ASSERT_EQ(out.rows(), a.rows());
+  ops::sum(out).backward();
+
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    Tensor ab = Tensor::zeros(kBlockRows, kFeat, /*requires_grad=*/true);
+    std::copy(a.data() + b * kBlockRows * kFeat,
+              a.data() + (b + 1) * kBlockRows * kFeat, ab.data());
+    Tensor rb = Tensor::zeros(1, kFeat, /*requires_grad=*/true);
+    std::copy(rows.data() + b * kFeat, rows.data() + (b + 1) * kFeat,
+              rb.data());
+    Tensor ob = ops::add_rowvec(ab, rb);
+    ops::sum(ob).backward();
+    for (std::size_t i = 0; i < ob.size(); ++i) {
+      ASSERT_EQ(out.data()[b * kBlockRows * kFeat + i], ob.data()[i])
+          << "block " << b << " value " << i;
+    }
+    const std::vector<float>& ga = a.grad();
+    const std::vector<float>& gab = ab.grad();
+    for (std::size_t i = 0; i < gab.size(); ++i) {
+      ASSERT_EQ(ga[b * kBlockRows * kFeat + i], gab[i]);
+    }
+    const std::vector<float>& gr = rows.grad();
+    const std::vector<float>& grb = rb.grad();
+    for (std::size_t i = 0; i < kFeat; ++i) {
+      ASSERT_EQ(gr[b * kFeat + i], grb[i]);
+    }
+  }
+}
+
+TEST(OpsBlocked, SingleBlockDegeneratesToPlainOps) {
+  Rng rng(31);
+  SparseOperand sp = random_sparse(5, 5, rng);
+  Tensor x = random_tensor(5, 3, rng, /*requires_grad=*/false);
+  Tensor a = ops::spmm(sp, x);
+  Tensor b = ops::spmm_blocked(sp, x, 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]);
+  }
+  Tensor row = random_tensor(1, 3, rng, /*requires_grad=*/false);
+  Tensor c = ops::add_rowvec(a, row);
+  Tensor e = ops::add_block_rows(b, row, 1);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_EQ(c.data()[i], e.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -281,5 +281,116 @@ TEST(ReportDiffTest, JsonDiffIsMachineReadable) {
   EXPECT_TRUE(found_tns);
 }
 
+// -- bench documents ----------------------------------------------------------
+
+TEST(ReportBench, ParsesAndPrefixesMetrics) {
+  RunReport r;
+  ASSERT_TRUE(parse_bench_json(
+                  R"({"bench":"sta_kernels","metrics":)"
+                  R"({"speedup_t8":2.5,"full_pass_t1_ms":4.1}})",
+                  r)
+                  .ok());
+  ASSERT_TRUE(parse_bench_json(
+                  R"({"bench":"incremental","metrics":{"flow_speedup":3.0}})",
+                  r)
+                  .ok());
+  EXPECT_TRUE(r.has_bench);
+  ASSERT_EQ(r.bench_metrics.size(), 3u);
+  // Accumulated across documents, prefixed, and sorted by name.
+  EXPECT_EQ(r.bench_metrics[0].first, "incremental.flow_speedup");
+  EXPECT_EQ(r.bench_metrics[1].first, "sta_kernels.full_pass_t1_ms");
+  EXPECT_EQ(r.bench_metrics[2].first, "sta_kernels.speedup_t8");
+  EXPECT_DOUBLE_EQ(r.bench_metrics[2].second, 2.5);
+
+  // Re-parsing the same bench keeps the last value instead of duplicating.
+  ASSERT_TRUE(parse_bench_json(
+                  R"({"bench":"incremental","metrics":{"flow_speedup":9.0}})",
+                  r)
+                  .ok());
+  ASSERT_EQ(r.bench_metrics.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.bench_metrics[0].second, 9.0);
+
+  const std::string text = render_text_report(r);
+  EXPECT_NE(text.find("bench metrics"), std::string::npos) << text;
+  EXPECT_NE(text.find("sta_kernels.speedup_t8"), std::string::npos);
+}
+
+TEST(ReportBench, RejectsMalformedDocuments) {
+  RunReport r;
+  EXPECT_FALSE(parse_bench_json("[]", r).ok());
+  EXPECT_FALSE(parse_bench_json(R"({"metrics":{"a":1}})", r).ok());
+  EXPECT_FALSE(parse_bench_json(R"({"bench":"x"})", r).ok());
+  EXPECT_FALSE(r.has_bench);
+}
+
+TEST(ReportBench, LoadRunPicksUpBenchFilesInDirectory) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(::testing::TempDir()) / "report_bench_test";
+  fs::create_directories(dir);
+  std::ofstream(dir / "BENCH_sta_kernels.json")
+      << R"({"bench":"sta_kernels","metrics":{"speedup_t8":2.0}})";
+  std::ofstream(dir / "BENCH_incremental.json")
+      << R"({"bench":"incremental","metrics":{"flow_speedup":3.0}})";
+  std::ofstream(dir / "notes.txt") << "ignored";
+
+  RunReport r;
+  ASSERT_TRUE(load_run(dir.string(), r).ok());
+  EXPECT_TRUE(r.has_bench);
+  ASSERT_EQ(r.bench_metrics.size(), 2u);
+  EXPECT_EQ(r.bench_metrics[0].first, "incremental.flow_speedup");
+  EXPECT_EQ(r.bench_metrics[1].first, "sta_kernels.speedup_t8");
+
+  // A single bench file is sniffed by content, like metrics/audit files.
+  RunReport single;
+  ASSERT_TRUE(
+      load_run((dir / "BENCH_sta_kernels.json").string(), single).ok());
+  EXPECT_TRUE(single.has_bench);
+  fs::remove_all(dir);
+}
+
+RunReport bench_run(double speedup, double pass_ms) {
+  RunReport r;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                R"({"bench":"sta_kernels","metrics":)"
+                R"({"speedup_t8":%f,"full_pass_t1_ms":%f}})",
+                speedup, pass_ms);
+  EXPECT_TRUE(parse_bench_json(buf, r).ok());
+  return r;
+}
+
+TEST(ReportBench, DiffChecksRatiosButNotAbsoluteTimes) {
+  RunReport base = bench_run(2.0, 4.0);
+  // Speedup down 50% (past the 25% threshold), wall time 3x slower.
+  ReportDiff bad = diff_runs(base, bench_run(1.0, 12.0), DiffThresholds{});
+  EXPECT_TRUE(bad.regressed());
+  bool saw_speedup = false, saw_ms = false;
+  for (const ReportDiff::Entry& e : bad.entries) {
+    if (e.name == "sta_kernels.speedup_t8") {
+      saw_speedup = true;
+      EXPECT_TRUE(e.checked);
+      EXPECT_TRUE(e.regressed);
+    }
+    if (e.name == "sta_kernels.full_pass_t1_ms") {
+      saw_ms = true;  // informational: hardware-dependent, never checked
+      EXPECT_FALSE(e.checked);
+      EXPECT_FALSE(e.regressed);
+    }
+  }
+  EXPECT_TRUE(saw_speedup);
+  EXPECT_TRUE(saw_ms);
+
+  // Within threshold (-10%) or improving passes.
+  EXPECT_FALSE(diff_runs(base, bench_run(1.8, 4.0), DiffThresholds{})
+                   .regressed());
+  EXPECT_FALSE(diff_runs(base, bench_run(3.0, 2.0), DiffThresholds{})
+                   .regressed());
+
+  // Negative threshold disables the ratio check entirely.
+  DiffThresholds off;
+  off.max_speedup_regress_pct = -1.0;
+  EXPECT_FALSE(diff_runs(base, bench_run(0.5, 40.0), off).regressed());
+}
+
 }  // namespace
 }  // namespace rlccd

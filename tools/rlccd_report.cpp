@@ -4,10 +4,12 @@
 //   rlccd_report --diff <base> <candidate>   # compare two runs
 //             [--max-runtime-regress PCT]    # default 10 (negative: off)
 //             [--max-tns-regress PCT]        # default 2  (negative: off)
+//             [--max-speedup-regress PCT]    # default 25 (negative: off)
 //             [--json FILE]                  # write machine-readable diff
 //
-// A <run> is a directory containing metrics.json (from --metrics-json)
-// and/or audit.jsonl (from --audit-jsonl), or a single such file.
+// A <run> is a directory containing metrics.json (from --metrics-json),
+// audit.jsonl (from --audit-jsonl) and/or BENCH_*.json files (from the
+// bench binaries' --json flag), or a single such file.
 //
 // Exit codes: 0 = ok, 1 = regression detected (--diff), 2 = usage or
 // unreadable input.
@@ -28,9 +30,11 @@ int usage() {
                "usage: rlccd_report <run>\n"
                "       rlccd_report --diff <base> <candidate>\n"
                "                    [--max-runtime-regress PCT] "
-               "[--max-tns-regress PCT] [--json FILE]\n"
-               "a <run> is a directory with metrics.json and/or audit.jsonl, "
-               "or one such file\n");
+               "[--max-tns-regress PCT]\n"
+               "                    [--max-speedup-regress PCT] "
+               "[--json FILE]\n"
+               "a <run> is a directory with metrics.json, audit.jsonl and/or "
+               "BENCH_*.json, or one such file\n");
   return 2;
 }
 
@@ -59,6 +63,8 @@ int main(int argc, char** argv) {
       thresholds.max_runtime_regress_pct = std::atof(argv[++i]);
     } else if (arg == "--max-tns-regress" && i + 1 < argc) {
       thresholds.max_tns_regress_pct = std::atof(argv[++i]);
+    } else if (arg == "--max-speedup-regress" && i + 1 < argc) {
+      thresholds.max_speedup_regress_pct = std::atof(argv[++i]);
     } else if (arg == "--json" && i + 1 < argc) {
       json_out = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
