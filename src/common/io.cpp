@@ -8,8 +8,11 @@
 #ifdef _WIN32
 #include <io.h>
 #else
+#include <fcntl.h>
 #include <unistd.h>
 #endif
+
+#include "common/fault.h"
 
 namespace rlccd {
 
@@ -23,6 +26,36 @@ void fsync_file(std::FILE* f) {
 #endif
 }
 
+// Durability step 2: after rename, the new directory entry itself must be
+// fsynced or a power loss can forget the rename and the file "vanishes"
+// even though its bytes were synced. No-op on Windows (rename goes through
+// the journalling layer there).
+Status fsync_parent_dir(const std::string& path) {
+  if (fault_fire("io_fsync_dir")) {
+    return Status::io_error("injected I/O fault syncing directory of %s",
+                            path.c_str());
+  }
+#ifndef _WIN32
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::io_error("cannot open directory %s for fsync: %s",
+                            dir.c_str(), std::strerror(errno));
+  }
+  const bool ok = ::fsync(fd) == 0;
+  const int saved_errno = errno;
+  ::close(fd);
+  if (!ok) {
+    return Status::io_error("fsync %s: %s", dir.c_str(),
+                            std::strerror(saved_errno));
+  }
+#endif
+  return Status();
+}
+
 }  // namespace
 
 Status atomic_write_file(const std::string& path, std::string_view bytes) {
@@ -34,6 +67,10 @@ Status atomic_write_file(const std::string& path, std::string_view bytes) {
   }
   bool ok = bytes.empty() ||
             std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (ok && fault_fire("io_write_tmp")) {
+    errno = EIO;
+    ok = false;
+  }
   if (ok) ok = std::fflush(f) == 0;
   if (ok) fsync_file(f);
   if (std::fclose(f) != 0) ok = false;
@@ -42,13 +79,16 @@ Status atomic_write_file(const std::string& path, std::string_view bytes) {
     return Status::io_error("short write to %s: %s", tmp.c_str(),
                             std::strerror(errno));
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (fault_fire("io_rename") || std::rename(tmp.c_str(), path.c_str()) != 0) {
     Status s = Status::io_error("cannot rename %s to %s: %s", tmp.c_str(),
                                 path.c_str(), std::strerror(errno));
     std::remove(tmp.c_str());
     return s;
   }
-  return Status();
+  // The rename already happened; a dir-fsync failure means the new name may
+  // not survive a power loss, which callers must treat as a failed write
+  // even though the file is visible right now.
+  return fsync_parent_dir(path);
 }
 
 Status read_file(const std::string& path, std::string& out) {

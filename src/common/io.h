@@ -1,10 +1,13 @@
 // Status-returning file helpers with crash-safe write semantics.
 //
-// atomic_write_file writes to `<path>.tmp`, fsyncs, then renames over the
-// destination — a crash or I/O failure mid-write can never leave a
-// truncated file at `path` (the previous contents, if any, survive). All
-// binary savers (NN parameters, training checkpoints) and the netlist text
-// writer go through it.
+// atomic_write_file writes to `<path>.tmp`, fsyncs, renames over the
+// destination, then fsyncs the parent directory — a crash or I/O failure
+// mid-write can never leave a truncated file at `path` (the previous
+// contents, if any, survive), and once it returns OK the rename itself is
+// durable across power loss. All binary savers (NN parameters, training
+// checkpoints) and the netlist text writer go through it. Fault points
+// "io_write_tmp", "io_rename" and "io_fsync_dir" inject failures at each
+// step of the dance.
 #pragma once
 
 #include <cstdint>
@@ -15,8 +18,10 @@
 
 namespace rlccd {
 
-// Crash-safe whole-file write: tmp file + fsync + rename. On failure the
-// temp file is removed and `path` is untouched.
+// Crash-safe whole-file write: tmp file + fsync + rename + directory
+// fsync. On failure before the rename, the temp file is removed and `path`
+// is untouched; a directory-fsync failure after the rename also reports an
+// error (the new file is visible but its durability is not guaranteed).
 Status atomic_write_file(const std::string& path, std::string_view bytes);
 
 // Reads the whole file into `out`.

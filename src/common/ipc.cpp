@@ -1,0 +1,136 @@
+#include "common/ipc.h"
+
+#include <cerrno>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace rlccd {
+
+void ipc_append_string(std::string& out, std::string_view s) {
+  ipc_append_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+Status ipc_parse_string(std::string_view bytes, std::size_t& offset,
+                        std::string& s, const char* what) {
+  std::uint32_t n = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, n, what));
+  if (offset + n > bytes.size()) {
+    return Status::corrupt("truncated in %s (%zu of %u bytes)", what,
+                           bytes.size() - offset, n);
+  }
+  s.assign(bytes.data() + offset, n);
+  offset += n;
+  return Status();
+}
+
+void ipc_append_float_vec(std::string& out, const std::vector<float>& v) {
+  ipc_append_pod(out, static_cast<std::uint64_t>(v.size()));
+  if (!v.empty()) {
+    out.append(reinterpret_cast<const char*>(v.data()),
+               v.size() * sizeof(float));
+  }
+}
+
+Status ipc_parse_float_vec(std::string_view bytes, std::size_t& offset,
+                           std::vector<float>& v, const char* what) {
+  std::uint64_t n = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, n, what));
+  const std::size_t nbytes = static_cast<std::size_t>(n) * sizeof(float);
+  if (offset + nbytes > bytes.size()) {
+    return Status::corrupt("truncated in %s (%zu of %zu bytes)", what,
+                           bytes.size() - offset, nbytes);
+  }
+  v.resize(static_cast<std::size_t>(n));
+  if (nbytes > 0) {
+    std::memcpy(v.data(), bytes.data() + offset, nbytes);
+    offset += nbytes;
+  }
+  return Status();
+}
+
+// -- FrameDecoder -------------------------------------------------------------
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (!error_.ok()) return;
+  buf_.append(data, n);
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (!error_.ok()) return false;
+  constexpr std::size_t kHeader = 1 + sizeof(std::uint32_t);
+  if (buf_.size() - pos_ < kHeader) {
+    // Reclaim consumed prefix lazily so feed() stays append-only.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    return false;
+  }
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + pos_ + 1, sizeof(len));
+  if (len > kMaxPayload) {
+    error_ = Status::corrupt("frame length %u exceeds %u", len, kMaxPayload);
+    return false;
+  }
+  if (buf_.size() - pos_ - kHeader < len) return false;
+  out.type = static_cast<std::uint8_t>(buf_[pos_]);
+  out.payload.assign(buf_, pos_ + kHeader, len);
+  pos_ += kHeader + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return true;
+}
+
+#ifndef _WIN32
+
+Status pipe_create(Pipe& out) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    return Status::io_error("pipe: %s", std::strerror(errno));
+  }
+  out.read_fd = fds[0];
+  out.write_fd = fds[1];
+  return Status();
+}
+
+namespace {
+
+Status write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::io_error("pipe write: %s", std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return Status();
+}
+
+}  // namespace
+
+Status write_frame(int fd, FrameType type, std::string_view payload) {
+  return write_truncated_frame(fd, type, payload, payload.size());
+}
+
+Status write_truncated_frame(int fd, FrameType type, std::string_view payload,
+                             std::size_t payload_bytes) {
+  std::string header;
+  header.reserve(1 + sizeof(std::uint32_t));
+  ipc_append_pod(header, static_cast<std::uint8_t>(type));
+  ipc_append_pod(header, static_cast<std::uint32_t>(payload.size()));
+  RLCCD_TRY(write_all(fd, header.data(), header.size()));
+  const std::size_t n = payload_bytes < payload.size() ? payload_bytes
+                                                       : payload.size();
+  return write_all(fd, payload.data(), n);
+}
+
+#endif  // !_WIN32
+
+}  // namespace rlccd

@@ -199,6 +199,7 @@ Status parse_metrics_json(const std::string& text, RunReport& out) {
 
 Status parse_audit_jsonl(const std::string& text, RunReport& out) {
   std::size_t line_no = 0;
+  std::size_t records = 0;
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t end = text.find('\n', pos);
@@ -219,12 +220,22 @@ Status parse_audit_jsonl(const std::string& text, RunReport& out) {
     const std::string type = v.string_or("type", "");
     if (type == "rollout") {
       accumulate_rollout(v, out);
+      ++records;
     } else if (type == "iteration") {
       accumulate_iteration(v, out);
+      ++records;
     } else if (type == "flow") {
       accumulate_flow(v, out);
+      ++records;
     }
     // Unknown types are skipped: newer writers stay loadable.
+  }
+  // A run that produced no records at all is indistinguishable from a file
+  // truncated to nothing — either way there is nothing to report on, and
+  // treating it as success would let a broken run masquerade as a clean one.
+  if (records == 0) {
+    return Status::corrupt(
+        "audit stream has no records (empty or truncated file)");
   }
   out.has_audit = true;
   return Status();

@@ -46,6 +46,9 @@ std::string RolloutAuditRecord::to_json() const {
   append_key(out, "cancelled");
   append_bool(out, cancelled);
   out += ',';
+  append_key(out, "crashed");
+  append_bool(out, crashed);
+  out += ',';
   append_key(out, "tns");
   append_json_double_exact(out, tns);
   out += ',';
@@ -103,6 +106,9 @@ std::string IterationAuditRecord::to_json() const {
   out += ',';
   append_key(out, "cancelled");
   append_int(out, cancelled);
+  out += ',';
+  append_key(out, "crashed");
+  append_int(out, crashed);
   const std::pair<const char*, double> fields[] = {
       {"mean_reward", mean_reward},   {"mean_tns", mean_tns},
       {"iter_best_tns", iter_best_tns}, {"best_tns", best_tns},

@@ -68,6 +68,7 @@ struct RolloutAuditRecord {
   bool flow_ran = false;
   bool poisoned = false;
   bool cancelled = false;  // rollout watchdog fired
+  bool crashed = false;    // isolated worker process lost (restarts exhausted)
   const SelectionAudit* audit = nullptr;  // never null when emitted
 
   [[nodiscard]] std::string to_json() const;  // one JSONL object
@@ -79,6 +80,7 @@ struct IterationAuditRecord {
   int survivors = 0;
   int poisoned = 0;
   int cancelled = 0;
+  int crashed = 0;  // workers lost to process crashes this iteration
   double mean_reward = 0.0;
   double mean_tns = 0.0;
   double iter_best_tns = 0.0;

@@ -1,0 +1,103 @@
+// Worker-process supervisor: hard isolation for rollout workers.
+//
+// RolloutSupervisor::run forks one child per worker. The fork is
+// copy-on-write, so a child sees the pristine netlist, the shared
+// DesignGraph and its policy clone without any serialization; it computes
+// its job's result bytes and sends them back over a length-prefixed pipe
+// (common/ipc.h), heartbeating from a side thread while it works. The
+// parent multiplexes every live pipe through one poll() loop and enforces:
+//
+//   * a per-attempt hard wall-clock deadline (SIGKILL — no cooperation
+//     needed from a wedged child, unlike the PR 3 watchdog),
+//   * a heartbeat timeout (a child that stops beating is wedged even if its
+//     deadline is far away),
+//   * crash classification on stream end: normal result, nonzero exit,
+//     death by signal (a real segfault and the kernel OOM killer both land
+//     here), or protocol error (stream truncated mid-frame),
+//   * bounded restart with exponential backoff plus deterministic jitter —
+//     a retried attempt re-runs the identical job, so a transient crash
+//     leaves the surviving results bit-identical to a crash-free run.
+//
+// Fault points evaluated in the parent at each spawn keep injected chaos
+// deterministic (hit counts live in one process, not eight):
+//   worker_crash@H[:C[:W]]  child exits with code 3   (param: target worker)
+//   worker_oom@H[:C[:W]]    child raises SIGKILL      (param: target worker)
+//   pipe_truncate@H[:C[:W]] child truncates its result frame mid-payload
+//   worker_hang@H[:C[:S]]   child wedges for S seconds (default 3600)
+//                           without heartbeating
+// For the first three, param selects the worker index the directive applies
+// to (default 0; negative = any). Hit indices count spawn events, initial
+// spawns in worker order first.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rlccd {
+
+struct SupervisorConfig {
+  int workers = 1;
+  // Per-attempt wall-clock deadline; <= 0 disables. Supersedes the
+  // cooperative CancelToken watchdog: expiry is enforced with SIGKILL.
+  double deadline_sec = 0.0;
+  // Child heartbeat period; <= 0 disables heartbeating (and the timeout).
+  double heartbeat_interval_sec = 0.25;
+  // Silence longer than this (no heartbeat, no payload bytes) marks the
+  // child wedged and kills it; <= 0 disables.
+  double heartbeat_timeout_sec = 5.0;
+  // Restarts allowed per worker per run(); attempts = max_restarts + 1.
+  int max_restarts = 2;
+  // Backoff before restart r is min(base * 2^r, max) * (1 + u/2) with u in
+  // [0, 1) drawn from a stream seeded by (backoff_seed, worker), so the
+  // schedule is deterministic per worker.
+  double backoff_base_sec = 0.05;
+  double backoff_max_sec = 2.0;
+  std::uint64_t backoff_seed = 1;
+};
+
+enum class WorkerFailure : std::uint8_t {
+  kNone = 0,
+  kExit,      // child exited with a nonzero code
+  kSignal,    // child terminated by a signal (segfault, OOM kill, ...)
+  kTimeout,   // parent killed it: deadline or heartbeat silence
+  kProtocol,  // stream ended mid-frame or carried a malformed frame
+};
+const char* worker_failure_name(WorkerFailure f);
+
+struct WorkerOutcome {
+  bool completed = false;  // a whole result frame arrived
+  std::string payload;     // the job's bytes (when completed)
+  int attempts = 0;        // processes forked for this worker
+  int kills = 0;           // SIGKILLs this worker's attempts received
+  std::vector<double> backoff_sec;  // applied schedule, one per restart
+  // Classification of the last failed attempt (kNone when attempt 1
+  // succeeded).
+  WorkerFailure last_failure = WorkerFailure::kNone;
+  int exit_code = -1;   // valid when last_failure == kExit
+  int term_signal = 0;  // valid when last_failure == kSignal / kTimeout
+};
+
+// Runs inside the forked child; returns the result payload. Everything it
+// touches is the child's copy-on-write view of the parent at fork time.
+using WorkerJob = std::function<std::string(int worker)>;
+
+class RolloutSupervisor {
+ public:
+  explicit RolloutSupervisor(SupervisorConfig config);
+
+  // True when the platform has fork(); the thread backend remains the
+  // fallback elsewhere.
+  static bool supported();
+
+  // Forks, supervises and reaps one child per worker; blocks until every
+  // worker either delivered a result or exhausted its restarts. Telemetry:
+  // "train.worker_restarts", "train.worker_kills" count recovery actions.
+  std::vector<WorkerOutcome> run(const WorkerJob& job);
+
+ private:
+  SupervisorConfig config_;
+};
+
+}  // namespace rlccd

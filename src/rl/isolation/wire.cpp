@@ -1,0 +1,188 @@
+#include "rl/isolation/wire.h"
+
+#include "common/ipc.h"
+
+namespace rlccd {
+
+namespace {
+
+// Span trees are shallow in practice ("rollout" > "flow" > passes); a depth
+// cap keeps a corrupt frame from recursing the decoder into the ground.
+constexpr int kMaxSpanDepth = 64;
+
+void append_span(std::string& out, const SpanNode& node) {
+  ipc_append_string(out, node.name);
+  ipc_append_pod(out, node.count);
+  ipc_append_pod(out, node.total_sec);
+  ipc_append_pod(out, static_cast<std::uint32_t>(node.children.size()));
+  for (const SpanNode& child : node.children) append_span(out, child);
+}
+
+Status parse_span(std::string_view bytes, std::size_t& offset, SpanNode& node,
+                  int depth) {
+  if (depth > kMaxSpanDepth) {
+    return Status::corrupt("span tree deeper than %d levels", kMaxSpanDepth);
+  }
+  RLCCD_TRY(ipc_parse_string(bytes, offset, node.name, "span name"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, node.count, "span count"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, node.total_sec, "span seconds"));
+  std::uint32_t n_children = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, n_children, "span child count"));
+  if (n_children > bytes.size() - offset) {
+    return Status::corrupt("span child count %u exceeds remaining bytes",
+                           n_children);
+  }
+  node.children.resize(n_children);
+  for (SpanNode& child : node.children) {
+    RLCCD_TRY(parse_span(bytes, offset, child, depth + 1));
+  }
+  return Status();
+}
+
+void append_audit(std::string& out, const SelectionAudit& audit) {
+  ipc_append_pod(out, static_cast<std::uint8_t>(audit.poisoned));
+  ipc_append_pod(out, static_cast<std::uint32_t>(audit.steps.size()));
+  for (const AuditStep& step : audit.steps) {
+    ipc_append_pod(out, step.chosen);
+    ipc_append_pod(out, step.slack);
+    ipc_append_pod(out, step.log_prob);
+    ipc_append_pod(out, step.entropy);
+    ipc_append_pod(out, static_cast<std::uint8_t>(step.top_probs.size()));
+    for (const auto& [endpoint, prob] : step.top_probs) {
+      ipc_append_pod(out, endpoint);
+      ipc_append_pod(out, prob);
+    }
+    ipc_append_pod(out, static_cast<std::uint32_t>(step.masked.size()));
+    for (const AuditMaskEvent& ev : step.masked) {
+      ipc_append_pod(out, ev.endpoint);
+      ipc_append_pod(out, ev.overlap);
+    }
+  }
+}
+
+Status parse_audit(std::string_view bytes, std::size_t& offset,
+                   SelectionAudit& audit) {
+  std::uint8_t poisoned = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, poisoned, "audit poisoned"));
+  audit.poisoned = poisoned != 0;
+  std::uint32_t n_steps = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, n_steps, "audit step count"));
+  if (n_steps > bytes.size() - offset) {
+    return Status::corrupt("audit step count %u exceeds remaining bytes",
+                           n_steps);
+  }
+  audit.steps.resize(n_steps);
+  for (AuditStep& step : audit.steps) {
+    RLCCD_TRY(ipc_parse_pod(bytes, offset, step.chosen, "audit chosen"));
+    RLCCD_TRY(ipc_parse_pod(bytes, offset, step.slack, "audit slack"));
+    RLCCD_TRY(ipc_parse_pod(bytes, offset, step.log_prob, "audit log_prob"));
+    RLCCD_TRY(ipc_parse_pod(bytes, offset, step.entropy, "audit entropy"));
+    std::uint8_t n_top = 0;
+    RLCCD_TRY(ipc_parse_pod(bytes, offset, n_top, "audit top-k count"));
+    step.top_probs.resize(n_top);
+    for (auto& [endpoint, prob] : step.top_probs) {
+      RLCCD_TRY(ipc_parse_pod(bytes, offset, endpoint, "top-k endpoint"));
+      RLCCD_TRY(ipc_parse_pod(bytes, offset, prob, "top-k probability"));
+    }
+    std::uint32_t n_masked = 0;
+    RLCCD_TRY(ipc_parse_pod(bytes, offset, n_masked, "audit mask count"));
+    if (n_masked > bytes.size() - offset) {
+      return Status::corrupt("audit mask count %u exceeds remaining bytes",
+                             n_masked);
+    }
+    step.masked.resize(n_masked);
+    for (AuditMaskEvent& ev : step.masked) {
+      RLCCD_TRY(ipc_parse_pod(bytes, offset, ev.endpoint, "masked endpoint"));
+      RLCCD_TRY(ipc_parse_pod(bytes, offset, ev.overlap, "masked overlap"));
+    }
+  }
+  return Status();
+}
+
+}  // namespace
+
+void encode_rollout_wire(const RolloutWire& wire, std::string& out) {
+  out.clear();
+  ipc_append_pod(out, RolloutWire::kVersion);
+  ipc_append_pod(out, wire.tns);
+  ipc_append_pod(out, wire.reward);
+  ipc_append_pod(out, wire.steps);
+  ipc_append_pod(out, static_cast<std::uint8_t>(wire.flow_ran));
+  ipc_append_pod(out, static_cast<std::uint8_t>(wire.poisoned));
+  ipc_append_pod(out, static_cast<std::uint8_t>(wire.cancelled));
+  ipc_append_pod(out, static_cast<std::uint32_t>(wire.selection.size()));
+  for (PinId pin : wire.selection) ipc_append_pod(out, pin.value);
+  ipc_append_pod(out, static_cast<std::uint32_t>(wire.grads.size()));
+  for (const std::vector<float>& g : wire.grads) ipc_append_float_vec(out, g);
+  append_audit(out, wire.audit);
+  ipc_append_pod(out, static_cast<std::uint32_t>(wire.counter_deltas.size()));
+  for (const auto& [name, delta] : wire.counter_deltas) {
+    ipc_append_string(out, name);
+    ipc_append_pod(out, delta);
+  }
+  append_span(out, wire.spans);
+}
+
+Status decode_rollout_wire(std::string_view bytes, RolloutWire& out) {
+  std::size_t offset = 0;
+  std::uint8_t version = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, version, "wire version"));
+  if (version != RolloutWire::kVersion) {
+    return Status::corrupt("rollout wire version %u, expected %u", version,
+                           RolloutWire::kVersion);
+  }
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.tns, "tns"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.reward, "reward"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.steps, "steps"));
+  std::uint8_t flow_ran = 0, poisoned = 0, cancelled = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, flow_ran, "flow_ran"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, poisoned, "poisoned"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, cancelled, "cancelled"));
+  out.flow_ran = flow_ran != 0;
+  out.poisoned = poisoned != 0;
+  out.cancelled = cancelled != 0;
+
+  std::uint32_t n_sel = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, n_sel, "selection count"));
+  if (n_sel > bytes.size() - offset) {
+    return Status::corrupt("selection count %u exceeds remaining bytes", n_sel);
+  }
+  out.selection.resize(n_sel);
+  for (PinId& pin : out.selection) {
+    RLCCD_TRY(ipc_parse_pod(bytes, offset, pin.value, "selection pin"));
+  }
+
+  std::uint32_t n_grads = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, n_grads, "gradient tensor count"));
+  if (n_grads > bytes.size() - offset) {
+    return Status::corrupt("gradient tensor count %u exceeds remaining bytes",
+                           n_grads);
+  }
+  out.grads.resize(n_grads);
+  for (std::vector<float>& g : out.grads) {
+    RLCCD_TRY(ipc_parse_float_vec(bytes, offset, g, "gradient tensor"));
+  }
+
+  RLCCD_TRY(parse_audit(bytes, offset, out.audit));
+
+  std::uint32_t n_counters = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, n_counters, "counter delta count"));
+  if (n_counters > bytes.size() - offset) {
+    return Status::corrupt("counter delta count %u exceeds remaining bytes",
+                           n_counters);
+  }
+  out.counter_deltas.resize(n_counters);
+  for (auto& [name, delta] : out.counter_deltas) {
+    RLCCD_TRY(ipc_parse_string(bytes, offset, name, "counter name"));
+    RLCCD_TRY(ipc_parse_pod(bytes, offset, delta, "counter delta"));
+  }
+
+  RLCCD_TRY(parse_span(bytes, offset, out.spans, 0));
+  if (offset != bytes.size()) {
+    return Status::corrupt("rollout wire has %zu trailing bytes",
+                           bytes.size() - offset);
+  }
+  return Status();
+}
+
+}  // namespace rlccd

@@ -1,0 +1,50 @@
+// Serialized form of one rollout worker's result, carried over the
+// supervisor pipe (rl/isolation/supervisor.h) from the forked child back to
+// the trainer.
+//
+// The wire carries exactly what the in-thread worker hands the trainer —
+// trajectory outcome, per-parameter gradients, the decision-provenance
+// audit — plus the child's telemetry delta (counter increments and the span
+// tree recorded while the rollout ran), which the parent re-applies to the
+// global registry so metrics agree with the thread backend. Encoding is
+// little-endian fixed-width via the common/ipc.h codec; a leading version
+// byte rejects frames from a mismatched binary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "rl/audit.h"
+
+namespace rlccd {
+
+struct RolloutWire {
+  static constexpr std::uint8_t kVersion = 1;
+
+  double tns = 0.0;
+  double reward = 0.0;
+  std::int32_t steps = 0;
+  bool flow_ran = false;
+  bool poisoned = false;
+  bool cancelled = false;
+  std::vector<PinId> selection;
+  std::vector<std::vector<float>> grads;  // per parameter
+  SelectionAudit audit;
+  // Telemetry recorded on the child's rollout thread: counter deltas
+  // (name-sorted) and the closed-span tree under a synthetic root.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  SpanNode spans;
+};
+
+void encode_rollout_wire(const RolloutWire& wire, std::string& out);
+// Rejects unknown versions and any truncated / overlong byte stream with a
+// corrupt Status.
+Status decode_rollout_wire(std::string_view bytes, RolloutWire& out);
+
+}  // namespace rlccd

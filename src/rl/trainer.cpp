@@ -10,9 +10,12 @@
 #include "common/fault.h"
 #include "common/finite.h"
 #include "common/log.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "nn/serialize.h"
 #include "rl/checkpoint.h"
+#include "rl/isolation/supervisor.h"
+#include "rl/isolation/wire.h"
 
 namespace rlccd {
 
@@ -85,6 +88,11 @@ TrainStats ReinforceTrainer::train() {
   static MetricsCounter& ctr_iter_failed =
       reg.counter("train.iterations_failed");
   static MetricsCounter& ctr_rollbacks = reg.counter("train.rollbacks");
+  static MetricsCounter& ctr_ckpt_skipped =
+      reg.counter("train.checkpoints_skipped");
+  static MetricsCounter& ctr_workers_lost = reg.counter("train.workers_lost");
+  static MetricsCounter& ctr_iter_degraded =
+      reg.counter("train.iterations_degraded");
 
   Adam optimizer(policy_->parameters(), config_.lr);
   Rng root_rng(config_.seed ^ 0xABCDEF12345ull);
@@ -178,6 +186,7 @@ TrainStats ReinforceTrainer::train() {
       Status s = load_checkpoint(ckpt, path);
       if (s.ok()) s = restore_checkpoint(ckpt);
       if (!s.ok()) {
+        ctr_ckpt_skipped.increment();
         RLCCD_LOG_WARN("skipping checkpoint %s: %s", path.c_str(),
                        s.to_string().c_str());
         continue;
@@ -213,10 +222,19 @@ TrainStats ReinforceTrainer::train() {
     bool flow_ran = false;
     bool poisoned = false;   // non-finite logits/TNS/reward/gradients
     bool cancelled = false;  // rollout watchdog fired
+    bool crashed = false;    // isolated worker lost (restarts exhausted)
     std::vector<PinId> selection;
     std::vector<std::vector<float>> grads;  // per parameter
     SelectionAudit audit;                   // decision provenance
   };
+
+  bool use_isolation = config_.isolate_workers;
+  if (use_isolation && !RolloutSupervisor::supported()) {
+    RLCCD_LOG_WARN(
+        "isolate_workers requested but process isolation is unsupported on "
+        "this platform; using the thread backend");
+    use_isolation = false;
+  }
 
   // Last known-good state for in-memory rollback after repeated dropped
   // iterations; refreshed after every successful parameter update.
@@ -246,7 +264,7 @@ TrainStats ReinforceTrainer::train() {
     // per-worker path forks inside its threads, and checkpoints carry the
     // same root RNG state either way.
     std::vector<Policy::RolloutResult> ros;
-    if (config_.batched_inference) {
+    if (config_.batched_inference && !use_isolation) {
       RLCCD_SPAN("rollout_batched");
       std::vector<SelectionEnv> envs;
       std::vector<Rng> rngs;
@@ -263,106 +281,211 @@ TrainStats ReinforceTrainer::train() {
       ros = policy_->rollout_batched(graph_, envs, rngs, audits);
     }
 
-    std::vector<std::thread> threads;
-    for (int w = 0; w < config_.workers; ++w) {
-      threads.emplace_back([&, w]() {
-        // Per-worker span: each worker thread owns its own span tree, so
-        // eight concurrent rollouts aggregate without contention.
-        RLCCD_SPAN("rollout");
-        Policy& pol = clones[static_cast<std::size_t>(w)];
+    // Rollout body shared by both backends: decode (or adopt the batched
+    // phase-A result), run the reward flow, scale this clone's gradients.
+    // Runs on a worker thread, or — isolated — inside a forked child.
+    auto rollout_body = [&](int w, Policy& pol, WorkerOut& out,
+                            const CancelToken* watchdog,
+                            Policy::RolloutResult* pre) {
+      Policy::RolloutResult ro;
+      if (pre != nullptr) {
+        ro = std::move(*pre);
+      } else {
+        Rng rng = root_rng.fork(static_cast<std::uint64_t>(iter) * 131 +
+                                static_cast<std::uint64_t>(w));
+        SelectionEnv env(&graph_, config_.overlap_threshold);
+        // Stepwise rollout: sum_t grad(log pi_t) lands in the clone's
+        // parameter grads (zero on entry) with per-step graphs freed.
+        ro = pol.rollout(graph_, env, rng, /*greedy=*/false,
+                         Policy::RolloutMode::StepwiseBackward, &out.audit);
+      }
+      out.steps = ro.steps;
+      out.selection = ro.selected;
+      if (ro.poisoned) {
+        out.poisoned = true;
+        ctr_poisoned.increment();
+        RLCCD_TRACE_INSTANT("train.trajectory_poisoned");
+        RLCCD_LOG_WARN("worker %d: non-finite logits; trajectory dropped", w);
+        return;
+      }
+      FlowResult fr = evaluate_selection(ro.selected, watchdog);
+      out.flow_ran = true;
+      if (fr.cancelled) {
+        out.cancelled = true;
+        ctr_cancelled.increment();
+        RLCCD_TRACE_INSTANT("train.rollout_cancelled");
+        RLCCD_LOG_WARN(
+            "worker %d: rollout exceeded %.1fs deadline; cancelled", w,
+            config_.rollout_deadline_sec);
+        return;
+      }
+      out.tns = fr.final_summary.tns;
+      if (fault_fire("nan_reward")) {
+        out.tns = std::numeric_limits<double>::quiet_NaN();
+      }
+      out.reward = (out.tns - stats.default_tns) / reward_denom;
+      if (!std::isfinite(out.tns) || !std::isfinite(out.reward)) {
+        out.poisoned = true;
+        ctr_poisoned.increment();
+        RLCCD_LOG_WARN(
+            "worker %d: non-finite reward (TNS %g); trajectory dropped", w,
+            out.tns);
+        return;
+      }
+
+      // Phase C (batched mode only): teacher-forced StepwiseBackward
+      // replay of the decoded trajectory on this worker's clone. The
+      // replay runs the identical op sequence with the identical inputs
+      // (same clone parameters, same env transitions, forced actions), so
+      // it accumulates bit-identical sum_t grad(log pi_t) to a live
+      // per-worker stepwise rollout — without holding any graph across the
+      // batched decode.
+      if (pre != nullptr) {
+        SelectionEnv replay_env(&graph_, config_.overlap_threshold);
+        Rng replay_rng(0);  // never drawn from in forced mode
+        Policy::RolloutResult replay = pol.rollout(
+            graph_, replay_env, replay_rng, /*greedy=*/false,
+            Policy::RolloutMode::StepwiseBackward, /*audit=*/nullptr,
+            &ro.actions);
+        RLCCD_ASSERT(!replay.poisoned && replay.steps == ro.steps);
+      }
+
+      // REINFORCE: grad = -(r - b) * sum_t grad(log pi_t); the baseline
+      // is read once before the workers launch.
+      const float scale = static_cast<float>(-(out.reward - baseline));
+      std::vector<Tensor> params = pol.parameters();
+      out.grads.reserve(params.size());
+      bool grads_finite = true;
+      for (Tensor& p : params) {
+        std::vector<float> g = p.grad();
+        for (float& v : g) v *= scale;
+        if (!all_finite(g)) grads_finite = false;
+        out.grads.push_back(std::move(g));
+      }
+      if (!grads_finite) {
+        out.poisoned = true;
+        ctr_poisoned.increment();
+        out.grads.clear();
+        RLCCD_LOG_WARN(
+            "worker %d: non-finite gradients; trajectory dropped", w);
+      }
+    };
+
+    int n_crashed = 0;
+    if (use_isolation) {
+      // Process backend: fork one supervised child per worker. Decoding is
+      // per-worker inside the child (phase A is skipped; the batched and
+      // per-worker decodes are pinned bit-identical by the equivalence
+      // tests), and the supervisor's SIGKILL deadline supersedes the
+      // cooperative watchdog, so the child runs its flow uncancellable.
+      SupervisorConfig scfg;
+      scfg.workers = config_.workers;
+      scfg.deadline_sec = config_.rollout_deadline_sec;
+      scfg.heartbeat_interval_sec = config_.worker_heartbeat_sec;
+      scfg.heartbeat_timeout_sec = config_.worker_heartbeat_timeout_sec;
+      scfg.max_restarts = config_.max_worker_restarts;
+      scfg.backoff_base_sec = config_.worker_backoff_sec;
+      scfg.backoff_seed =
+          config_.seed ^ (static_cast<std::uint64_t>(iter) * 0x9E37ull);
+      RolloutSupervisor supervisor(scfg);
+      std::vector<WorkerOutcome> outcomes =
+          supervisor.run([&](int w) -> std::string {
+            // Child process: everything here touches the forked child's
+            // copy-on-write view of the trainer; the only output is the
+            // returned wire payload. The scope captures the counters and
+            // spans the rollout records (they die with the child otherwise)
+            // so the parent can re-apply them.
+            TelemetryScope scope;
+            WorkerOut out;
+            {
+              RLCCD_SPAN("rollout");
+              // Deterministic stall fault: parks the worker past its
+              // deadline (here: until the supervisor kills it).
+              fault_stall_point("rollout_stall");
+              rollout_body(w, clones[static_cast<std::size_t>(w)], out,
+                           /*watchdog=*/nullptr, /*pre=*/nullptr);
+            }
+            RolloutWire wire;
+            wire.tns = out.tns;
+            wire.reward = out.reward;
+            wire.steps = out.steps;
+            wire.flow_ran = out.flow_ran;
+            wire.poisoned = out.poisoned;
+            wire.cancelled = out.cancelled;
+            wire.selection = std::move(out.selection);
+            wire.grads = std::move(out.grads);
+            wire.audit = std::move(out.audit);
+            TelemetrySnapshot snap = scope.snapshot();
+            wire.counter_deltas = std::move(snap.counters);
+            wire.spans = std::move(snap.spans);
+            std::string payload;
+            encode_rollout_wire(wire, payload);
+            return payload;
+          });
+      for (int w = 0; w < config_.workers; ++w) {
         WorkerOut& out = outs[static_cast<std::size_t>(w)];
-        // Watchdog: the flow polls this token at pass boundaries, so a
-        // stuck rollout cancels instead of wedging the whole iteration.
-        CancelToken watchdog(config_.rollout_deadline_sec);
-        // Deterministic stall fault: parks the worker past its deadline.
-        fault_stall_point("rollout_stall");
-        Policy::RolloutResult ro;
-        if (config_.batched_inference) {
-          ro = std::move(ros[static_cast<std::size_t>(w)]);
-        } else {
-          Rng rng = root_rng.fork(
-              static_cast<std::uint64_t>(iter) * 131 +
-              static_cast<std::uint64_t>(w));
-          SelectionEnv env(&graph_, config_.overlap_threshold);
-          // Stepwise rollout: sum_t grad(log pi_t) lands in the clone's
-          // parameter grads (zero on entry) with per-step graphs freed.
-          ro = pol.rollout(graph_, env, rng, /*greedy=*/false,
-                           Policy::RolloutMode::StepwiseBackward, &out.audit);
+        WorkerOutcome& oc = outcomes[static_cast<std::size_t>(w)];
+        RolloutWire wire;
+        Status ds =
+            oc.completed
+                ? decode_rollout_wire(oc.payload, wire)
+                : Status::io_error("worker process lost after %d attempts "
+                                   "(last failure: %s)",
+                                   oc.attempts,
+                                   worker_failure_name(oc.last_failure));
+        if (!ds.ok()) {
+          out.crashed = true;
+          ++n_crashed;
+          ctr_workers_lost.increment();
+          RLCCD_TRACE_INSTANT("train.worker_lost");
+          RLCCD_LOG_WARN("worker %d: %s; trajectory dropped", w,
+                         ds.to_string().c_str());
+          continue;
         }
-        out.steps = ro.steps;
-        out.selection = ro.selected;
-        if (ro.poisoned) {
-          out.poisoned = true;
-          ctr_poisoned.increment();
-          RLCCD_TRACE_INSTANT("train.trajectory_poisoned");
-          RLCCD_LOG_WARN("worker %d: non-finite logits; trajectory dropped",
-                         w);
-          return;
+        out.tns = wire.tns;
+        out.reward = wire.reward;
+        out.steps = wire.steps;
+        out.flow_ran = wire.flow_ran;
+        out.poisoned = wire.poisoned;
+        out.cancelled = wire.cancelled;
+        out.selection = std::move(wire.selection);
+        out.grads = std::move(wire.grads);
+        out.audit = std::move(wire.audit);
+        // Re-apply what the child's rollout recorded, so global counters
+        // and span trees agree with the thread backend.
+        for (const auto& [name, delta] : wire.counter_deltas) {
+          if (delta != 0) reg.counter(name).add(delta);
         }
-        FlowResult fr = evaluate_selection(ro.selected, &watchdog);
-        out.flow_ran = true;
-        if (fr.cancelled) {
-          out.cancelled = true;
-          ctr_cancelled.increment();
-          RLCCD_TRACE_INSTANT("train.rollout_cancelled");
-          RLCCD_LOG_WARN(
-              "worker %d: rollout exceeded %.1fs deadline; cancelled", w,
-              config_.rollout_deadline_sec);
-          return;
-        }
-        out.tns = fr.final_summary.tns;
-        if (fault_fire("nan_reward")) {
-          out.tns = std::numeric_limits<double>::quiet_NaN();
-        }
-        out.reward = (out.tns - stats.default_tns) / reward_denom;
-        if (!std::isfinite(out.tns) || !std::isfinite(out.reward)) {
-          out.poisoned = true;
-          ctr_poisoned.increment();
-          RLCCD_LOG_WARN(
-              "worker %d: non-finite reward (TNS %g); trajectory dropped", w,
-              out.tns);
-          return;
-        }
-
-        // Phase C (batched mode only): teacher-forced StepwiseBackward
-        // replay of the decoded trajectory on this worker's clone. The
-        // replay runs the identical op sequence with the identical inputs
-        // (same clone parameters, same env transitions, forced actions), so
-        // it accumulates bit-identical sum_t grad(log pi_t) to a live
-        // per-worker stepwise rollout — without holding any graph across the
-        // batched decode.
-        if (config_.batched_inference) {
-          SelectionEnv replay_env(&graph_, config_.overlap_threshold);
-          Rng replay_rng(0);  // never drawn from in forced mode
-          Policy::RolloutResult replay = pol.rollout(
-              graph_, replay_env, replay_rng, /*greedy=*/false,
-              Policy::RolloutMode::StepwiseBackward, /*audit=*/nullptr,
-              &ro.actions);
-          RLCCD_ASSERT(!replay.poisoned && replay.steps == ro.steps);
-        }
-
-        // REINFORCE: grad = -(r - b) * sum_t grad(log pi_t); the baseline
-        // is read once before the threads launch.
-        const float scale = static_cast<float>(-(out.reward - baseline));
-        std::vector<Tensor> params = pol.parameters();
-        out.grads.reserve(params.size());
-        bool grads_finite = true;
-        for (Tensor& p : params) {
-          std::vector<float> g = p.grad();
-          for (float& v : g) v *= scale;
-          if (!all_finite(g)) grads_finite = false;
-          out.grads.push_back(std::move(g));
-        }
-        if (!grads_finite) {
-          out.poisoned = true;
-          ctr_poisoned.increment();
-          out.grads.clear();
-          RLCCD_LOG_WARN(
-              "worker %d: non-finite gradients; trajectory dropped", w);
-        }
-      });
+        MetricsRegistry::global().merge_spans(wire.spans);
+      }
+      if (n_crashed > 0) {
+        ctr_iter_degraded.increment();
+        RLCCD_TRACE_INSTANT("train.iteration_degraded");
+        RLCCD_LOG_WARN(
+            "iter %2d degraded: %d of %d workers lost their process", iter,
+            n_crashed, config_.workers);
+      }
+    } else {
+      std::vector<std::thread> threads;
+      for (int w = 0; w < config_.workers; ++w) {
+        threads.emplace_back([&, w]() {
+          // Per-worker span: each worker thread owns its own span tree, so
+          // eight concurrent rollouts aggregate without contention.
+          RLCCD_SPAN("rollout");
+          // Watchdog: the flow polls this token at pass boundaries, so a
+          // stuck rollout cancels instead of wedging the whole iteration.
+          CancelToken watchdog(config_.rollout_deadline_sec);
+          // Deterministic stall fault: parks the worker past its deadline.
+          fault_stall_point("rollout_stall");
+          rollout_body(w, clones[static_cast<std::size_t>(w)],
+                       outs[static_cast<std::size_t>(w)], &watchdog,
+                       config_.batched_inference
+                           ? &ros[static_cast<std::size_t>(w)]
+                           : nullptr);
+        });
+      }
+      for (std::thread& t : threads) t.join();
     }
-    for (std::thread& t : threads) t.join();
 
     // Provenance: one rollout record per worker, in worker order, on this
     // thread (sinks need no locking).
@@ -377,6 +500,7 @@ TrainStats ReinforceTrainer::train() {
         rec.flow_ran = out.flow_ran;
         rec.poisoned = out.poisoned;
         rec.cancelled = out.cancelled;
+        rec.crashed = out.crashed;
         rec.audit = &out.audit;
         config_.audit->on_rollout(rec);
       }
@@ -389,7 +513,7 @@ TrainStats ReinforceTrainer::train() {
       if (out.flow_ran) ++stats.flow_runs;
       if (out.poisoned) ++n_poisoned;
       if (out.cancelled) ++n_cancelled;
-      if (!out.poisoned && !out.cancelled) ++survivors;
+      if (!out.poisoned && !out.cancelled && !out.crashed) ++survivors;
     }
 
     const double iter_seconds_so_far =
@@ -420,12 +544,13 @@ TrainStats ReinforceTrainer::train() {
       }
       RLCCD_LOG_WARN(
           "iter %2d dropped: 0 of %d trajectories survived (%d poisoned, %d "
-          "cancelled)",
-          iter, config_.workers, n_poisoned, n_cancelled);
+          "cancelled, %d crashed)",
+          iter, config_.workers, n_poisoned, n_cancelled, n_crashed);
       if (config_.observer != nullptr) {
         const ProgressMetric metrics[] = {
             {"poisoned", static_cast<double>(n_poisoned)},
             {"cancelled", static_cast<double>(n_cancelled)},
+            {"crashed", static_cast<double>(n_crashed)},
             {"consecutive_failures", static_cast<double>(consecutive_failures)},
             {"rolled_back", rolled_back ? 1.0 : 0.0},
         };
@@ -443,6 +568,7 @@ TrainStats ReinforceTrainer::train() {
         rec.survivors = 0;
         rec.poisoned = n_poisoned;
         rec.cancelled = n_cancelled;
+        rec.crashed = n_crashed;
         rec.baseline = baseline;
         config_.audit->on_iteration(rec);
       }
@@ -456,7 +582,7 @@ TrainStats ReinforceTrainer::train() {
     std::vector<Tensor> master = policy_->parameters();
     const float inv_w = 1.0f / static_cast<float>(survivors);
     for (const WorkerOut& out : outs) {
-      if (out.poisoned || out.cancelled) continue;
+      if (out.poisoned || out.cancelled || out.crashed) continue;
       for (std::size_t p = 0; p < master.size(); ++p) {
         std::vector<float>& g = master[p].grad_mut();
         const std::vector<float>& src = out.grads[p];
@@ -470,7 +596,7 @@ TrainStats ReinforceTrainer::train() {
     IterationStats is;
     double iter_best = -1e300;
     for (const WorkerOut& out : outs) {
-      if (out.poisoned || out.cancelled) continue;
+      if (out.poisoned || out.cancelled || out.crashed) continue;
       is.mean_reward += out.reward;
       is.mean_tns += out.tns;
       is.mean_steps += out.steps;
@@ -500,6 +626,7 @@ TrainStats ReinforceTrainer::train() {
       rec.survivors = survivors;
       rec.poisoned = n_poisoned;
       rec.cancelled = n_cancelled;
+      rec.crashed = n_crashed;
       rec.mean_reward = is.mean_reward;
       rec.mean_tns = is.mean_tns;
       rec.iter_best_tns = is.iter_best_tns;

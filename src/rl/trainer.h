@@ -20,6 +20,10 @@
 // `rollout_deadline_sec` arms a per-rollout watchdog: the placement flow
 // polls the deadline at pass boundaries and a stuck rollout is cancelled,
 // degrading the iteration to its surviving trajectories.
+// `isolate_workers` (DESIGN.md Sec. 10) hardens this further: each rollout
+// runs in a forked, supervised child process, so even a segfault, OOM kill
+// or uncooperative hang costs one trajectory — the supervisor restarts the
+// worker with backoff and the iteration completes with the survivors.
 #pragma once
 
 #include <memory>
@@ -85,6 +89,32 @@ struct TrainConfig {
   // After this many consecutive dropped iterations, restore the last
   // known-good policy/optimizer/baseline state before continuing.
   int rollback_after = 2;
+
+  // --- Process isolation (DESIGN.md Sec. 10) ---
+  // Run each rollout in a forked child process supervised over a pipe
+  // (rl/isolation/supervisor.h) instead of a thread. A crash, hang or OOM
+  // kill then costs one trajectory, not the training run: the supervisor
+  // classifies the failure, restarts the worker with exponential backoff,
+  // and after `max_worker_restarts` failed attempts the iteration proceeds
+  // with the surviving trajectories (the crashed worker's audit record is
+  // marked `crashed`). When on, `rollout_deadline_sec` becomes a hard
+  // SIGKILL deadline enforced by the parent (superseding the cooperative
+  // watchdog) and decoding is per-worker inside each child (bit-identical
+  // to the batched path, which the equivalence tests pin). A crash-free
+  // isolated run produces bit-identical TrainStats, checkpoints and audit
+  // bytes to the thread backend. Ignored (with a warning) on platforms
+  // without fork(); the thread backend remains the default.
+  bool isolate_workers = false;
+  // Restarts allowed per worker per iteration; attempts = restarts + 1.
+  int max_worker_restarts = 2;
+  // Restart backoff base: restart r waits min(base * 2^r, 2.0) seconds plus
+  // deterministic jitter.
+  double worker_backoff_sec = 0.05;
+  // Child heartbeat period; <= 0 disables heartbeats and the silence check.
+  double worker_heartbeat_sec = 0.25;
+  // A worker silent longer than this (no heartbeat, no payload bytes) is
+  // declared wedged and SIGKILLed; <= 0 disables.
+  double worker_heartbeat_timeout_sec = 5.0;
 };
 
 struct IterationStats {

@@ -1,0 +1,154 @@
+// Frame protocol tests: incremental reassembly across arbitrary feed
+// boundaries, truncation detection (the supervisor's signal that a child
+// died mid-write), corrupt length rejection, and real-pipe round trips
+// including the deliberately torn frames the pipe_truncate fault produces.
+#include "common/ipc.h"
+
+#include <gtest/gtest.h>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rlccd {
+namespace {
+
+std::string frame_bytes(FrameType type, std::string_view payload) {
+  std::string out;
+  ipc_append_pod(out, static_cast<std::uint8_t>(type));
+  ipc_append_pod(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+TEST(FrameDecoder, ReassemblesFramesAcrossByteByByteFeeds) {
+  const std::string stream = frame_bytes(FrameType::kHeartbeat, "") +
+                             frame_bytes(FrameType::kResult, "payload");
+  FrameDecoder dec;
+  std::vector<Frame> frames;
+  Frame f;
+  for (char c : stream) {
+    dec.feed(&c, 1);
+    while (dec.next(f)) frames.push_back(f);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, static_cast<std::uint8_t>(FrameType::kHeartbeat));
+  EXPECT_TRUE(frames[0].payload.empty());
+  EXPECT_EQ(frames[1].type, static_cast<std::uint8_t>(FrameType::kResult));
+  EXPECT_EQ(frames[1].payload, "payload");
+  EXPECT_FALSE(dec.mid_frame()) << "stream ended on a frame boundary";
+}
+
+TEST(FrameDecoder, FlagsStreamEndingMidFrame) {
+  const std::string full = frame_bytes(FrameType::kResult, "0123456789");
+  FrameDecoder dec;
+  dec.feed(full.data(), full.size() - 4);  // lose the last 4 payload bytes
+  Frame f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_TRUE(dec.mid_frame()) << "a truncated frame must be detectable";
+}
+
+TEST(FrameDecoder, HeaderAloneIsMidFrame) {
+  const std::string full = frame_bytes(FrameType::kResult, "abc");
+  FrameDecoder dec;
+  dec.feed(full.data(), 3);  // not even the whole 5-byte header
+  Frame f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_TRUE(dec.mid_frame());
+}
+
+TEST(FrameDecoder, RejectsOversizedLengthPrefix) {
+  std::string bytes;
+  ipc_append_pod(bytes, static_cast<std::uint8_t>(FrameType::kResult));
+  ipc_append_pod(bytes,
+                 static_cast<std::uint32_t>(FrameDecoder::kMaxPayload + 1));
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Frame f;
+  EXPECT_FALSE(dec.next(f));
+  ASSERT_FALSE(dec.error().ok());
+  EXPECT_EQ(dec.error().code(), StatusCode::kCorrupt);
+}
+
+TEST(IpcCodec, PodStringAndFloatVecRoundTrip) {
+  std::string buf;
+  const std::string binary("a\0b\xff", 4);  // embedded NUL must survive
+  ipc_append_pod(buf, std::uint64_t{0xDEADBEEFCAFEull});
+  ipc_append_string(buf, binary);
+  ipc_append_float_vec(buf, {1.5f, -2.25f, 0.0f});
+
+  std::size_t off = 0;
+  std::uint64_t u = 0;
+  std::string s;
+  std::vector<float> v;
+  ASSERT_TRUE(ipc_parse_pod(buf, off, u, "u").ok());
+  ASSERT_TRUE(ipc_parse_string(buf, off, s, "s").ok());
+  ASSERT_TRUE(ipc_parse_float_vec(buf, off, v, "v").ok());
+  EXPECT_EQ(u, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(s, binary);
+  EXPECT_EQ(v, (std::vector<float>{1.5f, -2.25f, 0.0f}));
+  EXPECT_EQ(off, buf.size());
+
+  // Parsing past the end is a corrupt Status naming the field, not a crash.
+  std::uint32_t trailing = 0;
+  Status bad = ipc_parse_pod(buf, off, trailing, "trailing");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.to_string().find("trailing"), std::string::npos);
+}
+
+#ifndef _WIN32
+
+TEST(IpcPipe, WriteFrameRoundTripsThroughARealPipe) {
+  Pipe pipe;
+  ASSERT_TRUE(pipe_create(pipe).ok());
+  const std::string payload(100000, 'x');  // larger than PIPE_BUF
+  // Writer thread: a 100 kB frame cannot sit in the pipe buffer whole.
+  std::thread writer([&]() {
+    EXPECT_TRUE(write_frame(pipe.write_fd, FrameType::kResult, payload).ok());
+    ::close(pipe.write_fd);
+  });
+  FrameDecoder dec;
+  char buf[4096];
+  ssize_t n;
+  std::vector<Frame> frames;
+  Frame f;
+  while ((n = ::read(pipe.read_fd, buf, sizeof(buf))) > 0) {
+    dec.feed(buf, static_cast<std::size_t>(n));
+    while (dec.next(f)) frames.push_back(f);
+  }
+  writer.join();
+  ::close(pipe.read_fd);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, payload);
+  EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(IpcPipe, TruncatedWriteLeavesDecoderMidFrame) {
+  Pipe pipe;
+  ASSERT_TRUE(pipe_create(pipe).ok());
+  const std::string payload = "the full payload that never fully arrives";
+  ASSERT_TRUE(write_truncated_frame(pipe.write_fd, FrameType::kResult,
+                                    payload, payload.size() / 2)
+                  .ok());
+  ::close(pipe.write_fd);
+  FrameDecoder dec;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(pipe.read_fd, buf, sizeof(buf))) > 0) {
+    dec.feed(buf, static_cast<std::size_t>(n));
+  }
+  ::close(pipe.read_fd);
+  Frame f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_TRUE(dec.mid_frame())
+      << "header announced more bytes than the stream delivered";
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace rlccd

@@ -103,6 +103,56 @@ std::string sample_audit_jsonl() {
   return lines;
 }
 
+// An audit stream with zero records — empty file, whitespace only, or only
+// unknown record types — must fail loudly: rlccd_report would otherwise
+// summarize a broken run as a clean empty one.
+TEST(ReportAudit, EmptyStreamIsAnError) {
+  RunReport report;
+  Status s = parse_audit_jsonl("", report);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorrupt);
+  EXPECT_NE(s.to_string().find("no records"), std::string::npos)
+      << s.to_string();
+  EXPECT_FALSE(report.has_audit);
+}
+
+TEST(ReportAudit, WhitespaceOnlyStreamIsAnError) {
+  RunReport report;
+  EXPECT_FALSE(parse_audit_jsonl("\n  \n\t\r\n", report).ok());
+  EXPECT_FALSE(report.has_audit);
+}
+
+TEST(ReportAudit, StreamTruncatedMidRecordIsAnError) {
+  const std::string full = sample_audit_jsonl();
+  // Cut inside the final record: the last line no longer parses as JSON.
+  const std::string truncated = full.substr(0, full.size() - 30);
+  RunReport report;
+  Status s = parse_audit_jsonl(truncated, report);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorrupt);
+  EXPECT_NE(s.to_string().find("audit line"), std::string::npos)
+      << "diagnostic names the broken line: " << s.to_string();
+}
+
+TEST(ReportAudit, LoadRunSurfacesEmptyAuditFileWithPath) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/report_empty_audit";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::ofstream(dir + "/audit.jsonl").close();  // zero bytes
+  RunReport report;
+  Status s = load_run(dir, report);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.to_string().find("audit.jsonl"), std::string::npos)
+      << "diagnostic names the file: " << s.to_string();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReportAudit, LoadRunFailsOnMissingPath) {
+  RunReport report;
+  EXPECT_FALSE(load_run("/nonexistent/rlccd/run", report).ok());
+}
+
 TEST(ReportAudit, AccumulatesRecordsFromWriterFormat) {
   RunReport report;
   ASSERT_TRUE(parse_audit_jsonl(sample_audit_jsonl(), report).ok());

@@ -290,6 +290,52 @@ TEST(TrainerFault, CorruptNewestCheckpointFallsBackToOlder) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(TrainerFault, TruncatedNewestCheckpointFallsBackWithWarning) {
+  Design d = small_design(94);
+  FaultInjector::global().reset();
+  std::string dir = fresh_dir("resume_truncated");
+  TrainStats ref;
+  {
+    Policy policy(PolicyConfig{}, 2);
+    TrainConfig cfg = fast_config(d);
+    cfg.checkpoint_dir = dir;
+    ref = ReinforceTrainer(&d, &policy, cfg).train();
+  }
+  std::vector<std::string> paths;
+  ASSERT_TRUE(list_checkpoints(dir, paths).ok());
+  ASSERT_GE(paths.size(), 2u);
+
+  // Truncate the newest checkpoint mid-payload: the header (magic, version,
+  // payload size, CRC) survives, the payload does not — exactly what a
+  // crash or full disk during a non-atomic copy produces.
+  const auto full_size = std::filesystem::file_size(paths[0]);
+  ASSERT_GT(full_size, 64u);
+  std::filesystem::resize_file(paths[0], full_size - full_size / 3);
+  TrainCheckpoint direct;
+  Status truncated = load_checkpoint(direct, paths[0]);
+  ASSERT_FALSE(truncated.ok()) << "truncated checkpoint must not load";
+  EXPECT_EQ(truncated.code(), StatusCode::kCorrupt) << truncated.to_string();
+
+  // Resume skips the truncated file with a counted warning — not a silent
+  // fresh start — and replays from the previous checkpoint bit-identically.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  MetricsCounter& skipped = reg.counter("train.checkpoints_skipped");
+  MetricsCounter& resumes = reg.counter("train.resumes");
+  const std::uint64_t skipped_before = skipped.value();
+  const std::uint64_t resumes_before = resumes.value();
+  {
+    Policy policy(PolicyConfig{}, 999);
+    TrainConfig cfg = fast_config(d);
+    cfg.checkpoint_dir = dir;
+    cfg.resume = true;
+    TrainStats resumed = ReinforceTrainer(&d, &policy, cfg).train();
+    expect_bit_identical(resumed, ref);
+  }
+  EXPECT_GE(skipped.value() - skipped_before, 1u);
+  EXPECT_EQ(resumes.value() - resumes_before, 1u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(TrainerFault, NanRewardPoisonsOneTrajectoryWithoutAborting) {
   Design d = small_design(95);
   MetricsRegistry& reg = MetricsRegistry::global();

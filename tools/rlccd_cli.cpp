@@ -6,7 +6,8 @@
 //   rlccd_cli train    <block> [--scale S] [--iters N] [--workers N]
 //                      [--rho R] [--gnn-in FILE] [--gnn-out FILE]
 //                      [--checkpoint-dir DIR] [--resume]
-//                      [--rollout-deadline SECS]
+//                      [--rollout-deadline SECS] [--isolate-workers]
+//                      [--max-worker-restarts N]
 //
 // Global flags: --metrics-json FILE / --metrics-csv FILE write the
 // process-wide telemetry registry (counters, histograms, nested spans)
@@ -57,6 +58,8 @@ struct Args {
   std::string checkpoint_dir;
   bool resume = false;
   double rollout_deadline = 0.0;
+  bool isolate_workers = false;
+  int max_worker_restarts = -1;  // < 0: keep the TrainConfig default
 };
 
 StderrProgress g_progress;
@@ -107,6 +110,10 @@ bool parse(int argc, char** argv, Args& args) {
       args.resume = true;
     } else if (flag == "--rollout-deadline" && (v = next())) {
       args.rollout_deadline = std::atof(v);
+    } else if (flag == "--isolate-workers") {
+      args.isolate_workers = true;
+    } else if (flag == "--max-worker-restarts" && (v = next())) {
+      args.max_worker_restarts = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -193,6 +200,10 @@ int cmd_train(const Args& args) {
   cfg.train.checkpoint_dir = args.checkpoint_dir;
   cfg.train.resume = args.resume;
   cfg.train.rollout_deadline_sec = args.rollout_deadline;
+  cfg.train.isolate_workers = args.isolate_workers;
+  if (args.max_worker_restarts >= 0) {
+    cfg.train.max_worker_restarts = args.max_worker_restarts;
+  }
   cfg.pretrained_gnn = args.gnn_in;
   if (args.progress) cfg.observer = &g_progress;
   if (g_audit != nullptr) cfg.audit = g_audit.get();
@@ -227,7 +238,8 @@ int main(int argc, char** argv) {
                  "[--scale S] [--seed N] [--iters N] [--workers N] [--rho R] "
                  "[--out FILE] [--gnn-in FILE] [--gnn-out FILE] "
                  "[--checkpoint-dir DIR] [--resume] "
-                 "[--rollout-deadline SECS] "
+                 "[--rollout-deadline SECS] [--isolate-workers] "
+                 "[--max-worker-restarts N] "
                  "[--metrics-json FILE] [--metrics-csv FILE] "
                  "[--trace-json FILE] [--audit-jsonl FILE] [--progress]\n");
     return 2;

@@ -1,7 +1,8 @@
 // Developer smoke test: end-to-end RL-CCD training on one block.
 //
 //   smoke_rl [block] [scale] [iters] [--checkpoint-dir DIR] [--resume]
-//            [--rollout-deadline SECS] [--metrics-json FILE]
+//            [--rollout-deadline SECS] [--isolate-workers]
+//            [--max-worker-restarts N] [--metrics-json FILE]
 //            [--metrics-csv FILE] [--trace-json FILE] [--audit-jsonl FILE]
 //
 // The flight-recorder flags mirror rlccd_cli: --trace-json records a
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   bool resume = false;
   double rollout_deadline = 0.0;
+  bool isolate_workers = false;
+  int max_worker_restarts = -1;
   std::string metrics_json;
   std::string metrics_csv;
   std::string trace_json;
@@ -44,6 +47,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--rollout-deadline") == 0 &&
                i + 1 < argc) {
       rollout_deadline = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--isolate-workers") == 0) {
+      isolate_workers = true;
+    } else if (std::strcmp(argv[i], "--max-worker-restarts") == 0 &&
+               i + 1 < argc) {
+      max_worker_restarts = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_json = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-csv") == 0 && i + 1 < argc) {
@@ -85,6 +93,10 @@ int main(int argc, char** argv) {
   cfg.train.checkpoint_dir = checkpoint_dir;
   cfg.train.resume = resume;
   cfg.train.rollout_deadline_sec = rollout_deadline;
+  cfg.train.isolate_workers = isolate_workers;
+  if (max_worker_restarts >= 0) {
+    cfg.train.max_worker_restarts = max_worker_restarts;
+  }
   if (audit != nullptr) cfg.audit = audit.get();
 
   RlCcd agent(&design, cfg);
