@@ -31,7 +31,7 @@ int main() {
 
     Sta sta = design.make_sta();
     sta.run();
-    std::vector<PinId> vio = sta.violating_endpoints();
+    std::vector<PinId> vio = sta.endpoint_violations();
     std::size_t k = std::max<std::size_t>(1, vio.size() / 3);
     Rng rng(17);
 

@@ -54,7 +54,7 @@ void BM_ConeExtraction(benchmark::State& state) {
   Design& d = cached_design(2000);
   Sta sta = d.make_sta();
   sta.run();
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio = sta.endpoint_violations();
   for (auto _ : state) {
     ConeIndex cones(*d.netlist, vio);
     benchmark::DoNotOptimize(cones.size());

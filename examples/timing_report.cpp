@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
               std::min(s.worst_hold_slack, 9.999));
 
   // Worst three paths.
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio = sta.endpoint_violations();
   std::sort(vio.begin(), vio.end(), [&](PinId a, PinId b) {
     return sta.endpoint_slack(a) < sta.endpoint_slack(b);
   });

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   // Naive baselines for context.
   Sta sta = design.make_sta();
   sta.run();
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio = sta.endpoint_violations();
   ReinforceTrainer trainer(&design, &agent.policy(), cfg.train);
   Rng rng(13);
   std::size_t k = std::max<std::size_t>(1, vio.size() / 3);

@@ -28,3 +28,15 @@ namespace rlccd {
 #define RLCCD_ASSERT(cond)                                               \
   ((cond) ? static_cast<void>(0)                                         \
           : ::rlccd::contract_fail("Invariant", #cond, __FILE__, __LINE__))
+
+// Debug-only assert for configuration mistakes that are caught (and merely
+// degraded) at runtime anyway: compiled out under NDEBUG, unlike the three
+// always-on contracts above.
+#ifdef NDEBUG
+#define RLCCD_DEBUG_ASSERT(cond) static_cast<void>(0)
+#else
+#define RLCCD_DEBUG_ASSERT(cond)                                         \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::rlccd::contract_fail("Debug invariant", #cond, __FILE__,   \
+                                   __LINE__))
+#endif

@@ -1,0 +1,61 @@
+// 128-bit state hashing for memoization keys.
+//
+// Hash128 is the key type of the rollout transposition table: wide enough
+// that accidental collisions are out of reach for any realistic run (a
+// 64-bit key collides at ~2^32 entries; 128 bits push the birthday bound
+// past anything a training farm can evaluate), while staying a trivially
+// copyable 16-byte value that XORs in O(1).
+//
+// Keys compose Zobrist-style: independent per-event 128-bit values combined
+// with XOR, so incremental maintenance is one mix + one XOR per event. The
+// per-event values come from hash128() — a SplitMix64-finalizer mix over the
+// event's coordinates with two independent salts per lane — instead of a
+// materialized random table, because the coordinate space (sequence numbers,
+// cell ids) is unbounded.
+#pragma once
+
+#include <cstdint>
+
+namespace rlccd {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  [[nodiscard]] constexpr bool is_zero() const { return lo == 0 && hi == 0; }
+
+  constexpr Hash128& operator^=(const Hash128& o) {
+    lo ^= o.lo;
+    hi ^= o.hi;
+    return *this;
+  }
+  friend constexpr Hash128 operator^(Hash128 a, const Hash128& b) {
+    a ^= b;
+    return a;
+  }
+  friend constexpr bool operator==(const Hash128& a, const Hash128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend constexpr bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+};
+
+// SplitMix64 finalizer: a fast, well-distributed 64 -> 64 bit mixer.
+[[nodiscard]] constexpr std::uint64_t hash_mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// 128-bit key for the event with coordinates (a, b). The two lanes mix the
+// coordinates in opposite order with distinct salts, so they behave as
+// independent 64-bit draws of a seeded Zobrist table.
+[[nodiscard]] constexpr Hash128 hash128(std::uint64_t a, std::uint64_t b) {
+  Hash128 h;
+  h.lo = hash_mix64(a + 0x9e3779b97f4a7c15ull * (b + 1));
+  h.hi = hash_mix64(b + 0xc2b2ae3d27d4eb4full * (a + 2));
+  return h;
+}
+
+}  // namespace rlccd

@@ -6,7 +6,7 @@ namespace rlccd {
 
 std::vector<PinId> select_worst_k(const Sta& sta, std::size_t k) {
   std::vector<PinId> vio;
-  sta.violating_endpoints(vio);
+  sta.endpoint_violations(vio);
   std::sort(vio.begin(), vio.end(), [&](PinId a, PinId b) {
     return sta.endpoint_slack(a) < sta.endpoint_slack(b);
   });
@@ -16,7 +16,7 @@ std::vector<PinId> select_worst_k(const Sta& sta, std::size_t k) {
 
 std::vector<PinId> select_random_k(const Sta& sta, std::size_t k, Rng& rng) {
   std::vector<PinId> vio;
-  sta.violating_endpoints(vio);
+  sta.endpoint_violations(vio);
   rng.shuffle(vio);
   if (vio.size() > k) vio.resize(k);
   std::sort(vio.begin(), vio.end());
@@ -24,7 +24,7 @@ std::vector<PinId> select_random_k(const Sta& sta, std::size_t k, Rng& rng) {
 }
 
 std::vector<PinId> select_all_violating(const Sta& sta) {
-  return sta.violating_endpoints();
+  return sta.endpoint_violations();
 }
 
 }  // namespace rlccd

@@ -62,12 +62,19 @@ struct FlowConfig {
   bool legalize = true;
   MarginMode margin_mode = MarginMode::OverFixToWns;
   // Streams per-step ProgressEvents (phase "flow"); fires on the thread
-  // running this flow. Not owned; must outlive the run.
+  // running this flow. Not owned; must outlive the run. Must be null when
+  // the trainer runs with isolate_workers: the flow then executes inside a
+  // forked child, where the callback would fire against the parent's
+  // copy-on-write state and its effects die with the child (asserted, in
+  // debug builds, by the ReinforceTrainer constructor).
   ProgressObserver* observer = nullptr;
   // Cooperative cancellation (the trainer's rollout watchdog). Polled at
   // optimization-pass boundaries; when expired, the flow skips its remaining
   // passes, runs the final STA on the partially optimized netlist, and
   // returns with FlowResult::cancelled set. Not owned; must outlive the run.
+  // Must likewise be null under isolate_workers — a token armed in the
+  // parent cannot observe the child's clock; the supervisor's SIGKILL
+  // deadline replaces it there.
   const CancelToken* cancel = nullptr;
 };
 

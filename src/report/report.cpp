@@ -533,7 +533,8 @@ ReportDiff diff_runs(const RunReport& base, const RunReport& candidate,
   if (base.has_bench && candidate.has_bench) {
     auto is_ratio = [](const std::string& name) {
       return name.find("speedup") != std::string::npos ||
-             name.find("reduction") != std::string::npos;
+             name.find("reduction") != std::string::npos ||
+             name.find("hit_rate") != std::string::npos;
     };
     for (const auto& metric : base.bench_metrics) {
       const std::string& name = metric.first;

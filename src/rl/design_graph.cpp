@@ -5,7 +5,7 @@ namespace rlccd {
 DesignGraph::DesignGraph(const Design& design) : design_(&design) {
   Sta sta = design.make_sta();
   sta.run();
-  violating_ = sta.violating_endpoints();
+  violating_ = sta.endpoint_violations();
   begin_tns_ = sta.summary().tns;
   slacks_.reserve(violating_.size());
   for (PinId ep : violating_) slacks_.push_back(sta.endpoint_slack(ep));

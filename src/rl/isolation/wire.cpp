@@ -101,15 +101,56 @@ Status parse_audit(std::string_view bytes, std::size_t& offset,
 
 }  // namespace
 
+void append_eval_outcome(std::string& out, const EvalOutcome& outcome) {
+  ipc_append_pod(out, outcome.summary.wns);
+  ipc_append_pod(out, outcome.summary.tns);
+  ipc_append_pod(out, static_cast<std::uint64_t>(outcome.summary.nve));
+  ipc_append_pod(out,
+                 static_cast<std::uint64_t>(outcome.summary.num_endpoints));
+  ipc_append_pod(out, outcome.summary.worst_hold_slack);
+  ipc_append_pod(out, outcome.reward);
+  ipc_append_pod(out, static_cast<std::uint8_t>(outcome.flow_ran));
+  ipc_append_pod(out, static_cast<std::uint8_t>(outcome.cancelled));
+  ipc_append_pod(out, outcome.state_hash.lo);
+  ipc_append_pod(out, outcome.state_hash.hi);
+  ipc_append_pod(out, static_cast<std::uint8_t>(outcome.cache_hit));
+  ipc_append_pod(out, outcome.flow_sec);
+  ipc_append_pod(out, outcome.sta_pin_updates);
+}
+
+Status parse_eval_outcome(std::string_view bytes, std::size_t& offset,
+                          EvalOutcome& out) {
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.summary.wns, "outcome wns"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.summary.tns, "outcome tns"));
+  std::uint64_t nve = 0, num_endpoints = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, nve, "outcome nve"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, num_endpoints, "outcome endpoints"));
+  out.summary.nve = static_cast<std::size_t>(nve);
+  out.summary.num_endpoints = static_cast<std::size_t>(num_endpoints);
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.summary.worst_hold_slack,
+                          "outcome hold slack"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.reward, "outcome reward"));
+  std::uint8_t flow_ran = 0, cancelled = 0, cache_hit = 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, flow_ran, "outcome flow_ran"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, cancelled, "outcome cancelled"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.state_hash.lo, "state hash lo"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.state_hash.hi, "state hash hi"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, cache_hit, "outcome cache_hit"));
+  out.flow_ran = flow_ran != 0;
+  out.cancelled = cancelled != 0;
+  out.cache_hit = cache_hit != 0;
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.flow_sec, "outcome flow_sec"));
+  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.sta_pin_updates,
+                          "outcome pin updates"));
+  return Status();
+}
+
 void encode_rollout_wire(const RolloutWire& wire, std::string& out) {
   out.clear();
   ipc_append_pod(out, RolloutWire::kVersion);
-  ipc_append_pod(out, wire.tns);
-  ipc_append_pod(out, wire.reward);
+  append_eval_outcome(out, wire.outcome);
   ipc_append_pod(out, wire.steps);
-  ipc_append_pod(out, static_cast<std::uint8_t>(wire.flow_ran));
   ipc_append_pod(out, static_cast<std::uint8_t>(wire.poisoned));
-  ipc_append_pod(out, static_cast<std::uint8_t>(wire.cancelled));
   ipc_append_pod(out, static_cast<std::uint32_t>(wire.selection.size()));
   for (PinId pin : wire.selection) ipc_append_pod(out, pin.value);
   ipc_append_pod(out, static_cast<std::uint32_t>(wire.grads.size()));
@@ -131,16 +172,11 @@ Status decode_rollout_wire(std::string_view bytes, RolloutWire& out) {
     return Status::corrupt("rollout wire version %u, expected %u", version,
                            RolloutWire::kVersion);
   }
-  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.tns, "tns"));
-  RLCCD_TRY(ipc_parse_pod(bytes, offset, out.reward, "reward"));
+  RLCCD_TRY(parse_eval_outcome(bytes, offset, out.outcome));
   RLCCD_TRY(ipc_parse_pod(bytes, offset, out.steps, "steps"));
-  std::uint8_t flow_ran = 0, poisoned = 0, cancelled = 0;
-  RLCCD_TRY(ipc_parse_pod(bytes, offset, flow_ran, "flow_ran"));
+  std::uint8_t poisoned = 0;
   RLCCD_TRY(ipc_parse_pod(bytes, offset, poisoned, "poisoned"));
-  RLCCD_TRY(ipc_parse_pod(bytes, offset, cancelled, "cancelled"));
-  out.flow_ran = flow_ran != 0;
   out.poisoned = poisoned != 0;
-  out.cancelled = cancelled != 0;
 
   std::uint32_t n_sel = 0;
   RLCCD_TRY(ipc_parse_pod(bytes, offset, n_sel, "selection count"));

@@ -3,9 +3,11 @@
 // the trainer.
 //
 // The wire carries exactly what the in-thread worker hands the trainer —
-// trajectory outcome, per-parameter gradients, the decision-provenance
-// audit — plus the child's telemetry delta (counter increments and the span
-// tree recorded while the rollout ran), which the parent re-applies to the
+// the EvalOutcome of the reward evaluation (the same struct every backend
+// receives from RolloutEvaluator, so cached and fresh outcomes serialize
+// identically), per-parameter gradients, the decision-provenance audit —
+// plus the child's telemetry delta (counter increments and the span tree
+// recorded while the rollout ran), which the parent re-applies to the
 // global registry so metrics agree with the thread backend. Encoding is
 // little-endian fixed-width via the common/ipc.h codec; a leading version
 // byte rejects frames from a mismatched binary.
@@ -21,18 +23,18 @@
 #include "common/status.h"
 #include "common/telemetry.h"
 #include "rl/audit.h"
+#include "rl/evaluator.h"
 
 namespace rlccd {
 
 struct RolloutWire {
-  static constexpr std::uint8_t kVersion = 1;
+  // v2: tns/reward/flow_ran/cancelled folded into an embedded EvalOutcome
+  // (adds the state hash, hit provenance and the flow-cost skeleton).
+  static constexpr std::uint8_t kVersion = 2;
 
-  double tns = 0.0;
-  double reward = 0.0;
+  EvalOutcome outcome;
   std::int32_t steps = 0;
-  bool flow_ran = false;
   bool poisoned = false;
-  bool cancelled = false;
   std::vector<PinId> selection;
   std::vector<std::vector<float>> grads;  // per parameter
   SelectionAudit audit;
@@ -41,6 +43,13 @@ struct RolloutWire {
   std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
   SpanNode spans;
 };
+
+// EvalOutcome codec, shared between the rollout wire and anything else that
+// persists outcomes (e.g. tests round-tripping cache entries): one field at
+// a time, fixed width, no padding bytes on the wire.
+void append_eval_outcome(std::string& out, const EvalOutcome& outcome);
+Status parse_eval_outcome(std::string_view bytes, std::size_t& offset,
+                          EvalOutcome& out);
 
 void encode_rollout_wire(const RolloutWire& wire, std::string& out);
 // Rejects unknown versions and any truncated / overlong byte stream with a

@@ -14,6 +14,7 @@
 #include "common/trace.h"
 #include "nn/serialize.h"
 #include "rl/checkpoint.h"
+#include "rl/flow_cache.h"
 #include "rl/isolation/supervisor.h"
 #include "rl/isolation/wire.h"
 
@@ -21,34 +22,27 @@ namespace rlccd {
 
 ReinforceTrainer::ReinforceTrainer(const Design* design, Policy* policy,
                                    TrainConfig config)
-    : design_(design), policy_(policy), config_(config), graph_(*design) {
+    : design_(design),
+      policy_(policy),
+      config_(config),
+      graph_(*design),
+      cache_(config_.flow_cache_mb > 0
+                 ? std::make_unique<FlowOutcomeCache>(config_.flow_cache_mb)
+                 : nullptr),
+      evaluator_(design, config_.flow, cache_.get()) {
   RLCCD_EXPECTS(design != nullptr && policy != nullptr);
   RLCCD_EXPECTS(config.workers >= 1);
   RLCCD_EXPECTS(config.checkpoint_every >= 1);
   RLCCD_EXPECTS(config.rollback_after >= 1);
+  // With isolated workers the reward flows run inside forked children:
+  // a flow observer would fire against copy-on-write state and a parent
+  // cancel token cannot see the child's clock (see FlowConfig docs).
+  RLCCD_DEBUG_ASSERT(!config_.isolate_workers ||
+                     (config_.flow.observer == nullptr &&
+                      config_.flow.cancel == nullptr));
 }
 
-std::unique_ptr<Netlist> ReinforceTrainer::acquire_scratch() const {
-  std::unique_ptr<Netlist> scratch;
-  {
-    std::lock_guard<std::mutex> lock(scratch_mutex_);
-    if (!scratch_pool_.empty()) {
-      scratch = std::move(scratch_pool_.back());
-      scratch_pool_.pop_back();
-    }
-  }
-  if (scratch) {
-    *scratch = *design_->netlist;  // reset in place, reusing capacity
-  } else {
-    scratch = std::make_unique<Netlist>(*design_->netlist);
-  }
-  return scratch;
-}
-
-void ReinforceTrainer::release_scratch(std::unique_ptr<Netlist> scratch) const {
-  std::lock_guard<std::mutex> lock(scratch_mutex_);
-  scratch_pool_.push_back(std::move(scratch));
-}
+ReinforceTrainer::~ReinforceTrainer() = default;
 
 FlowResult ReinforceTrainer::evaluate_selection(
     std::span<const PinId> selection) const {
@@ -57,14 +51,7 @@ FlowResult ReinforceTrainer::evaluate_selection(
 
 FlowResult ReinforceTrainer::evaluate_selection(
     std::span<const PinId> selection, const CancelToken* cancel) const {
-  std::unique_ptr<Netlist> work = acquire_scratch();
-  FlowInput input{design_->sta_config, design_->clock_period, design_->die,
-                  design_->pi_toggles, selection};
-  FlowConfig flow = config_.flow;
-  flow.cancel = cancel;
-  FlowResult result = run_placement_flow(*work, input, flow);
-  release_scratch(std::move(work));
-  return result;
+  return evaluator_.evaluate_full(selection, cancel);
 }
 
 TrainStats ReinforceTrainer::train() {
@@ -214,15 +201,16 @@ TrainStats ReinforceTrainer::train() {
   const double reward_denom =
       std::max({std::abs(stats.default_tns), 0.02 * std::abs(stats.begin_tns),
                 1e-3});
+  // From here on every reward evaluation — worker rollouts and the final
+  // greedy decode — goes through the memoizing evaluator with this
+  // normalization (rewards are recomputed on cache hits, never stored).
+  evaluator_.set_reward_transform(stats.default_tns, reward_denom);
 
   struct WorkerOut {
-    double tns = 0.0;
-    double reward = 0.0;
+    EvalOutcome outcome;   // reward evaluation (fresh or memoized)
     int steps = 0;
-    bool flow_ran = false;
-    bool poisoned = false;   // non-finite logits/TNS/reward/gradients
-    bool cancelled = false;  // rollout watchdog fired
-    bool crashed = false;    // isolated worker lost (restarts exhausted)
+    bool poisoned = false;  // non-finite logits/TNS/reward/gradients
+    bool crashed = false;   // isolated worker lost (restarts exhausted)
     std::vector<PinId> selection;
     std::vector<std::vector<float>> grads;  // per parameter
     SelectionAudit audit;                   // decision provenance
@@ -251,6 +239,10 @@ TrainStats ReinforceTrainer::train() {
     }
     const auto t_iter = std::chrono::steady_clock::now();
     ScopedSpan iter_span("iteration");
+    // Age the flow cache once per iteration: entries last touched several
+    // iterations ago lose replacement fights against the current policy's
+    // sampling distribution.
+    if (cache_ != nullptr) cache_->new_generation();
     // Clone policies on the main thread (cheap, deterministic).
     std::vector<Policy> clones;
     clones.reserve(static_cast<std::size_t>(config_.workers));
@@ -308,10 +300,8 @@ TrainStats ReinforceTrainer::train() {
         RLCCD_LOG_WARN("worker %d: non-finite logits; trajectory dropped", w);
         return;
       }
-      FlowResult fr = evaluate_selection(ro.selected, watchdog);
-      out.flow_ran = true;
-      if (fr.cancelled) {
-        out.cancelled = true;
+      out.outcome = evaluator_.evaluate({ro.selected, watchdog});
+      if (out.outcome.cancelled) {
         ctr_cancelled.increment();
         RLCCD_TRACE_INSTANT("train.rollout_cancelled");
         RLCCD_LOG_WARN(
@@ -319,17 +309,17 @@ TrainStats ReinforceTrainer::train() {
             config_.rollout_deadline_sec);
         return;
       }
-      out.tns = fr.final_summary.tns;
       if (fault_fire("nan_reward")) {
-        out.tns = std::numeric_limits<double>::quiet_NaN();
+        out.outcome.summary.tns = std::numeric_limits<double>::quiet_NaN();
+        out.outcome.reward = std::numeric_limits<double>::quiet_NaN();
       }
-      out.reward = (out.tns - stats.default_tns) / reward_denom;
-      if (!std::isfinite(out.tns) || !std::isfinite(out.reward)) {
+      if (!std::isfinite(out.outcome.summary.tns) ||
+          !std::isfinite(out.outcome.reward)) {
         out.poisoned = true;
         ctr_poisoned.increment();
         RLCCD_LOG_WARN(
             "worker %d: non-finite reward (TNS %g); trajectory dropped", w,
-            out.tns);
+            out.outcome.summary.tns);
         return;
       }
 
@@ -352,7 +342,7 @@ TrainStats ReinforceTrainer::train() {
 
       // REINFORCE: grad = -(r - b) * sum_t grad(log pi_t); the baseline
       // is read once before the workers launch.
-      const float scale = static_cast<float>(-(out.reward - baseline));
+      const float scale = static_cast<float>(-(out.outcome.reward - baseline));
       std::vector<Tensor> params = pol.parameters();
       out.grads.reserve(params.size());
       bool grads_finite = true;
@@ -406,12 +396,9 @@ TrainStats ReinforceTrainer::train() {
                            /*watchdog=*/nullptr, /*pre=*/nullptr);
             }
             RolloutWire wire;
-            wire.tns = out.tns;
-            wire.reward = out.reward;
+            wire.outcome = out.outcome;
             wire.steps = out.steps;
-            wire.flow_ran = out.flow_ran;
             wire.poisoned = out.poisoned;
-            wire.cancelled = out.cancelled;
             wire.selection = std::move(out.selection);
             wire.grads = std::move(out.grads);
             wire.audit = std::move(out.audit);
@@ -442,15 +429,25 @@ TrainStats ReinforceTrainer::train() {
                          ds.to_string().c_str());
           continue;
         }
-        out.tns = wire.tns;
-        out.reward = wire.reward;
+        out.outcome = wire.outcome;
         out.steps = wire.steps;
-        out.flow_ran = wire.flow_ran;
         out.poisoned = wire.poisoned;
-        out.cancelled = wire.cancelled;
         out.selection = std::move(wire.selection);
         out.grads = std::move(wire.grads);
         out.audit = std::move(wire.audit);
+        // Adopt the child's fresh flow outcome into the parent's cache: the
+        // child's own insert went into its copy-on-write image and died
+        // with the process. Hits need no re-insert (the entry predates the
+        // fork by construction), and cancelled or poisoned outcomes never
+        // enter the cache.
+        if (cache_ != nullptr && out.outcome.flow_ran &&
+            !out.outcome.cache_hit && !out.outcome.cancelled &&
+            !out.poisoned) {
+          // count_global=false: the child's insert delta is already in
+          // wire.counter_deltas, applied below.
+          cache_->insert(out.outcome.state_hash, out.outcome,
+                         /*count_global=*/false);
+        }
         // Re-apply what the child's rollout recorded, so global counters
         // and span trees agree with the thread backend.
         for (const auto& [name, delta] : wire.counter_deltas) {
@@ -495,12 +492,14 @@ TrainStats ReinforceTrainer::train() {
         RolloutAuditRecord rec;
         rec.iteration = iter;
         rec.worker = w;
-        rec.tns = out.tns;
-        rec.reward = out.reward;
-        rec.flow_ran = out.flow_ran;
+        rec.tns = out.outcome.summary.tns;
+        rec.reward = out.outcome.reward;
+        rec.flow_ran = out.outcome.flow_ran;
         rec.poisoned = out.poisoned;
-        rec.cancelled = out.cancelled;
+        rec.cancelled = out.outcome.cancelled;
         rec.crashed = out.crashed;
+        rec.state_hash = out.outcome.state_hash;
+        rec.cache_hit = out.outcome.cache_hit;
         rec.audit = &out.audit;
         config_.audit->on_rollout(rec);
       }
@@ -510,10 +509,13 @@ TrainStats ReinforceTrainer::train() {
     int n_poisoned = 0;
     int n_cancelled = 0;
     for (const WorkerOut& out : outs) {
-      if (out.flow_ran) ++stats.flow_runs;
+      // Memoized evaluations count as flow runs: the cache returns exactly
+      // what the run would have produced, so TrainStats stays identical
+      // with the cache on or off.
+      if (out.outcome.flow_ran) ++stats.flow_runs;
       if (out.poisoned) ++n_poisoned;
-      if (out.cancelled) ++n_cancelled;
-      if (!out.poisoned && !out.cancelled && !out.crashed) ++survivors;
+      if (out.outcome.cancelled) ++n_cancelled;
+      if (!out.poisoned && !out.outcome.cancelled && !out.crashed) ++survivors;
     }
 
     const double iter_seconds_so_far =
@@ -582,7 +584,7 @@ TrainStats ReinforceTrainer::train() {
     std::vector<Tensor> master = policy_->parameters();
     const float inv_w = 1.0f / static_cast<float>(survivors);
     for (const WorkerOut& out : outs) {
-      if (out.poisoned || out.cancelled || out.crashed) continue;
+      if (out.poisoned || out.outcome.cancelled || out.crashed) continue;
       for (std::size_t p = 0; p < master.size(); ++p) {
         std::vector<float>& g = master[p].grad_mut();
         const std::vector<float>& src = out.grads[p];
@@ -596,14 +598,15 @@ TrainStats ReinforceTrainer::train() {
     IterationStats is;
     double iter_best = -1e300;
     for (const WorkerOut& out : outs) {
-      if (out.poisoned || out.cancelled || out.crashed) continue;
-      is.mean_reward += out.reward;
-      is.mean_tns += out.tns;
+      if (out.poisoned || out.outcome.cancelled || out.crashed) continue;
+      const double tns = out.outcome.summary.tns;
+      is.mean_reward += out.outcome.reward;
+      is.mean_tns += tns;
       is.mean_steps += out.steps;
       is.mean_entropy += out.audit.mean_entropy();
-      if (out.tns > iter_best) iter_best = out.tns;
-      if (out.tns > stats.best_tns) {
-        stats.best_tns = out.tns;
+      if (tns > iter_best) iter_best = tns;
+      if (tns > stats.best_tns) {
+        stats.best_tns = tns;
         stats.best_selection = out.selection;
         stall = -1;  // improvement this iteration
       }
@@ -719,18 +722,22 @@ TrainStats ReinforceTrainer::train() {
     Policy::RolloutResult ro = policy_->rollout(
         graph_, env, rng, /*greedy=*/true, Policy::RolloutMode::Inference,
         config_.audit != nullptr ? &greedy_audit : nullptr);
-    FlowResult fr = evaluate_selection(ro.selected);
+    // Cached evaluation: the greedy selection often repeats the best
+    // sampled trajectory, in which case this costs a probe, not a flow.
+    EvalOutcome geo = evaluator_.evaluate({ro.selected});
     ++stats.flow_runs;
     if (config_.audit != nullptr) {
       RolloutAuditRecord rec;  // iteration -1 marks the greedy decode
-      rec.tns = fr.final_summary.tns;
+      rec.tns = geo.summary.tns;
       rec.flow_ran = true;
       rec.poisoned = ro.poisoned;
+      rec.state_hash = geo.state_hash;
+      rec.cache_hit = geo.cache_hit;
       rec.audit = &greedy_audit;
       config_.audit->on_rollout(rec);
     }
-    if (fr.final_summary.tns > stats.best_tns) {
-      stats.best_tns = fr.final_summary.tns;
+    if (geo.summary.tns > stats.best_tns) {
+      stats.best_tns = geo.summary.tns;
       stats.best_selection = ro.selected;
       RLCCD_LOG_INFO("greedy decode improved best TNS to %.3f",
                      stats.best_tns);

@@ -35,9 +35,12 @@
 #include "nn/optim.h"
 #include "opt/flow.h"
 #include "rl/audit.h"
+#include "rl/evaluator.h"
 #include "rl/policy.h"
 
 namespace rlccd {
+
+class FlowOutcomeCache;
 
 struct TrainConfig {
   int workers = 8;
@@ -57,6 +60,13 @@ struct TrainConfig {
   // checkpoints to the per-worker path (which is kept, and pinned against
   // this one by the equivalence tests).
   bool batched_inference = true;
+  // Flow-outcome cache budget in MiB (rl/flow_cache.h): memoizes reward
+  // evaluations by netlist-state hash, so a selection set the policy has
+  // already sampled skips the whole placement flow. 0 disables. Training
+  // history, checkpoints and audit bytes are identical either way — the
+  // flow is deterministic in the selection set — only the wall-clock and
+  // the train.cache_* metrics change.
+  std::size_t flow_cache_mb = 64;
   std::uint64_t seed = 1;
   FlowConfig flow;
   // Streams one ProgressEvent (phase "train", step "iteration") per
@@ -144,34 +154,38 @@ struct TrainStats {
 class ReinforceTrainer {
  public:
   ReinforceTrainer(const Design* design, Policy* policy, TrainConfig config);
+  ~ReinforceTrainer();  // out of line: FlowOutcomeCache is incomplete here
 
   // Trains the policy in place; returns the full history and best solution.
   TrainStats train();
 
-  // Runs the placement flow on a pristine copy with `selection`; returns
-  // the flow result (used for reward and for final reporting). The
-  // two-argument form threads a watchdog token into the flow.
+  // Runs the placement flow, uncached, on a pristine copy with `selection`;
+  // returns the full flow result (used for final reporting and by ablation
+  // benches that need pass-by-pass detail). The two-argument form threads a
+  // watchdog token into the flow. Reward evaluations inside train() go
+  // through the memoizing RolloutEvaluator instead.
   FlowResult evaluate_selection(std::span<const PinId> selection) const;
   FlowResult evaluate_selection(std::span<const PinId> selection,
                                 const CancelToken* cancel) const;
 
   [[nodiscard]] const DesignGraph& graph() const { return graph_; }
+  // The trainer's flow-outcome cache; null when flow_cache_mb == 0.
+  [[nodiscard]] FlowOutcomeCache* flow_cache() const { return cache_.get(); }
+  [[nodiscard]] const RolloutEvaluator& evaluator() const {
+    return evaluator_;
+  }
 
  private:
-  // Pops a scratch netlist from the pool (or allocates the first time) and
-  // resets it to the pristine design via copy-assignment, which reuses the
-  // scratch's existing heap allocations across rollouts.
-  [[nodiscard]] std::unique_ptr<Netlist> acquire_scratch() const;
-  void release_scratch(std::unique_ptr<Netlist> scratch) const;
-
   const Design* design_;
   Policy* policy_;
   TrainConfig config_;
   DesignGraph graph_;
 
-  // Rollout scratch pool, shared across worker threads.
-  mutable std::mutex scratch_mutex_;
-  mutable std::vector<std::unique_ptr<Netlist>> scratch_pool_;
+  // Owned cache + the single evaluation seam every backend goes through.
+  // Mutable because evaluate_selection() is logically const but reuses the
+  // evaluator's internal scratch pool (guarded by its own mutex).
+  std::unique_ptr<FlowOutcomeCache> cache_;
+  mutable RolloutEvaluator evaluator_;
 };
 
 }  // namespace rlccd

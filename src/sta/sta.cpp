@@ -774,7 +774,7 @@ std::vector<double> Sta::endpoint_slacks(
   return slacks;
 }
 
-void Sta::violating_endpoints(std::vector<PinId>& out) const {
+void Sta::endpoint_violations(std::vector<PinId>& out) const {
   out.clear();
   for (PinId ep : graph_.endpoints()) {
     double s = endpoint_slack(ep);
@@ -782,9 +782,9 @@ void Sta::violating_endpoints(std::vector<PinId>& out) const {
   }
 }
 
-std::vector<PinId> Sta::violating_endpoints() const {
+std::vector<PinId> Sta::endpoint_violations() const {
   std::vector<PinId> out;
-  violating_endpoints(out);
+  endpoint_violations(out);
   return out;
 }
 

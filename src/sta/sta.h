@@ -164,8 +164,8 @@ class Sta {
       std::span<const PinId> endpoints) const;
   // Endpoints with slack < 0, in stable order; the out-parameter overload
   // reuses the caller's buffer (cleared first).
-  void violating_endpoints(std::vector<PinId>& out) const;
-  [[nodiscard]] std::vector<PinId> violating_endpoints() const;
+  void endpoint_violations(std::vector<PinId>& out) const;
+  [[nodiscard]] std::vector<PinId> endpoint_violations() const;
 
   [[nodiscard]] TimingSummary summary() const;
 

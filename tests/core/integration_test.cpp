@@ -56,7 +56,7 @@ TEST(Integration, TrainedSelectionBeatsNaiveBaselinesOrDefault) {
   sta.run();
   ReinforceTrainer trainer(&d, &agent.policy(), cfg.train);
   std::vector<PinId> worst =
-      select_worst_k(sta, sta.violating_endpoints().size() / 3);
+      select_worst_k(sta, sta.endpoint_violations().size() / 3);
   FlowResult worst_flow = trainer.evaluate_selection(worst);
 
   EXPECT_GE(r.rl_flow.final_summary.tns, r.default_flow.final_summary.tns - 1e-9);

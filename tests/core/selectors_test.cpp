@@ -58,7 +58,7 @@ TEST(Selectors, RandomKIsDeterministicPerRng) {
 
 TEST(Selectors, AllViolatingMatchesStaReport) {
   Fixture f;
-  EXPECT_EQ(select_all_violating(f.sta), f.sta.violating_endpoints());
+  EXPECT_EQ(select_all_violating(f.sta), f.sta.endpoint_violations());
 }
 
 TEST(Selectors, SelectionsContainOnlyViolatingEndpoints) {

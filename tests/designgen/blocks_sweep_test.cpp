@@ -32,7 +32,7 @@ TEST_P(BlockSweep, RegeneratesValidViolatingDesign) {
   EXPECT_LE(s.tns, s.wns);
 
   // Violating endpoints have traceable, non-degenerate fan-in cones.
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio = sta.endpoint_violations();
   ConeIndex cones(*d.netlist, vio);
   std::size_t nonempty = 0;
   for (std::size_t i = 0; i < cones.size(); ++i) {

@@ -117,7 +117,7 @@ TEST(Generator, ConesOverlapSoMaskingHasStructure) {
   Design d = generate_design(base_config(17));
   Sta sta = d.make_sta();
   sta.run();
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio = sta.endpoint_violations();
   ASSERT_GT(vio.size(), 4u);
   ConeIndex cones(*d.netlist, vio);
   int overlapping_pairs = 0;

@@ -76,7 +76,7 @@ TEST(Features, AllValuesBounded) {
 TEST(Features, ViolatingCellsShowNegativeSlackFeature) {
   Fixture f;
   Tensor x = build_node_features(f.ctx);
-  std::vector<PinId> vio = f.sta.violating_endpoints();
+  std::vector<PinId> vio = f.sta.endpoint_violations();
   ASSERT_FALSE(vio.empty());
   for (PinId ep : vio) {
     CellId cell = f.design.netlist->pin(ep).cell;

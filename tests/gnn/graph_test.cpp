@@ -74,7 +74,7 @@ TEST(Graph, ConeMatrixRowsMatchConeSizes) {
   Design d = generate_design(cfg);
   Sta sta = d.make_sta();
   sta.run();
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio = sta.endpoint_violations();
   ASSERT_FALSE(vio.empty());
   ConeIndex cones(*d.netlist, vio);
   SparseOperand mat = build_cone_matrix(*d.netlist, cones);

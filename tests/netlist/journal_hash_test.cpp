@@ -1,0 +1,139 @@
+// The Zobrist state hash (journal.h) keys the rollout flow-outcome cache,
+// so these tests pin its contract: incremental maintenance matches a
+// from-scratch replay bit for bit, the hash is order-sensitive and
+// repeat-safe, collapse() and copying leave it untouched, and identical
+// mutation sequences on identical netlists converge to identical hashes.
+#include <gtest/gtest.h>
+
+#include "helpers/test_circuits.h"
+#include "netlist/journal.h"
+#include "netlist/netlist.h"
+
+namespace rlccd {
+namespace {
+
+using testing::Pipeline;
+using testing::TestCircuit;
+
+TEST(JournalHashTest, StartsAtZeroAndChangesOnRecord) {
+  MutationJournal j;
+  EXPECT_EQ(j.state_hash(), Hash128{});
+  j.record(MutationKind::Electrical, CellId{3});
+  EXPECT_NE(j.state_hash(), Hash128{});
+}
+
+TEST(JournalHashTest, ReplayFromScratchReproducesHash) {
+  // The incremental hash is a pure function of the record() sequence:
+  // feeding the same (kind, cell) stream to a fresh journal lands on the
+  // same 128 bits, even when the original interleaved collapse() calls
+  // (collapse discards bookkeeping, not history — sequence numbers stay
+  // monotone, so the per-event keys line up).
+  MutationJournal incremental;
+  incremental.record(MutationKind::Electrical, CellId{1});
+  incremental.record(MutationKind::Moved, CellId{2});
+  incremental.collapse();
+  incremental.record(MutationKind::Structural, CellId{3});
+  incremental.collapse();
+  incremental.record(MutationKind::Electrical, CellId{1});
+
+  MutationJournal replay;
+  replay.record(MutationKind::Electrical, CellId{1});
+  replay.record(MutationKind::Moved, CellId{2});
+  replay.record(MutationKind::Structural, CellId{3});
+  replay.record(MutationKind::Electrical, CellId{1});
+
+  EXPECT_EQ(incremental.state_hash(), replay.state_hash());
+  EXPECT_EQ(incremental.seq(), replay.seq());
+}
+
+TEST(JournalHashTest, OrderSensitive) {
+  // A plain occupancy Zobrist would make A-then-B equal B-then-A; folding
+  // the sequence number into each key must not.
+  MutationJournal ab;
+  ab.record(MutationKind::Moved, CellId{1});
+  ab.record(MutationKind::Moved, CellId{2});
+  MutationJournal ba;
+  ba.record(MutationKind::Moved, CellId{2});
+  ba.record(MutationKind::Moved, CellId{1});
+  EXPECT_NE(ab.state_hash(), ba.state_hash());
+}
+
+TEST(JournalHashTest, RepeatSafe) {
+  // Recording the same mutation twice must not XOR-cancel back to the
+  // once-recorded (or empty) hash — two resizes of a cell are a different
+  // history than one.
+  MutationJournal once;
+  once.record(MutationKind::Electrical, CellId{7});
+  MutationJournal twice;
+  twice.record(MutationKind::Electrical, CellId{7});
+  twice.record(MutationKind::Electrical, CellId{7});
+  EXPECT_NE(twice.state_hash(), once.state_hash());
+  EXPECT_NE(twice.state_hash(), Hash128{});
+}
+
+TEST(JournalHashTest, KindAndCellBothMatter) {
+  MutationJournal a;
+  a.record(MutationKind::Electrical, CellId{5});
+  MutationJournal b;
+  b.record(MutationKind::Moved, CellId{5});
+  MutationJournal c;
+  c.record(MutationKind::Electrical, CellId{6});
+  EXPECT_NE(a.state_hash(), b.state_hash());
+  EXPECT_NE(a.state_hash(), c.state_hash());
+  EXPECT_NE(b.state_hash(), c.state_hash());
+}
+
+TEST(JournalHashTest, CollapseLeavesHashUntouched) {
+  MutationJournal j;
+  j.record(MutationKind::Structural, CellId{9});
+  j.record(MutationKind::Moved, CellId{10});
+  const Hash128 before = j.state_hash();
+  j.collapse();
+  EXPECT_EQ(j.state_hash(), before);
+  EXPECT_EQ(j.size(), 0u);
+}
+
+TEST(JournalHashTest, NetlistCopyPreservesHashAndDivergesOnEdit) {
+  // The rollout evaluator copy-assigns every scratch netlist from the
+  // pristine design and assumes the copy starts at exactly the pristine
+  // hash; a later edit must move the copy's hash without touching the
+  // original's.
+  Pipeline p;
+  const Hash128 pristine = p.c.nl->state_hash();
+  EXPECT_NE(pristine, Hash128{});  // construction itself was journaled
+
+  Netlist copy = *p.c.nl;
+  EXPECT_EQ(copy.state_hash(), pristine);
+
+  copy.set_position(p.ff1, 5.0, 5.0);
+  EXPECT_NE(copy.state_hash(), pristine);
+  EXPECT_EQ(p.c.nl->state_hash(), pristine);
+}
+
+TEST(JournalHashTest, IdenticalEditSequencesConverge) {
+  // Two copies of the same pristine netlist, same mutator calls in the
+  // same order => same hash; different order => different hash. This is
+  // the end-to-end property the flow-outcome cache keys on.
+  Pipeline p;
+  Netlist a = *p.c.nl;
+  Netlist b = *p.c.nl;
+
+  a.set_position(p.ff1, 3.0, 4.0);
+  a.resize_cell(p.ff2, a.cell(p.ff2).lib);  // self-resize still journals
+  a.set_position(p.ff2, 1.0, 2.0);
+
+  b.set_position(p.ff1, 3.0, 4.0);
+  b.resize_cell(p.ff2, b.cell(p.ff2).lib);
+  b.set_position(p.ff2, 1.0, 2.0);
+
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+
+  Netlist c = *p.c.nl;
+  c.set_position(p.ff2, 1.0, 2.0);
+  c.resize_cell(p.ff2, c.cell(p.ff2).lib);
+  c.set_position(p.ff1, 3.0, 4.0);
+  EXPECT_NE(c.state_hash(), a.state_hash());
+}
+
+}  // namespace
+}  // namespace rlccd

@@ -49,7 +49,7 @@ TEST_P(FlowSweep, DeterministicWithAndWithoutPrioritization) {
   Netlist probe = *d.netlist;
   Sta sta(&probe, d.sta_config, d.clock_period);
   sta.run();
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio = sta.endpoint_violations();
   std::vector<PinId> sel(vio.begin(),
                          vio.begin() + std::min<std::size_t>(5, vio.size()));
   FlowResult c = run(d, sel);

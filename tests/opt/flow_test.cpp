@@ -59,7 +59,7 @@ TEST(Flow, MarginsAreRemovedBeforeFinalReport) {
   Netlist work = *d.netlist;
   Sta probe(&work, d.sta_config, d.clock_period);
   probe.run();
-  std::vector<PinId> vio = probe.violating_endpoints();
+  std::vector<PinId> vio = probe.endpoint_violations();
   ASSERT_FALSE(vio.empty());
   std::vector<PinId> sel(vio.begin(),
                          vio.begin() + std::min<std::size_t>(8, vio.size()));
@@ -92,7 +92,7 @@ TEST(Flow, PrioritizedEndpointsGetOverFixed) {
   probe.run();
   const Library& lib = probe_nl.library();
   std::vector<PinId> sel;
-  for (PinId ep : probe.violating_endpoints()) {
+  for (PinId ep : probe.endpoint_violations()) {
     const Cell& c = probe_nl.cell(probe_nl.pin(ep).cell);
     if (lib.cell(c.lib).kind == CellKind::Dff) sel.push_back(ep);
     if (sel.size() == 4) break;
@@ -138,7 +138,7 @@ TEST(Flow, UnderFixModeDiffersFromOverFix) {
   Netlist probe_nl = *d.netlist;
   Sta probe(&probe_nl, d.sta_config, d.clock_period);
   probe.run();
-  std::vector<PinId> vio = probe.violating_endpoints();
+  std::vector<PinId> vio = probe.endpoint_violations();
   ASSERT_GE(vio.size(), 6u);
   std::vector<PinId> sel(vio.begin(), vio.begin() + 6);
 
@@ -155,7 +155,7 @@ TEST(Flow, EmptyAndNonEmptySelectionsShareStepCount) {
   Netlist probe_nl = *d.netlist;
   Sta probe(&probe_nl, d.sta_config, d.clock_period);
   probe.run();
-  std::vector<PinId> vio = probe.violating_endpoints();
+  std::vector<PinId> vio = probe.endpoint_violations();
   std::vector<PinId> sel(vio.begin(),
                          vio.begin() + std::min<std::size_t>(6, vio.size()));
   FlowResult def = run_flow(d);

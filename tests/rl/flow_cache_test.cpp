@@ -1,0 +1,159 @@
+// FlowOutcomeCache unit tests: probe/insert round-trips, the sharded
+// cluster geometry, and the replacement policy (empty way > stalest
+// generation > cheapest flow) under a deliberately tiny budget — the
+// behavior `--flow-cache-mb 1` buys. Keys are hand-crafted to land in a
+// chosen shard/cluster: the shard index is the key's top 4 bits
+// (hi >> 60) and the cluster index is `lo & cluster_mask`, so a salt
+// placed above the mask bits varies the key without moving it.
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "rl/evaluator.h"
+#include "rl/flow_cache.h"
+
+namespace rlccd {
+namespace {
+
+Hash128 make_key(std::uint64_t shard, std::uint64_t cluster,
+                 std::uint64_t salt) {
+  return Hash128{cluster | (salt << 40), shard << 60};
+}
+
+EvalOutcome make_outcome(double tns, double flow_sec) {
+  EvalOutcome o;
+  o.summary.wns = tns / 8.0;
+  o.summary.tns = tns;
+  o.summary.nve = 5;
+  o.summary.num_endpoints = 40;
+  o.reward = -tns;
+  o.flow_ran = true;
+  o.flow_sec = flow_sec;
+  o.sta_pin_updates = 1234;
+  return o;
+}
+
+TEST(FlowCacheTest, MissInsertHitRoundTrip) {
+  FlowOutcomeCache cache(8);
+  const Hash128 key = make_key(3, 1, 7);
+
+  EvalOutcome out;
+  EXPECT_FALSE(cache.probe(key, out));
+
+  const EvalOutcome stored = make_outcome(-12.5, 0.25);
+  cache.insert(key, stored);
+
+  ASSERT_TRUE(cache.probe(key, out));
+  EXPECT_TRUE(out.cache_hit);  // probe marks served-from-cache
+  EXPECT_EQ(out.summary.tns, stored.summary.tns);
+  EXPECT_EQ(out.summary.wns, stored.summary.wns);
+  EXPECT_EQ(out.summary.nve, stored.summary.nve);
+  EXPECT_EQ(out.flow_sec, stored.flow_sec);
+  EXPECT_EQ(out.sta_pin_updates, stored.sta_pin_updates);
+  EXPECT_TRUE(out.flow_ran);
+
+  const FlowOutcomeCache::Stats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.insertions, 1u);
+  EXPECT_EQ(st.evictions, 0u);
+  EXPECT_EQ(st.used_entries, 1u);
+  EXPECT_EQ(st.hit_rate(), 0.5);
+}
+
+TEST(FlowCacheTest, EmptyCacheReportsZeroHitRate) {
+  FlowOutcomeCache cache(1);
+  EXPECT_EQ(cache.stats().hit_rate(), 0.0);
+  EXPECT_GT(cache.capacity_bytes(), 0u);
+  EXPECT_GE(cache.stats().capacity_entries,
+            FlowOutcomeCache::kShards * FlowOutcomeCache::kWays);
+}
+
+TEST(FlowCacheTest, ReinsertSameKeyRefreshesInPlace) {
+  FlowOutcomeCache cache(1);
+  const Hash128 key = make_key(0, 0, 1);
+  cache.insert(key, make_outcome(-1.0, 0.1));
+  cache.insert(key, make_outcome(-2.0, 0.2));
+
+  EvalOutcome out;
+  ASSERT_TRUE(cache.probe(key, out));
+  EXPECT_EQ(out.summary.tns, -2.0);  // latest value won
+
+  const FlowOutcomeCache::Stats st = cache.stats();
+  EXPECT_EQ(st.insertions, 2u);
+  EXPECT_EQ(st.evictions, 0u);  // refresh, not displacement
+  EXPECT_EQ(st.used_entries, 1u);
+}
+
+TEST(FlowCacheTest, FullClusterEvictsStalestGeneration) {
+  // Fill one 4-way cluster in generation 0, age everything, then touch one
+  // entry (probe refreshes its stamp). A fifth insert must displace one of
+  // the three stale entries — the cheapest-flow one — and must never touch
+  // the refreshed entry.
+  FlowOutcomeCache cache(1);
+  const Hash128 touched = make_key(0, 2, 1);
+  const Hash128 stale_mid = make_key(0, 2, 2);    // flow 3.0
+  const Hash128 stale_cheap = make_key(0, 2, 3);  // flow 1.0 -> victim
+  const Hash128 stale_dear = make_key(0, 2, 4);   // flow 2.0
+  cache.insert(touched, make_outcome(-1.0, 9.0));
+  cache.insert(stale_mid, make_outcome(-2.0, 3.0));
+  cache.insert(stale_cheap, make_outcome(-3.0, 1.0));
+  cache.insert(stale_dear, make_outcome(-4.0, 2.0));
+
+  cache.new_generation();
+  EvalOutcome out;
+  ASSERT_TRUE(cache.probe(touched, out));  // refresh to the new generation
+
+  const Hash128 fresh = make_key(0, 2, 5);
+  cache.insert(fresh, make_outcome(-5.0, 0.5));
+
+  EXPECT_TRUE(cache.probe(touched, out));
+  EXPECT_TRUE(cache.probe(stale_mid, out));
+  EXPECT_FALSE(cache.probe(stale_cheap, out));  // stale + cheapest: evicted
+  EXPECT_TRUE(cache.probe(stale_dear, out));
+  EXPECT_TRUE(cache.probe(fresh, out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(FlowCacheTest, CostPreferredReplacementWithinOneGeneration) {
+  // All four ways same age: the victim is the outcome that was cheapest to
+  // recompute (depth-preferred replacement, flow runtime as depth).
+  FlowOutcomeCache cache(1);
+  const double costs[] = {4.0, 1.0, 3.0, 2.0};
+  for (int i = 0; i < 4; ++i) {
+    cache.insert(make_key(1, 3, static_cast<std::uint64_t>(i + 1)),
+                 make_outcome(-1.0 * i, costs[i]));
+  }
+  cache.insert(make_key(1, 3, 9), make_outcome(-9.0, 5.0));
+
+  EvalOutcome out;
+  EXPECT_TRUE(cache.probe(make_key(1, 3, 1), out));
+  EXPECT_FALSE(cache.probe(make_key(1, 3, 2), out));  // flow_sec 1.0: victim
+  EXPECT_TRUE(cache.probe(make_key(1, 3, 3), out));
+  EXPECT_TRUE(cache.probe(make_key(1, 3, 4), out));
+  EXPECT_TRUE(cache.probe(make_key(1, 3, 9), out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(FlowCacheTest, TinyBudgetStaysBoundedUnderPressure) {
+  // A 1 MiB table hammered with 10x its capacity in distinct keys must
+  // never grow past its allocation; every insert beyond an empty way is an
+  // eviction, and the books must balance exactly.
+  FlowOutcomeCache cache(1);
+  const std::size_t capacity = cache.stats().capacity_entries;
+  ASSERT_GT(capacity, 0u);
+
+  const std::size_t n = 10 * capacity;
+  for (std::size_t i = 0; i < n; ++i) {
+    cache.insert(hash128(i, 0x5eedbeef), make_outcome(-1.0, 0.1));
+  }
+
+  const FlowOutcomeCache::Stats st = cache.stats();
+  EXPECT_EQ(st.insertions, n);
+  EXPECT_LE(st.used_entries, capacity);
+  EXPECT_GT(st.evictions, 0u);
+  // Every insert either filled an empty way or displaced a live entry.
+  EXPECT_EQ(st.insertions, st.evictions + st.used_entries);
+}
+
+}  // namespace
+}  // namespace rlccd

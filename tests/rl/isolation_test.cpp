@@ -32,12 +32,20 @@ namespace {
 
 RolloutWire sample_wire() {
   RolloutWire w;
-  w.tns = -12.5;
-  w.reward = 0.625;
+  w.outcome.summary.wns = -1.5;
+  w.outcome.summary.tns = -12.5;
+  w.outcome.summary.nve = 9;
+  w.outcome.summary.num_endpoints = 120;
+  w.outcome.summary.worst_hold_slack = 0.0625;
+  w.outcome.reward = 0.625;
+  w.outcome.flow_ran = true;
+  w.outcome.cancelled = false;
+  w.outcome.state_hash = Hash128{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  w.outcome.cache_hit = true;
+  w.outcome.flow_sec = 0.375;
+  w.outcome.sta_pin_updates = 4096;
   w.steps = 3;
-  w.flow_ran = true;
   w.poisoned = false;
-  w.cancelled = false;
   w.selection = {PinId(7), PinId(0), PinId(4095)};
   w.grads = {{1.0f, -2.5f}, {}, {0.0f, 3.25f, -0.125f}};
   AuditStep step;
@@ -61,12 +69,21 @@ RolloutWire sample_wire() {
 }
 
 void expect_wire_equal(const RolloutWire& a, const RolloutWire& b) {
-  EXPECT_EQ(a.tns, b.tns);
-  EXPECT_EQ(a.reward, b.reward);
+  EXPECT_EQ(a.outcome.summary.wns, b.outcome.summary.wns);
+  EXPECT_EQ(a.outcome.summary.tns, b.outcome.summary.tns);
+  EXPECT_EQ(a.outcome.summary.nve, b.outcome.summary.nve);
+  EXPECT_EQ(a.outcome.summary.num_endpoints, b.outcome.summary.num_endpoints);
+  EXPECT_EQ(a.outcome.summary.worst_hold_slack,
+            b.outcome.summary.worst_hold_slack);
+  EXPECT_EQ(a.outcome.reward, b.outcome.reward);
+  EXPECT_EQ(a.outcome.flow_ran, b.outcome.flow_ran);
+  EXPECT_EQ(a.outcome.cancelled, b.outcome.cancelled);
+  EXPECT_EQ(a.outcome.state_hash, b.outcome.state_hash);
+  EXPECT_EQ(a.outcome.cache_hit, b.outcome.cache_hit);
+  EXPECT_EQ(a.outcome.flow_sec, b.outcome.flow_sec);
+  EXPECT_EQ(a.outcome.sta_pin_updates, b.outcome.sta_pin_updates);
   EXPECT_EQ(a.steps, b.steps);
-  EXPECT_EQ(a.flow_ran, b.flow_ran);
   EXPECT_EQ(a.poisoned, b.poisoned);
-  EXPECT_EQ(a.cancelled, b.cancelled);
   ASSERT_EQ(a.selection.size(), b.selection.size());
   for (std::size_t i = 0; i < a.selection.size(); ++i) {
     EXPECT_EQ(a.selection[i], b.selection[i]);

@@ -73,7 +73,7 @@ TEST(Path, GeneratedDesignPathsRespectArcRecomputation) {
   sta.run();
   // Check the five worst endpoints: each extracted path must start at a
   // startpoint and end at the endpoint with consistent increments.
-  std::vector<PinId> vio = sta.violating_endpoints();
+  std::vector<PinId> vio = sta.endpoint_violations();
   for (std::size_t i = 0; i < std::min<std::size_t>(5, vio.size()); ++i) {
     TimingPath path = extract_critical_path(sta, vio[i]);
     ASSERT_GE(path.steps.size(), 2u);

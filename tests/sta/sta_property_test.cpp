@@ -78,7 +78,7 @@ TEST_P(StaPropertyTest, SummaryIsConsistentWithEndpointSlacks) {
   EXPECT_NEAR(s.tns, tns, 1e-9);
   EXPECT_NEAR(s.wns, wns, 1e-9);
   EXPECT_EQ(s.nve, nve);
-  EXPECT_EQ(sta.violating_endpoints().size(), nve);
+  EXPECT_EQ(sta.endpoint_violations().size(), nve);
 }
 
 TEST_P(StaPropertyTest, RequiredTimesNeverOptimistic) {
@@ -89,7 +89,7 @@ TEST_P(StaPropertyTest, RequiredTimesNeverOptimistic) {
   Sta sta = d.make_sta();
   sta.run();
   const Netlist& nl = *d.netlist;
-  for (PinId ep : sta.violating_endpoints()) {
+  for (PinId ep : sta.endpoint_violations()) {
     const Pin& p = nl.pin(ep);
     const Net& net = nl.net(p.net);
     ASSERT_TRUE(net.driver.valid());

@@ -5,16 +5,13 @@
 //   rlccd_cli flow     <block> [--scale S]          # default placement flow
 //   rlccd_cli train    <block> [--scale S] [--iters N] [--workers N]
 //                      [--rho R] [--gnn-in FILE] [--gnn-out FILE]
-//                      [--checkpoint-dir DIR] [--resume]
-//                      [--rollout-deadline SECS] [--isolate-workers]
-//                      [--max-worker-restarts N]
 //
-// Global flags: --metrics-json FILE / --metrics-csv FILE write the
-// process-wide telemetry registry (counters, histograms, nested spans)
-// after the command; --trace-json FILE records a Chrome-trace timeline
-// (open in Perfetto or chrome://tracing); --audit-jsonl FILE streams RL
-// decision provenance during `train`; --progress streams per-pass /
-// per-iteration events to stderr. Feed the artifacts to rlccd_report.
+// Shared flags (tools/common_args.h, `rlccd_cli --help` lists them):
+// flight-recorder artifacts (--metrics-json / --metrics-csv / --trace-json /
+// --audit-jsonl / --progress), fault tolerance (--checkpoint-dir / --resume /
+// --rollout-deadline / --isolate-workers / --max-worker-restarts) and the
+// rollout memoization budget (--flow-cache-mb). Feed the artifacts to
+// rlccd_report.
 //
 // Blocks are the paper's Table-II names (block1..block19); a plain number
 // generates an anonymous design with that many cells.
@@ -26,14 +23,13 @@
 
 #include "common/log.h"
 #include "common/progress.h"
-#include "common/telemetry.h"
-#include "common/trace.h"
 #include "core/rlccd.h"
-#include "rl/audit.h"
 #include "designgen/blocks.h"
 #include "netlist/serialize.h"
 #include "netlist/stats.h"
+#include "rl/audit.h"
 #include "sta/path.h"
+#include "tools/common_args.h"
 
 using namespace rlccd;
 
@@ -50,16 +46,7 @@ struct Args {
   std::string out;
   std::string gnn_in;
   std::string gnn_out;
-  std::string metrics_json;
-  std::string metrics_csv;
-  std::string trace_json;
-  std::string audit_jsonl;
-  bool progress = false;
-  std::string checkpoint_dir;
-  bool resume = false;
-  double rollout_deadline = 0.0;
-  bool isolate_workers = false;
-  int max_worker_restarts = -1;  // < 0: keep the TrainConfig default
+  tools::CommonArgs common;
 };
 
 StderrProgress g_progress;
@@ -68,11 +55,25 @@ StderrProgress g_progress;
 // --audit-jsonl is set.
 std::unique_ptr<JsonlAuditWriter> g_audit;
 
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: rlccd_cli <generate|sta|flow|train> <block|cells> "
+               "[--scale S] [--seed N] [--iters N] [--workers N] [--rho R] "
+               "[--out FILE] [--gnn-in FILE] [--gnn-out FILE] %s\n",
+               tools::common_usage_fragment().c_str());
+  tools::print_common_help(out);
+}
+
 bool parse(int argc, char** argv, Args& args) {
   if (argc < 3) return false;
   args.command = argv[1];
   args.target = argv[2];
+  bool ok = true;
   for (int i = 3; i < argc; ++i) {
+    if (tools::parse_common_flag(argc, argv, i, args.common, ok)) {
+      if (!ok) return false;
+      continue;
+    }
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return ++i < argc ? argv[i] : nullptr;
@@ -94,26 +95,6 @@ bool parse(int argc, char** argv, Args& args) {
       args.gnn_in = v;
     } else if (flag == "--gnn-out" && (v = next())) {
       args.gnn_out = v;
-    } else if (flag == "--metrics-json" && (v = next())) {
-      args.metrics_json = v;
-    } else if (flag == "--metrics-csv" && (v = next())) {
-      args.metrics_csv = v;
-    } else if (flag == "--trace-json" && (v = next())) {
-      args.trace_json = v;
-    } else if (flag == "--audit-jsonl" && (v = next())) {
-      args.audit_jsonl = v;
-    } else if (flag == "--progress") {
-      args.progress = true;
-    } else if (flag == "--checkpoint-dir" && (v = next())) {
-      args.checkpoint_dir = v;
-    } else if (flag == "--resume") {
-      args.resume = true;
-    } else if (flag == "--rollout-deadline" && (v = next())) {
-      args.rollout_deadline = std::atof(v);
-    } else if (flag == "--isolate-workers") {
-      args.isolate_workers = true;
-    } else if (flag == "--max-worker-restarts" && (v = next())) {
-      args.max_worker_restarts = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -176,7 +157,7 @@ int cmd_flow(const Args& args) {
   Netlist work = *d.netlist;
   FlowConfig cfg =
       default_flow_config(work.num_real_cells(), d.clock_period);
-  if (args.progress) cfg.observer = &g_progress;
+  if (args.common.progress) cfg.observer = &g_progress;
   FlowInput input{d.sta_config, d.clock_period, d.die, d.pi_toggles};
   FlowResult r = run_placement_flow(work, input, cfg);
   std::printf("begin : WNS %.3f  TNS %.2f  NVE %zu  power %.2f mW\n",
@@ -197,15 +178,9 @@ int cmd_train(const Args& args) {
   cfg.train.max_iterations = args.iters;
   cfg.train.workers = args.workers;
   cfg.train.overlap_threshold = args.rho;
-  cfg.train.checkpoint_dir = args.checkpoint_dir;
-  cfg.train.resume = args.resume;
-  cfg.train.rollout_deadline_sec = args.rollout_deadline;
-  cfg.train.isolate_workers = args.isolate_workers;
-  if (args.max_worker_restarts >= 0) {
-    cfg.train.max_worker_restarts = args.max_worker_restarts;
-  }
+  tools::apply_train_args(args.common, cfg.train);
   cfg.pretrained_gnn = args.gnn_in;
-  if (args.progress) cfg.observer = &g_progress;
+  if (args.common.progress) cfg.observer = &g_progress;
   if (g_audit != nullptr) cfg.audit = g_audit.get();
   RlCcd agent(&d, cfg);
   RlCcdResult r = agent.run();
@@ -231,27 +206,17 @@ int cmd_train(const Args& args) {
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Warn);
+  if (argc == 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0)) {
+    usage(stdout);
+    return 0;
+  }
   Args args;
   if (!parse(argc, argv, args)) {
-    std::fprintf(stderr,
-                 "usage: rlccd_cli <generate|sta|flow|train> <block|cells> "
-                 "[--scale S] [--seed N] [--iters N] [--workers N] [--rho R] "
-                 "[--out FILE] [--gnn-in FILE] [--gnn-out FILE] "
-                 "[--checkpoint-dir DIR] [--resume] "
-                 "[--rollout-deadline SECS] [--isolate-workers] "
-                 "[--max-worker-restarts N] "
-                 "[--metrics-json FILE] [--metrics-csv FILE] "
-                 "[--trace-json FILE] [--audit-jsonl FILE] [--progress]\n");
+    usage(stderr);
     return 2;
   }
-  if (!args.trace_json.empty()) TraceRecorder::global().enable();
-  if (!args.audit_jsonl.empty()) {
-    Status s = JsonlAuditWriter::open(args.audit_jsonl, g_audit);
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.to_string().c_str());
-      return 1;
-    }
-  }
+  if (!tools::open_common_artifacts(args.common, g_audit)) return 1;
   int rc = -1;
   if (args.command == "generate") rc = cmd_generate(args);
   else if (args.command == "sta") rc = cmd_sta(args);
@@ -261,39 +226,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
     return 2;
   }
-  if (!args.metrics_json.empty()) {
-    if (!MetricsRegistry::global().write_json(args.metrics_json)) {
-      std::fprintf(stderr, "cannot write %s\n", args.metrics_json.c_str());
-      return 1;
-    }
-    std::printf("telemetry written to %s\n", args.metrics_json.c_str());
-  }
-  if (!args.metrics_csv.empty()) {
-    if (!MetricsRegistry::global().write_csv(args.metrics_csv)) {
-      std::fprintf(stderr, "cannot write %s\n", args.metrics_csv.c_str());
-      return 1;
-    }
-    std::printf("telemetry written to %s\n", args.metrics_csv.c_str());
-  }
-  if (!args.trace_json.empty()) {
-    TraceRecorder& rec = TraceRecorder::global();
-    rec.disable();
-    if (!rec.write_chrome_json(args.trace_json)) {
-      std::fprintf(stderr, "cannot write %s\n", args.trace_json.c_str());
-      return 1;
-    }
-    std::printf("trace written to %s (%llu events, %llu dropped)\n",
-                args.trace_json.c_str(),
-                static_cast<unsigned long long>(rec.buffered_events()),
-                static_cast<unsigned long long>(rec.dropped_events()));
-  }
-  if (g_audit != nullptr) {
-    Status s = g_audit->close();
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.to_string().c_str());
-      return 1;
-    }
-    std::printf("audit written to %s\n", args.audit_jsonl.c_str());
-  }
+  if (!tools::write_common_artifacts(args.common, g_audit.get())) return 1;
   return rc;
 }

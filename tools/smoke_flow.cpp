@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   run_with("default", {});
 
   // Worst-slack-k prioritization.
-  std::vector<PinId> vio = sta0.violating_endpoints();
+  std::vector<PinId> vio = sta0.endpoint_violations();
   std::sort(vio.begin(), vio.end(), [&](PinId a, PinId b) {
     return sta0.endpoint_slack(a) < sta0.endpoint_slack(b);
   });

@@ -1,14 +1,14 @@
 // Developer smoke test: end-to-end RL-CCD training on one block.
 //
-//   smoke_rl [block] [scale] [iters] [--checkpoint-dir DIR] [--resume]
-//            [--rollout-deadline SECS] [--isolate-workers]
-//            [--max-worker-restarts N] [--metrics-json FILE]
-//            [--metrics-csv FILE] [--trace-json FILE] [--audit-jsonl FILE]
+//   smoke_rl [block] [scale] [iters] [common flags...]
 //
-// The flight-recorder flags mirror rlccd_cli: --trace-json records a
-// Chrome-trace timeline, --audit-jsonl streams RL decision provenance,
-// and --metrics-json/--metrics-csv dump the telemetry registry. Feed the
-// artifacts to rlccd_report.
+// The shared flags (tools/common_args.h, `smoke_rl --help` lists them)
+// mirror rlccd_cli: --trace-json records a Chrome-trace timeline,
+// --audit-jsonl streams RL decision provenance,
+// --metrics-json/--metrics-csv dump the telemetry registry,
+// --checkpoint-dir/--resume/--rollout-deadline/--isolate-workers/
+// --max-worker-restarts drive fault tolerance, and --flow-cache-mb sizes
+// the rollout memoization cache. Feed the artifacts to rlccd_report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,50 +17,42 @@
 
 #include "common/log.h"
 #include "common/telemetry.h"
-#include "common/trace.h"
 #include "core/rlccd.h"
 #include "designgen/blocks.h"
 #include "rl/audit.h"
+#include "tools/common_args.h"
 
 using namespace rlccd;
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out, "usage: smoke_rl [block] [scale] [iters] %s\n",
+               tools::common_usage_fragment().c_str());
+  tools::print_common_help(out);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::Info);
   std::string block_name = "block11";
   double scale = 0.01;
   int iters = 12;
-  std::string checkpoint_dir;
-  bool resume = false;
-  double rollout_deadline = 0.0;
-  bool isolate_workers = false;
-  int max_worker_restarts = -1;
-  std::string metrics_json;
-  std::string metrics_csv;
-  std::string trace_json;
-  std::string audit_jsonl;
+  tools::CommonArgs common;
   int positional = 0;
+  bool ok = true;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
-      checkpoint_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--resume") == 0) {
-      resume = true;
-    } else if (std::strcmp(argv[i], "--rollout-deadline") == 0 &&
-               i + 1 < argc) {
-      rollout_deadline = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--isolate-workers") == 0) {
-      isolate_workers = true;
-    } else if (std::strcmp(argv[i], "--max-worker-restarts") == 0 &&
-               i + 1 < argc) {
-      max_worker_restarts = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
-      metrics_json = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-csv") == 0 && i + 1 < argc) {
-      metrics_csv = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
-      trace_json = argv[++i];
-    } else if (std::strcmp(argv[i], "--audit-jsonl") == 0 && i + 1 < argc) {
-      audit_jsonl = argv[++i];
-    } else if (positional == 0) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    }
+    if (tools::parse_common_flag(argc, argv, i, common, ok)) {
+      if (!ok) return 2;
+      continue;
+    }
+    if (positional == 0) {
       block_name = argv[i];
       ++positional;
     } else if (positional == 1) {
@@ -71,32 +63,25 @@ int main(int argc, char** argv) {
       ++positional;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      usage(stderr);
       return 2;
     }
   }
 
-  if (!trace_json.empty()) TraceRecorder::global().enable();
   std::unique_ptr<JsonlAuditWriter> audit;
-  if (!audit_jsonl.empty()) {
-    Status s = JsonlAuditWriter::open(audit_jsonl, audit);
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.to_string().c_str());
-      return 1;
-    }
-  }
+  if (!tools::open_common_artifacts(common, audit)) return 1;
 
   Design design =
       generate_design(to_generator_config(find_block(block_name), scale));
   RlCcdConfig cfg = RlCcdConfig::for_design(design);
   cfg.train.max_iterations = iters;
+  // Smoke runs are fixed-length: the requested iteration count doubles as
+  // the patience so early stopping never cuts the run short — successive
+  // smoke invocations do comparable work and exercise the late (converged)
+  // sampling phase where rollout memoization pays off.
+  cfg.train.patience = iters;
   cfg.train.workers = 8;
-  cfg.train.checkpoint_dir = checkpoint_dir;
-  cfg.train.resume = resume;
-  cfg.train.rollout_deadline_sec = rollout_deadline;
-  cfg.train.isolate_workers = isolate_workers;
-  if (max_worker_restarts >= 0) {
-    cfg.train.max_worker_restarts = max_worker_restarts;
-  }
+  tools::apply_train_args(common, cfg.train);
   if (audit != nullptr) cfg.audit = audit.get();
 
   RlCcd agent(&design, cfg);
@@ -111,40 +96,24 @@ int main(int argc, char** argv) {
               "%.1f%% NVE, runtime x%.1f\n",
               r.rl_flow.final_summary.tns, r.rl_flow.final_summary.nve, r.selection.size(),
               r.tns_gain_pct(), r.nve_gain_pct(), r.runtime_factor);
+  // Rollout memoization summary (train.cache_* carry the same values into
+  // --metrics-json for rlccd_report).
+  {
+    MetricsRegistry& reg = MetricsRegistry::global();
+    const std::uint64_t hits = reg.counter("train.cache_hits").value();
+    const std::uint64_t misses = reg.counter("train.cache_misses").value();
+    const std::uint64_t probes = hits + misses;
+    std::printf("cache   %llu hits / %llu probes (%.1f%% hit rate, "
+                "%llu evictions)\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(probes),
+                probes > 0 ? 100.0 * static_cast<double>(hits) /
+                                 static_cast<double>(probes)
+                           : 0.0,
+                static_cast<unsigned long long>(
+                    reg.counter("train.cache_evictions").value()));
+  }
 
-  if (!metrics_json.empty()) {
-    if (!MetricsRegistry::global().write_json(metrics_json)) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_json.c_str());
-      return 1;
-    }
-    std::printf("telemetry written to %s\n", metrics_json.c_str());
-  }
-  if (!metrics_csv.empty()) {
-    if (!MetricsRegistry::global().write_csv(metrics_csv)) {
-      std::fprintf(stderr, "cannot write %s\n", metrics_csv.c_str());
-      return 1;
-    }
-    std::printf("telemetry written to %s\n", metrics_csv.c_str());
-  }
-  if (!trace_json.empty()) {
-    TraceRecorder& rec = TraceRecorder::global();
-    rec.disable();
-    if (!rec.write_chrome_json(trace_json)) {
-      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
-      return 1;
-    }
-    std::printf("trace written to %s (%llu events, %llu dropped)\n",
-                trace_json.c_str(),
-                static_cast<unsigned long long>(rec.buffered_events()),
-                static_cast<unsigned long long>(rec.dropped_events()));
-  }
-  if (audit != nullptr) {
-    Status s = audit->close();
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.to_string().c_str());
-      return 1;
-    }
-    std::printf("audit written to %s\n", audit_jsonl.c_str());
-  }
+  if (!tools::write_common_artifacts(common, audit.get())) return 1;
   return 0;
 }
