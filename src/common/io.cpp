@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #ifdef _WIN32
 #include <io.h>
@@ -108,6 +109,19 @@ Status read_file(const std::string& path, std::string& out) {
   if (failed) {
     return Status::io_error("read error on %s: %s", path.c_str(),
                             std::strerror(errno));
+  }
+  return Status();
+}
+
+Status make_dirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::io_error("cannot create directory %s: %s", path.c_str(),
+                            ec.message().c_str());
+  }
+  if (!std::filesystem::is_directory(path, ec)) {
+    return Status::io_error("%s exists but is not a directory", path.c_str());
   }
   return Status();
 }

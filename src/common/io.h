@@ -27,6 +27,12 @@ Status atomic_write_file(const std::string& path, std::string_view bytes);
 // Reads the whole file into `out`.
 Status read_file(const std::string& path, std::string& out);
 
+// Creates `path` and any missing parents (mkdir -p). OK when the directory
+// already exists; io_error when a component exists but is not a directory
+// or creation fails. The serve layer uses it to lay out per-session
+// workspaces before forking job workers into them.
+Status make_dirs(const std::string& path);
+
 // CRC-32 (IEEE 802.3 polynomial) over `bytes`; used to detect torn or
 // bit-rotted checkpoint payloads.
 std::uint32_t crc32(std::string_view bytes);

@@ -131,6 +131,29 @@ Status write_truncated_frame(int fd, FrameType type, std::string_view payload,
   return write_all(fd, payload.data(), n);
 }
 
+Status read_available(int fd, FrameDecoder& decoder, bool& eof,
+                      std::size_t* bytes) {
+  eof = false;
+  if (bytes != nullptr) *bytes = 0;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(r));
+      if (bytes != nullptr) *bytes += static_cast<std::size_t>(r);
+      if (static_cast<std::size_t>(r) < sizeof(buf)) return Status();
+      continue;
+    }
+    if (r == 0) {
+      eof = true;
+      return Status();
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status();
+    return Status::io_error("read: %s", std::strerror(errno));
+  }
+}
+
 #endif  // !_WIN32
 
 }  // namespace rlccd

@@ -4,9 +4,12 @@
 // heartbeat frames into a pipe; the supervising parent feeds whatever bytes
 // poll() hands it into a FrameDecoder, which reassembles frames and flags a
 // stream that ends mid-frame (the signature of a child that died while
-// writing, or of the "pipe_truncate" fault point). Writes retry on EINTR
-// and short writes, so a frame either lands whole or the writer learns it
-// did not.
+// writing, or of the "pipe_truncate" fault point). Both directions survive
+// interruption: writes retry on EINTR and short writes, so a frame either
+// lands whole or the writer learns it did not, and read_available() retries
+// EINTR on the read side, so a signal landing mid-frame never tears a
+// stream or wedges a reader. The serve daemon reuses the same frames over
+// Unix-domain sockets (serve/protocol.h).
 //
 // The codec helpers (ipc_append_pod / ipc_parse_pod / ...) are the shared
 // byte-level vocabulary for wire structs layered on top (rl/isolation/wire).
@@ -107,6 +110,19 @@ Status write_frame(int fd, FrameType type, std::string_view payload);
 // deterministically producing a torn stream.
 Status write_truncated_frame(int fd, FrameType type, std::string_view payload,
                              std::size_t payload_bytes);
+
+// Drains the bytes currently readable from `fd` into `decoder`, retrying
+// EINTR (a signal landing mid-frame must not tear the stream or wedge the
+// reader). Returns on EAGAIN (nonblocking fd with nothing left — `eof`
+// stays false), after a short read (the kernel buffer is drained for now),
+// on end of stream (`eof` set true; decoder.mid_frame() then tells a clean
+// close from a torn write), or with an io_error Status on a real read
+// failure. The one poll-loop read path shared by the rollout supervisor
+// and the serve daemon. `bytes`, when non-null, receives the byte count
+// drained by this call (heartbeat bookkeeping wants "did anything arrive",
+// not "did a frame complete").
+Status read_available(int fd, FrameDecoder& decoder, bool& eof,
+                      std::size_t* bytes = nullptr);
 
 #endif  // !_WIN32
 

@@ -230,6 +230,21 @@ Status list_checkpoints(const std::string& dir,
   return Status();
 }
 
+Status newest_checkpoint(const std::string& dir, std::string& path_out,
+                         int* iterations_out) {
+  std::vector<std::string> paths;
+  RLCCD_TRY(list_checkpoints(dir, paths));
+  path_out = paths.front();
+  if (iterations_out != nullptr) {
+    int iter = -1;
+    const std::string name =
+        std::filesystem::path(path_out).filename().string();
+    std::sscanf(name.c_str(), "ckpt-%d.rlccd", &iter);
+    *iterations_out = iter;
+  }
+  return Status();
+}
+
 Status save_checkpoint(const TrainCheckpoint& ckpt, const std::string& path) {
   if (fault_fire("ckpt_write_io")) {
     return Status::io_error("injected I/O fault writing %s", path.c_str());

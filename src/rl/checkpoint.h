@@ -57,6 +57,14 @@ std::string checkpoint_path(const std::string& dir, int iterations);
 Status list_checkpoints(const std::string& dir,
                         std::vector<std::string>& paths_out);
 
+// Name-based lookup of the newest checkpoint in `dir` (no payload
+// validation — resume still falls back past corrupt files itself). The
+// serve daemon uses it to decide whether a retried job can resume and to
+// report the resume point; `iterations_out` (optional) receives the
+// completed-iteration count encoded in the filename.
+Status newest_checkpoint(const std::string& dir, std::string& path_out,
+                         int* iterations_out = nullptr);
+
 // Atomic write. Fault point "ckpt_write_io" injects an I/O failure.
 Status save_checkpoint(const TrainCheckpoint& ckpt, const std::string& path);
 

@@ -45,6 +45,12 @@ RolloutSupervisor::RolloutSupervisor(SupervisorConfig config)
 
 #ifdef _WIN32
 
+WorkerExit classify_worker_exit(int, bool, bool, bool) {
+  WorkerExit out;
+  out.failure = WorkerFailure::kProtocol;
+  return out;
+}
+
 bool RolloutSupervisor::supported() { return false; }
 
 std::vector<WorkerOutcome> RolloutSupervisor::run(const WorkerJob&) {
@@ -54,6 +60,30 @@ std::vector<WorkerOutcome> RolloutSupervisor::run(const WorkerJob&) {
 }
 
 #else
+
+WorkerExit classify_worker_exit(int wait_status, bool killed, bool stream_bad,
+                                bool got_result) {
+  WorkerExit out;
+  if (got_result) return out;
+  if (killed) {
+    out.failure = WorkerFailure::kTimeout;
+    out.term_signal = SIGKILL;
+  } else if (stream_bad ||
+             (WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0)) {
+    // Malformed or truncated stream, an explicit error frame, or a clean
+    // exit that never produced a result: the protocol was violated.
+    out.failure = WorkerFailure::kProtocol;
+  } else if (WIFEXITED(wait_status)) {
+    out.failure = WorkerFailure::kExit;
+    out.exit_code = WEXITSTATUS(wait_status);
+  } else if (WIFSIGNALED(wait_status)) {
+    out.failure = WorkerFailure::kSignal;
+    out.term_signal = WTERMSIG(wait_status);
+  } else {
+    out.failure = WorkerFailure::kProtocol;
+  }
+  return out;
+}
 
 namespace {
 
@@ -261,26 +291,13 @@ std::vector<WorkerOutcome> RolloutSupervisor::run(const WorkerJob& job) {
       return;
     }
 
-    WorkerFailure f;
-    int code = -1, sig = 0;
-    if (s.killed) {
-      f = WorkerFailure::kTimeout;
-      sig = SIGKILL;
-    } else if (!s.decoder.error().ok() || s.decoder.mid_frame() ||
-               !s.error_frame.empty() ||
-               (WIFEXITED(st) && WEXITSTATUS(st) == 0)) {
-      // Malformed or truncated stream, an explicit error frame, or a clean
-      // exit that never produced a result: the protocol was violated.
-      f = WorkerFailure::kProtocol;
-    } else if (WIFEXITED(st)) {
-      f = WorkerFailure::kExit;
-      code = WEXITSTATUS(st);
-    } else if (WIFSIGNALED(st)) {
-      f = WorkerFailure::kSignal;
-      sig = WTERMSIG(st);
-    } else {
-      f = WorkerFailure::kProtocol;
-    }
+    const bool stream_bad = !s.decoder.error().ok() ||
+                            s.decoder.mid_frame() || !s.error_frame.empty();
+    const WorkerExit cls =
+        classify_worker_exit(st, s.killed, stream_bad, /*got_result=*/false);
+    const WorkerFailure f = cls.failure;
+    const int code = cls.exit_code;
+    const int sig = cls.term_signal;
     s.out.last_failure = f;
     s.out.exit_code = code;
     s.out.term_signal = sig;
@@ -316,35 +333,26 @@ std::vector<WorkerOutcome> RolloutSupervisor::run(const WorkerJob& job) {
 
   auto drain = [&](int w) {
     Slot& s = slots[static_cast<std::size_t>(w)];
-    char buf[1 << 16];
-    for (;;) {
-      const ssize_t r = ::read(s.fd, buf, sizeof(buf));
-      if (r > 0) {
-        s.last_activity = mono_sec();
-        s.decoder.feed(buf, static_cast<std::size_t>(r));
-        Frame frame;
-        while (s.decoder.next(frame)) {
-          if (frame.type == static_cast<std::uint8_t>(FrameType::kResult)) {
-            s.got_result = true;
-            s.out.payload = std::move(frame.payload);
-          } else if (frame.type ==
-                     static_cast<std::uint8_t>(FrameType::kError)) {
-            s.error_frame = std::move(frame.payload);
-          }
-          // Heartbeats only refresh last_activity, done above.
-        }
-        continue;
+    bool eof = false;
+    std::size_t bytes = 0;
+    Status rs = read_available(s.fd, s.decoder, eof, &bytes);
+    if (bytes > 0) s.last_activity = mono_sec();
+    Frame frame;
+    while (s.decoder.next(frame)) {
+      if (frame.type == static_cast<std::uint8_t>(FrameType::kResult)) {
+        s.got_result = true;
+        s.out.payload = std::move(frame.payload);
+      } else if (frame.type == static_cast<std::uint8_t>(FrameType::kError)) {
+        s.error_frame = std::move(frame.payload);
       }
-      if (r == 0) {  // EOF: the attempt is over, whatever happened
-        finalize(w);
-        return;
-      }
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      RLCCD_LOG_WARN("worker %d: pipe read: %s", w, std::strerror(errno));
+      // Heartbeats only refresh last_activity, done above.
+    }
+    if (!rs.ok()) {
+      RLCCD_LOG_WARN("worker %d: pipe read: %s", w, rs.to_string().c_str());
       finalize(w);
       return;
     }
+    if (eof) finalize(w);  // the attempt is over, whatever happened
   };
 
   const bool hb_on =

@@ -66,6 +66,25 @@ enum class WorkerFailure : std::uint8_t {
 };
 const char* worker_failure_name(WorkerFailure f);
 
+// Classification of one reaped child attempt, shared by the rollout
+// supervisor and the serve daemon (both fork children that must deliver a
+// complete result frame before exiting).
+struct WorkerExit {
+  WorkerFailure failure = WorkerFailure::kNone;  // kNone: result delivered
+  int exit_code = -1;   // valid for kExit
+  int term_signal = 0;  // valid for kSignal / kTimeout
+};
+
+// Classifies a finished attempt from its raw waitpid() status. `killed`:
+// the parent SIGKILLed the child (deadline or heartbeat silence).
+// `stream_bad`: the pipe carried a malformed or truncated frame, or an
+// explicit error frame. `got_result`: a complete result frame arrived —
+// failure is kNone regardless of exit status. A clean exit (code 0) that
+// never produced a result classifies as kProtocol.
+[[nodiscard]] WorkerExit classify_worker_exit(int wait_status, bool killed,
+                                              bool stream_bad,
+                                              bool got_result);
+
 struct WorkerOutcome {
   bool completed = false;  // a whole result frame arrived
   std::string payload;     // the job's bytes (when completed)

@@ -80,6 +80,8 @@ TrainStats ReinforceTrainer::train() {
   static MetricsCounter& ctr_workers_lost = reg.counter("train.workers_lost");
   static MetricsCounter& ctr_iter_degraded =
       reg.counter("train.iterations_degraded");
+  static MetricsCounter& ctr_train_cancelled =
+      reg.counter("train.cancelled");
 
   Adam optimizer(policy_->parameters(), config_.lr);
   Rng root_rng(config_.seed ^ 0xABCDEF12345ull);
@@ -229,7 +231,19 @@ TrainStats ReinforceTrainer::train() {
   TrainCheckpoint last_good = capture(start_iter);
   int consecutive_failures = 0;
 
+  bool run_cancelled = false;
   for (int iter = start_iter; iter < config_.max_iterations; ++iter) {
+    // Cooperative stop (serve drain, Ctrl-C hosts): everything completed so
+    // far is checkpointed, so stopping here keeps the run resumable.
+    if (config_.cancel != nullptr && config_.cancel->expired()) {
+      run_cancelled = true;
+      ctr_train_cancelled.increment();
+      RLCCD_TRACE_INSTANT("train.cancelled");
+      RLCCD_LOG_INFO(
+          "training cancelled at iteration boundary %d (%d completed)", iter,
+          stats.iterations);
+      break;
+    }
     // Early-stop check at the iteration boundary, so an interrupted run
     // resumed from a checkpoint stops at exactly the same iteration as an
     // uninterrupted one.
@@ -715,7 +729,9 @@ TrainStats ReinforceTrainer::train() {
 
   // Final greedy decode with the trained policy; keep it when it beats the
   // best sampled trajectory (pure inference, one extra reward evaluation).
-  {
+  // A cancelled run skips it: the host wants the loop gone now, and a
+  // resumed run will decode after its own final iteration.
+  if (!run_cancelled) {
     SelectionEnv env(&graph_, config_.overlap_threshold);
     Rng rng(config_.seed ^ 0x5EEDull);
     SelectionAudit greedy_audit;

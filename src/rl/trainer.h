@@ -96,6 +96,14 @@ struct TrainConfig {
   // watchdog. Expired rollouts are cancelled at the next pass boundary and
   // excluded from the gradient estimate.
   double rollout_deadline_sec = 0.0;
+  // Cooperative stop for long-lived hosts (the serve daemon's SIGTERM
+  // drain): polled on the training thread at iteration boundaries. When it
+  // expires, the loop stops before starting another iteration — everything
+  // completed so far is already checkpointed (with a checkpoint_dir set),
+  // so a later resume continues bit-identically — and the final greedy
+  // decode is skipped. TrainStats reflects the completed prefix. Not owned;
+  // must outlive train(). Null disables.
+  const CancelToken* cancel = nullptr;
   // After this many consecutive dropped iterations, restore the last
   // known-good policy/optimizer/baseline state before continuing.
   int rollback_after = 2;

@@ -1,0 +1,83 @@
+// Blocking client for the rlccd_serve daemon.
+//
+// One ServeClient wraps one connection: connect() retries until the daemon
+// is up (covering daemon startup races and the serve_accept_fail fault
+// point), performs the hello handshake, and the request methods each send
+// one frame and wait for its reply with a deadline. wait() streams a
+// watched job's progress until it reaches a terminal state, transparently
+// reconnecting and re-watching when the connection drops mid-watch — job
+// state lives in the daemon, not the connection, so a dropped stream never
+// loses a result.
+#pragma once
+
+#ifndef _WIN32
+
+#include <functional>
+#include <string>
+
+#include "common/ipc.h"
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace rlccd {
+namespace serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  // Connects (retrying until `timeout_sec`) and completes the hello
+  // handshake. Reconnects transparently if already connected.
+  Status connect(const std::string& socket_path, double timeout_sec = 5.0);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  // Submits a job; reply.accepted tells admission from rejection (a
+  // rejection is a successful call — the Status is about transport). Lost
+  // connections get one transparent reconnect+resend: a submit is not yet
+  // a job until the daemon replies, so the resend cannot double-admit on a
+  // connection that died before the request was read.
+  Status submit(const JobSpec& spec, SubmitReply& reply);
+
+  Status poll_job(std::uint64_t job_id, JobStatus& status);
+
+  // Cancels: queued jobs terminally, running jobs via a drain SIGTERM.
+  // `status` is the job's state as of the reply.
+  Status cancel(std::uint64_t job_id, JobStatus& status);
+
+  // Blocks until the job reaches a terminal state (or `timeout_sec`
+  // elapses), streaming kProgress lines and audit JSONL to the callbacks
+  // (either may be null). Survives daemon-side disconnects by
+  // reconnecting and re-watching.
+  using ProgressFn = std::function<void(const JobProgress&)>;
+  using AuditFn = std::function<void(std::uint64_t job_id,
+                                     const std::string& jsonl)>;
+  Status wait(std::uint64_t job_id, JobStatus& final_status,
+              double timeout_sec = 0.0, const ProgressFn& on_progress = {},
+              const AuditFn& on_audit = {});
+
+  // Health/stats endpoint: one JSON document.
+  Status stats_json(std::string& json_out);
+
+  // Asks the daemon to drain and exit.
+  Status shutdown();
+
+ private:
+  Status connect_once(const std::string& socket_path, double timeout_sec);
+  Status request(MsgType type, std::string_view payload, MsgType expect,
+                 Frame& reply, double timeout_sec);
+  Status reconnect();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::string socket_path_;
+  double connect_timeout_sec_ = 5.0;
+};
+
+}  // namespace serve
+}  // namespace rlccd
+
+#endif  // !_WIN32

@@ -1,0 +1,1181 @@
+#ifndef _WIN32
+
+#include "serve/daemon.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/fault.h"
+#include "common/io.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
+#include "core/rlccd.h"
+#include "designgen/blocks.h"
+#include "rl/audit.h"
+#include "rl/checkpoint.h"
+#include "rl/isolation/supervisor.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "serve/socket.h"
+
+namespace rlccd {
+namespace serve {
+
+namespace {
+
+double mono_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ===========================================================================
+// Child side: one forked process per job attempt.
+// ===========================================================================
+
+// write_frame() is two writes (header, payload); the heartbeat thread and
+// the training thread's progress/audit forwarding would tear frames without
+// a writer lock.
+struct ChildPipe {
+  int fd = -1;
+  std::mutex mutex;
+
+  void send(std::uint8_t type, std::string_view payload) {
+    std::lock_guard<std::mutex> lock(mutex);
+    // A failed pipe write means the daemon is gone; the child keeps going
+    // and its result is simply lost with it.
+    (void)write_frame(fd, static_cast<FrameType>(type), payload);
+  }
+};
+
+// SIGTERM in a job child requests a cooperative drain: the trainer stops at
+// the next iteration boundary (everything completed is checkpointed) and
+// the child reports a resumable kDrained result.
+CancelToken* g_child_cancel = nullptr;
+void child_sigterm(int) {
+  if (g_child_cancel != nullptr) g_child_cancel->cancel();
+}
+
+// Forwards trainer progress events over the pipe and implements the
+// serve_worker_crash fault: _exit(3) right after the Nth checkpoint event,
+// so the retried attempt provably resumes from a real checkpoint.
+class ChildProgress : public ProgressObserver {
+ public:
+  ChildProgress(ChildPipe* pipe, int crash_after_checkpoints)
+      : pipe_(pipe), crash_after_(crash_after_checkpoints) {}
+
+  void on_event(const ProgressEvent& event) override {
+    JobProgress p;
+    p.phase.assign(event.phase.data(), event.phase.size());
+    p.step.assign(event.step.data(), event.step.size());
+    p.index = event.index;
+    p.seconds = event.seconds;
+    for (const ProgressMetric& m : event.metrics) {
+      p.metrics.emplace_back(std::string(m.name), m.value);
+    }
+    std::string bytes;
+    encode_job_progress(bytes, p);
+    pipe_->send(static_cast<std::uint8_t>(MsgType::kChildProgress), bytes);
+
+    if (crash_after_ >= 1 && event.step == "checkpoint" &&
+        ++checkpoints_ >= crash_after_) {
+      _exit(3);  // injected crash: die with the checkpoint safely on disk
+    }
+  }
+
+ private:
+  ChildPipe* pipe_;
+  int crash_after_;
+  int checkpoints_ = 0;
+};
+
+// Forwards decision-provenance records as audit JSONL lines.
+class ChildAudit : public AuditSink {
+ public:
+  explicit ChildAudit(ChildPipe* pipe) : pipe_(pipe) {}
+  void on_rollout(const RolloutAuditRecord& r) override { line(r.to_json()); }
+  void on_iteration(const IterationAuditRecord& r) override {
+    line(r.to_json());
+  }
+  void on_flow(const FlowAuditRecord& r) override { line(r.to_json()); }
+
+ private:
+  void line(const std::string& json) {
+    pipe_->send(static_cast<std::uint8_t>(MsgType::kChildAudit), json);
+  }
+  ChildPipe* pipe_;
+};
+
+// CRC-32 over the deterministic result payload: two runs of the same spec
+// must agree bit-for-bit, crashed-and-resumed or not.
+std::uint32_t result_digest(const TrainStats& stats) {
+  std::string bytes;
+  ipc_append_pod(bytes, static_cast<std::int32_t>(stats.iterations));
+  ipc_append_pod(bytes, stats.best_tns);
+  ipc_append_pod(bytes, stats.default_tns);
+  for (PinId pin : stats.best_selection) ipc_append_pod(bytes, pin.value);
+  return crc32(bytes);
+}
+
+[[noreturn]] void run_job_child(const Job& job, const ServeConfig& cfg,
+                                int pipe_fd, bool crash, int crash_after) {
+  ChildPipe pipe;
+  pipe.fd = pipe_fd;
+
+  static CancelToken cancel;
+  g_child_cancel = &cancel;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = child_sigterm;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGINT, SIG_IGN);  // only the daemon's drain stops job children
+
+  if (crash && crash_after <= 0) _exit(3);  // crash before any work
+
+  std::atomic<bool> hb_stop{false};
+  std::thread beat;
+  if (cfg.heartbeat_interval_sec > 0.0) {
+    beat = std::thread([&] {
+      const double interval = cfg.heartbeat_interval_sec;
+      double next = mono_sec();
+      while (!hb_stop.load(std::memory_order_relaxed)) {
+        const double now = mono_sec();
+        if (now >= next) {
+          pipe.send(static_cast<std::uint8_t>(FrameType::kHeartbeat), {});
+          next = now + interval;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
+  JobResult result;
+  if (job.spec.kind == JobKind::kNoop) {
+    const double until = mono_sec() + std::max(0.0, job.spec.noop_sec);
+    while (mono_sec() < until && !cancel.expired()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    result.drained = cancel.expired() && mono_sec() < until;
+    std::string bytes = "noop:" + std::to_string(job.spec.seed);
+    result.digest = crc32(bytes);
+    result.detail = result.drained ? "noop drained" : "noop done";
+  } else {
+    ChildProgress progress(&pipe, crash ? crash_after : -1);
+    ChildAudit audit(&pipe);
+
+    Design design = generate_design(
+        to_generator_config(find_block(job.spec.block), job.spec.scale));
+    RlCcdConfig rc = RlCcdConfig::for_design(design);
+    rc.train.max_iterations = job.spec.iters;
+    rc.train.patience = job.spec.iters;  // fixed-length, like smoke_rl
+    rc.train.workers = job.spec.rollout_workers;
+    rc.train.seed = job.spec.seed;
+    rc.train.checkpoint_dir = job.workspace + "/ckpts";
+    rc.train.checkpoint_every = 1;
+    rc.train.resume = job.resume;
+    rc.train.cancel = &cancel;
+    rc.train.observer = &progress;
+    rc.train.audit = &audit;
+
+    Policy policy(rc.policy, rc.policy_seed);
+    ReinforceTrainer trainer(&design, &policy, rc.train);
+    TrainStats stats = trainer.train();
+
+    result.drained = cancel.expired() && stats.iterations < job.spec.iters;
+    result.iterations = stats.iterations;
+    result.best_tns = stats.best_tns;
+    result.default_tns = stats.default_tns;
+    result.selection_size = stats.best_selection.size();
+    result.digest = result_digest(stats);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s at %d/%d iters, best_tns=%.3f",
+                  result.drained ? "drained" : "trained", stats.iterations,
+                  job.spec.iters, stats.best_tns);
+    result.detail = buf;
+  }
+
+  if (beat.joinable()) {
+    hb_stop.store(true, std::memory_order_relaxed);
+    beat.join();
+  }
+  std::string bytes;
+  encode_job_result(bytes, result);
+  pipe.send(static_cast<std::uint8_t>(FrameType::kResult), bytes);
+  _exit(0);
+}
+
+// ===========================================================================
+// Daemon side.
+// ===========================================================================
+
+struct ClientConn {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::string outbuf;  // unsent frame bytes (nonblocking fd)
+  bool dead = false;   // scheduled for drop at the end of the loop pass
+};
+
+struct WorkerSlot {
+  bool busy = false;
+  pid_t pid = -1;
+  int fd = -1;  // pipe read end
+  FrameDecoder decoder;
+  Job* job = nullptr;
+  double started = 0.0;
+  double last_activity = 0.0;
+  bool got_result = false;
+  bool killed = false;
+  const char* kill_reason = "";
+  std::string error_frame;
+  JobResult result;
+};
+
+bool block_known(const std::string& name) {
+  for (const BlockSpec& b : paper_blocks()) {
+    if (b.name == name) return true;
+  }
+  return false;
+}
+
+void append_frame_bytes(std::string& out, MsgType type,
+                        std::string_view payload) {
+  ipc_append_pod(out, static_cast<std::uint8_t>(type));
+  ipc_append_pod(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+}
+
+void json_kv(std::string& out, const char* key, std::uint64_t v,
+             bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%llu%s", key,
+                static_cast<unsigned long long>(v), comma ? "," : "");
+  out += buf;
+}
+
+}  // namespace
+
+// The whole event loop lives in one stack-allocated struct so run() has no
+// heap-lifetime subtleties and tests can drive a daemon per test case.
+struct DaemonLoop {
+  ServeDaemon& d;
+  const ServeConfig& cfg;
+  SessionRegistry sessions;
+  JobQueue queue;
+  std::map<int, ClientConn> clients;
+  std::vector<WorkerSlot> slots;
+  bool draining = false;
+  double drain_deadline = 0.0;
+  double started = mono_sec();
+  int exit_code = 0;
+
+  MetricsRegistry& reg = MetricsRegistry::global();
+  MetricsCounter& ctr_submitted = reg.counter("serve.jobs_submitted");
+  MetricsCounter& ctr_rejected = reg.counter("serve.jobs_rejected");
+  MetricsCounter& ctr_done = reg.counter("serve.jobs_done");
+  MetricsCounter& ctr_failed = reg.counter("serve.jobs_failed");
+  MetricsCounter& ctr_retried = reg.counter("serve.jobs_retried");
+  MetricsCounter& ctr_shed = reg.counter("serve.jobs_shed");
+  MetricsCounter& ctr_cancelled = reg.counter("serve.jobs_cancelled");
+  MetricsCounter& ctr_drained = reg.counter("serve.jobs_drained");
+  MetricsCounter& ctr_kills = reg.counter("serve.jobs_killed");
+  MetricsCounter& ctr_accepted = reg.counter("serve.clients_accepted");
+  MetricsCounter& ctr_dropped = reg.counter("serve.clients_dropped");
+  MetricsCounter& ctr_accept_fail = reg.counter("serve.accept_failures");
+  MetricsCounter& ctr_forced_full = reg.counter("serve.queue_full_injected");
+  MetricsHistogram& hist_wait = reg.histogram("serve.queue_wait_sec");
+  MetricsHistogram& hist_run = reg.histogram("serve.job_run_sec");
+
+  explicit DaemonLoop(ServeDaemon& daemon)
+      : d(daemon),
+        cfg(daemon.config_),
+        sessions(daemon.config_.root_dir),
+        queue(daemon.config_.queue) {
+    slots.resize(static_cast<std::size_t>(std::max(1, cfg.workers)));
+  }
+
+  // -- client output ----------------------------------------------------------
+
+  void send_msg(ClientConn& c, MsgType type, std::string_view payload) {
+    if (c.dead) return;
+    append_frame_bytes(c.outbuf, type, payload);
+    flush_client(c);
+    if (c.outbuf.size() > cfg.client_outbuf_limit) {
+      RLCCD_LOG_WARN("serve: client fd %d over outbuf limit (%zu bytes); "
+                     "dropping (backpressure)",
+                     c.fd, c.outbuf.size());
+      c.dead = true;
+    }
+  }
+
+  void flush_client(ClientConn& c) {
+    while (!c.outbuf.empty()) {
+      const ssize_t w = ::write(c.fd, c.outbuf.data(), c.outbuf.size());
+      if (w > 0) {
+        c.outbuf.erase(0, static_cast<std::size_t>(w));
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      c.dead = true;  // EPIPE/ECONNRESET: the peer is gone
+      return;
+    }
+  }
+
+  void send_error(ClientConn& c, const std::string& message) {
+    send_msg(c, MsgType::kError, message);
+  }
+
+  void drop_client(int fd) {
+    auto it = clients.find(fd);
+    if (it == clients.end()) return;
+    ::close(fd);
+    clients.erase(it);
+    ctr_dropped.increment();
+    for (Job* job : queue.queued_jobs()) forget_watcher(job, fd);
+    for (Job* job : queue.running_jobs()) forget_watcher(job, fd);
+  }
+
+  static void forget_watcher(Job* job, int fd) {
+    auto& w = job->watchers;
+    w.erase(std::remove(w.begin(), w.end(), fd), w.end());
+  }
+
+  // -- job status fan-out -----------------------------------------------------
+
+  JobStatus status_of(const Job& job) {
+    JobStatus s;
+    s.job_id = job.id;
+    s.state = job.state;
+    s.session = job.session->name;
+    s.kind = job.spec.kind;
+    s.attempts = job.attempts;
+    s.iterations = job.result.iterations;
+    s.best_tns = job.result.best_tns;
+    s.default_tns = job.result.default_tns;
+    s.selection_size = job.result.selection_size;
+    s.result_digest = job.result.digest;
+    s.detail = job.detail;
+    return s;
+  }
+
+  void notify_watchers(Job* job) {
+    if (job->watchers.empty()) return;
+    std::string bytes;
+    encode_job_status(bytes, status_of(*job));
+    for (int fd : job->watchers) {
+      auto it = clients.find(fd);
+      if (it != clients.end()) send_msg(it->second, MsgType::kJobStatus, bytes);
+    }
+    if (job_state_terminal(job->state)) job->watchers.clear();
+  }
+
+  void relay_to_watchers(Job* job, MsgType type, std::string_view payload) {
+    for (int fd : job->watchers) {
+      auto it = clients.find(fd);
+      if (it != clients.end()) send_msg(it->second, type, payload);
+    }
+  }
+
+  // -- admission --------------------------------------------------------------
+
+  void handle_submit(ClientConn& c, std::string_view payload) {
+    SubmitReply reply;
+    JobSpec spec;
+    std::size_t off = 0;
+    Status parsed = parse_job_spec(payload, off, spec);
+    std::string why;
+    if (!parsed.ok()) {
+      why = parsed.to_string();
+    } else if (draining) {
+      why = "daemon is draining; not accepting jobs";
+    } else if (!valid_session_name(spec.session)) {
+      why = "invalid session name \"" + spec.session + "\"";
+    } else if (spec.kind == JobKind::kTrain && !block_known(spec.block)) {
+      why = "unknown block \"" + spec.block + "\"";
+    } else if (spec.kind == JobKind::kTrain &&
+               !(spec.scale > 0.0 && spec.scale <= 1.0)) {
+      why = "scale must be in (0, 1]";
+    } else if (spec.kind == JobKind::kTrain &&
+               (spec.iters < 1 || spec.iters > 10000)) {
+      why = "iters must be in [1, 10000]";
+    } else if (spec.kind == JobKind::kTrain &&
+               (spec.rollout_workers < 1 || spec.rollout_workers > 64)) {
+      why = "rollout_workers must be in [1, 64]";
+    }
+
+    if (why.empty()) {
+      Status swhy;
+      Session* session = sessions.open(spec.session, &swhy);
+      if (session == nullptr) {
+        why = swhy.to_string();
+      } else {
+        bool force_full = false;
+        if (fault_fire("serve_queue_full")) {
+          force_full = true;
+          ctr_forced_full.increment();
+        }
+        JobQueue::Admission adm =
+            queue.admit(spec, session, mono_sec(), force_full);
+        if (adm.shed_victim != nullptr) {
+          ctr_shed.increment();
+          RLCCD_LOG_WARN("serve: shed job %llu (priority %d) for a "
+                         "priority-%d submit",
+                         static_cast<unsigned long long>(adm.shed_victim->id),
+                         adm.shed_victim->priority(), spec.priority);
+          notify_watchers(adm.shed_victim);
+        }
+        if (adm.accepted) {
+          ctr_submitted.increment();
+          adm.job->detail = "queued";
+          reply.accepted = true;
+          reply.job_id = adm.job->id;
+          RLCCD_LOG_INFO("serve: job %llu admitted (session=%s kind=%s "
+                         "priority=%d depth=%d)",
+                         static_cast<unsigned long long>(adm.job->id),
+                         spec.session.c_str(), job_kind_name(spec.kind),
+                         spec.priority, queue.queued_depth());
+        } else {
+          why = adm.reason;
+        }
+      }
+    }
+    if (!reply.accepted) {
+      ctr_rejected.increment();
+      reply.reason = why;
+      RLCCD_LOG_WARN("serve: submit rejected: %s", why.c_str());
+    }
+    std::string bytes;
+    encode_submit_reply(bytes, reply);
+    send_msg(c, MsgType::kSubmitReply, bytes);
+  }
+
+  // -- per-frame dispatch -----------------------------------------------------
+
+  void handle_frame(ClientConn& c, const Frame& frame) {
+    const MsgType type = static_cast<MsgType>(frame.type);
+    switch (type) {
+      case MsgType::kHello: {
+        Hello hello;
+        std::size_t off = 0;
+        if (!parse_hello(frame.payload, off, hello).ok() ||
+            hello.version != kProtocolVersion) {
+          send_error(c, "protocol version mismatch (daemon speaks v" +
+                            std::to_string(kProtocolVersion) + ")");
+          c.dead = true;
+          return;
+        }
+        HelloReply reply;
+        reply.daemon_pid = static_cast<std::uint64_t>(::getpid());
+        std::string bytes;
+        encode_hello_reply(bytes, reply);
+        send_msg(c, MsgType::kHelloReply, bytes);
+        break;
+      }
+      case MsgType::kSubmit:
+        handle_submit(c, frame.payload);
+        break;
+      case MsgType::kPoll:
+      case MsgType::kWatch: {
+        JobRef ref;
+        std::size_t off = 0;
+        if (!parse_job_ref(frame.payload, off, ref).ok()) {
+          send_error(c, "malformed job ref");
+          return;
+        }
+        Job* job = queue.find(ref.job_id);
+        if (job == nullptr) {
+          send_error(c, "unknown job " + std::to_string(ref.job_id));
+          return;
+        }
+        if (type == MsgType::kWatch && !job_state_terminal(job->state)) {
+          if (std::find(job->watchers.begin(), job->watchers.end(), c.fd) ==
+              job->watchers.end()) {
+            job->watchers.push_back(c.fd);
+          }
+        }
+        std::string bytes;
+        encode_job_status(bytes, status_of(*job));
+        send_msg(c, MsgType::kJobStatus, bytes);
+        break;
+      }
+      case MsgType::kCancel: {
+        JobRef ref;
+        std::size_t off = 0;
+        if (!parse_job_ref(frame.payload, off, ref).ok()) {
+          send_error(c, "malformed job ref");
+          return;
+        }
+        Job* job = queue.find(ref.job_id);
+        if (job == nullptr) {
+          send_error(c, "unknown job " + std::to_string(ref.job_id));
+          return;
+        }
+        cancel_job(job);
+        std::string bytes;
+        encode_job_status(bytes, status_of(*job));
+        send_msg(c, MsgType::kJobStatus, bytes);
+        break;
+      }
+      case MsgType::kStats:
+        send_msg(c, MsgType::kStatsReply, stats_json());
+        break;
+      case MsgType::kShutdown: {
+        send_msg(c, MsgType::kShutdownReply, {});
+        RLCCD_LOG_INFO("serve: shutdown requested by client fd %d", c.fd);
+        begin_drain();
+        break;
+      }
+      default:
+        send_error(c, std::string("unexpected message type ") +
+                          msg_type_name(type));
+        break;
+    }
+
+    if (fault_fire("serve_client_disconnect")) {
+      RLCCD_LOG_WARN("serve: injected client disconnect (fd %d)", c.fd);
+      c.dead = true;
+    }
+  }
+
+  void cancel_job(Job* job) {
+    if (job_state_terminal(job->state)) return;
+    job->cancel_requested = true;
+    if (job->state == JobState::kRunning) {
+      // The child drains at its next iteration boundary; finalize turns the
+      // drained result into kCancelled.
+      ::kill(slots[static_cast<std::size_t>(job->slot)].pid, SIGTERM);
+      return;
+    }
+    queue.remove_queued(job, JobState::kCancelled);
+    job->detail = "cancelled while queued";
+    ctr_cancelled.increment();
+    notify_watchers(job);
+  }
+
+  // -- worker lifecycle -------------------------------------------------------
+
+  int free_slot() const {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].busy) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  void dispatch_jobs() {
+    if (draining) return;
+    for (;;) {
+      const int slot = free_slot();
+      if (slot < 0) return;
+      Job* job = queue.next_runnable(mono_sec());
+      if (job == nullptr) return;
+      spawn(job, slot);
+    }
+  }
+
+  void spawn(Job* job, int slot_index) {
+    const double now = mono_sec();
+    hist_wait.record(std::max(0.0, now - (job->state == JobState::kRetryWait
+                                              ? job->retry_due_sec
+                                              : job->submitted_sec)));
+    Status made = make_dirs(job->workspace + "/ckpts");
+    if (!made.ok()) {
+      queue.mark_running(job, slot_index);  // keep state accounting uniform
+      queue.finish_running(job, JobState::kFailed);
+      job->detail = "workspace: " + made.to_string();
+      ctr_failed.increment();
+      notify_watchers(job);
+      return;
+    }
+
+    // Fault directives are decided here, in the daemon, so hit counting is
+    // global and deterministic (a forked child would re-count hits in its
+    // own copy of the injector on every retry).
+    double crash_param = 0.0;
+    const bool crash = fault_fire("serve_worker_crash", &crash_param);
+
+    Pipe pipe;
+    Status ps = pipe_create(pipe);
+    if (!ps.ok()) {
+      queue.mark_running(job, slot_index);
+      queue.finish_running(job, JobState::kFailed);
+      job->detail = "pipe: " + ps.to_string();
+      ctr_failed.increment();
+      notify_watchers(job);
+      return;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pipe.read_fd);
+      ::close(pipe.write_fd);
+      queue.mark_running(job, slot_index);
+      queue.finish_running(job, JobState::kFailed);
+      job->detail = std::string("fork: ") + std::strerror(errno);
+      ctr_failed.increment();
+      notify_watchers(job);
+      return;
+    }
+    if (pid == 0) {
+      // Child: drop every daemon fd (fork copies them all; no exec follows,
+      // so FD_CLOEXEC does not help) and run the job.
+      ::close(pipe.read_fd);
+      ::close(d.listen_fd_);
+      ::close(d.stop_read_fd_);
+      ::close(d.stop_write_fd_);
+      for (auto& [fd, conn] : clients) ::close(fd);
+      for (WorkerSlot& s : slots) {
+        if (s.busy && s.fd >= 0) ::close(s.fd);
+      }
+      run_job_child(*job, cfg, pipe.write_fd, crash,
+                    static_cast<int>(crash_param));
+    }
+    ::close(pipe.write_fd);
+    ::fcntl(pipe.read_fd, F_SETFL, O_NONBLOCK);
+
+    WorkerSlot& s = slots[static_cast<std::size_t>(slot_index)];
+    s.busy = true;
+    s.pid = pid;
+    s.fd = pipe.read_fd;
+    s.decoder = FrameDecoder();
+    s.job = job;
+    s.started = now;
+    s.last_activity = now;
+    s.got_result = false;
+    s.killed = false;
+    s.kill_reason = "";
+    s.error_frame.clear();
+    s.result = JobResult();
+
+    queue.mark_running(job, slot_index);
+    job->detail = "running (attempt " + std::to_string(job->attempts) + ")";
+    RLCCD_LOG_INFO("serve: job %llu attempt %d -> slot %d (pid %d%s%s)",
+                   static_cast<unsigned long long>(job->id), job->attempts,
+                   slot_index, static_cast<int>(pid),
+                   job->resume ? ", resume" : "",
+                   crash ? ", crash injected" : "");
+    notify_watchers(job);
+  }
+
+  void drain_worker_pipe(int slot_index) {
+    WorkerSlot& s = slots[static_cast<std::size_t>(slot_index)];
+    bool eof = false;
+    std::size_t bytes = 0;
+    Status rs = read_available(s.fd, s.decoder, eof, &bytes);
+    if (bytes > 0) s.last_activity = mono_sec();
+    Frame frame;
+    while (s.decoder.next(frame)) {
+      switch (frame.type) {
+        case static_cast<std::uint8_t>(FrameType::kHeartbeat):
+          break;  // activity already refreshed above
+        case static_cast<std::uint8_t>(FrameType::kResult): {
+          std::size_t off = 0;
+          JobResult r;
+          if (parse_job_result(frame.payload, off, r).ok()) {
+            s.got_result = true;
+            s.result = r;
+          } else {
+            s.error_frame = "malformed result frame";
+          }
+          break;
+        }
+        case static_cast<std::uint8_t>(FrameType::kError):
+          s.error_frame = frame.payload;
+          break;
+        case static_cast<std::uint8_t>(MsgType::kChildProgress): {
+          std::size_t off = 0;
+          JobProgress p;
+          if (parse_job_progress(frame.payload, off, p).ok()) {
+            p.job_id = s.job->id;
+            s.job->detail = p.phase + "/" + p.step +
+                            (p.index >= 0 ? " #" + std::to_string(p.index)
+                                          : "");
+            std::string bytes2;
+            encode_job_progress(bytes2, p);
+            relay_to_watchers(s.job, MsgType::kProgress, bytes2);
+          }
+          break;
+        }
+        case static_cast<std::uint8_t>(MsgType::kChildAudit): {
+          std::string bytes2;
+          ipc_append_pod(bytes2, s.job->id);
+          ipc_append_string(bytes2, frame.payload);
+          relay_to_watchers(s.job, MsgType::kAudit, bytes2);
+          break;
+        }
+        default:
+          s.error_frame = "unexpected frame type " +
+                          std::to_string(static_cast<int>(frame.type));
+          break;
+      }
+    }
+    if (!rs.ok()) {
+      RLCCD_LOG_WARN("serve: slot %d pipe read: %s", slot_index,
+                     rs.to_string().c_str());
+      finalize_worker(slot_index);
+      return;
+    }
+    if (eof) finalize_worker(slot_index);
+  }
+
+  void finalize_worker(int slot_index) {
+    WorkerSlot& s = slots[static_cast<std::size_t>(slot_index)];
+    ::close(s.fd);
+    s.fd = -1;
+    int st = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(s.pid, &st, 0);
+    } while (r < 0 && errno == EINTR);
+    s.pid = -1;
+    Job* job = s.job;
+    s.job = nullptr;
+    s.busy = false;
+
+    const double now = mono_sec();
+    hist_run.record(now - s.started);
+
+    if (s.got_result) {
+      job->result = s.result;
+      job->detail = s.result.detail;
+      if (job->cancel_requested) {
+        queue.finish_running(job, JobState::kCancelled);
+        ctr_cancelled.increment();
+      } else if (s.result.drained) {
+        // Stopped at a checkpoint by the drain SIGTERM; a future daemon can
+        // resume this job's workspace bit-identically.
+        queue.finish_running(job, JobState::kDrained);
+        ctr_drained.increment();
+      } else {
+        queue.finish_running(job, JobState::kDone);
+        ctr_done.increment();
+      }
+      RLCCD_LOG_INFO("serve: job %llu %s (%s)",
+                     static_cast<unsigned long long>(job->id),
+                     job_state_name(job->state), job->detail.c_str());
+      notify_watchers(job);
+      return;
+    }
+
+    // No result: classify the death exactly like the rollout supervisor.
+    const bool stream_bad = !s.decoder.error().ok() ||
+                            s.decoder.mid_frame() || !s.error_frame.empty();
+    const WorkerExit cls =
+        classify_worker_exit(st, s.killed, stream_bad, /*got_result=*/false);
+    char desc[160];
+    std::snprintf(desc, sizeof(desc), "%s%s%s (exit=%d signal=%d)",
+                  worker_failure_name(cls.failure),
+                  s.error_frame.empty() && !s.killed ? "" : ": ",
+                  s.killed ? s.kill_reason : s.error_frame.c_str(),
+                  cls.exit_code, cls.term_signal);
+    job->kills += s.killed ? 1 : 0;
+
+    if (job->cancel_requested) {
+      job->detail = std::string("cancelled: ") + desc;
+      queue.finish_running(job, JobState::kCancelled);
+      ctr_cancelled.increment();
+      notify_watchers(job);
+      return;
+    }
+    if (!draining && job->attempts <= cfg.job_retries) {
+      // Retry from the newest checkpoint with exponential backoff plus
+      // deterministic per-job jitter.
+      const int restart = job->attempts - 1;  // 0-based retry index
+      Rng jitter(cfg.backoff_seed ^
+                 (0x9E3779B97F4A7C15ull * (job->id + 1)) ^
+                 static_cast<std::uint64_t>(restart));
+      double delay = cfg.retry_backoff_base_sec *
+                     std::pow(2.0, static_cast<double>(restart));
+      delay = std::min(delay, cfg.retry_backoff_max_sec);
+      delay *= 1.0 + 0.5 * jitter.uniform();
+      queue.requeue_for_retry(job, now + delay);
+      ctr_retried.increment();
+      std::string resume_point = "scratch";
+      if (job->spec.kind == JobKind::kTrain) {
+        std::string path;
+        int iters = 0;
+        if (newest_checkpoint(job->workspace + "/ckpts", path, &iters).ok()) {
+          resume_point = "checkpoint @" + std::to_string(iters);
+        }
+      }
+      job->detail = std::string("retrying after ") + desc + " (from " +
+                    resume_point + ")";
+      RLCCD_LOG_WARN("serve: job %llu attempt %d failed (%s); retry %d in "
+                     "%.0f ms from %s",
+                     static_cast<unsigned long long>(job->id), job->attempts,
+                     desc, job->attempts, delay * 1e3, resume_point.c_str());
+      notify_watchers(job);
+      return;
+    }
+    job->detail = draining && s.killed
+                      ? std::string("failed: drain deadline forced SIGKILL")
+                      : std::string("failed: ") + desc +
+                            (draining ? " (during drain)" : ", retries exhausted");
+    queue.finish_running(job, JobState::kFailed);
+    ctr_failed.increment();
+    RLCCD_LOG_ERROR("serve: job %llu lost after %d attempts (%s)",
+                    static_cast<unsigned long long>(job->id), job->attempts,
+                    desc);
+    notify_watchers(job);
+  }
+
+  // -- timeouts, drain --------------------------------------------------------
+
+  void kill_worker(int slot_index, const char* reason) {
+    WorkerSlot& s = slots[static_cast<std::size_t>(slot_index)];
+    if (!s.busy || s.killed) return;
+    s.killed = true;
+    s.kill_reason = reason;
+    ctr_kills.increment();
+    RLCCD_LOG_WARN("serve: job %llu (slot %d, pid %d): %s; sending SIGKILL",
+                   static_cast<unsigned long long>(s.job->id), slot_index,
+                   static_cast<int>(s.pid), reason);
+    ::kill(s.pid, SIGKILL);
+    // The EOF that follows finalizes and classifies the attempt.
+  }
+
+  void check_timeouts(double now) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      WorkerSlot& s = slots[i];
+      if (!s.busy || s.killed) continue;
+      double deadline = s.job->spec.deadline_sec > 0.0
+                            ? s.job->spec.deadline_sec
+                            : cfg.job_deadline_sec;
+      if (deadline > 0.0 && now - s.started > deadline) {
+        kill_worker(static_cast<int>(i), "deadline exceeded");
+        continue;
+      }
+      if (cfg.heartbeat_interval_sec > 0.0 &&
+          cfg.heartbeat_timeout_sec > 0.0 &&
+          now - s.last_activity > cfg.heartbeat_timeout_sec) {
+        kill_worker(static_cast<int>(i), "heartbeat silence");
+      }
+    }
+    if (draining && drain_deadline > 0.0 && now > drain_deadline) {
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i].busy && !slots[i].killed) {
+          kill_worker(static_cast<int>(i), "drain deadline");
+          exit_code = 1;
+        }
+      }
+      drain_deadline = 0.0;  // fire once
+    }
+  }
+
+  void begin_drain() {
+    if (draining) return;
+    draining = true;
+    drain_deadline =
+        cfg.drain_timeout_sec > 0.0 ? mono_sec() + cfg.drain_timeout_sec : 0.0;
+    const std::vector<Job*> queued = queue.queued_jobs();
+    RLCCD_LOG_INFO("serve: draining (%zu queued to shed, %d running to stop)",
+                   queued.size(), queue.running_count());
+    for (Job* job : queued) {
+      queue.remove_queued(job, JobState::kShed);
+      job->session->shed += 1;
+      job->detail = "shed: daemon draining";
+      ctr_shed.increment();
+      notify_watchers(job);
+    }
+    for (WorkerSlot& s : slots) {
+      if (s.busy) ::kill(s.pid, SIGTERM);  // stop at an iteration boundary
+    }
+  }
+
+  [[nodiscard]] bool drained() const {
+    return draining && queue.running_count() == 0 && queue.queued_depth() == 0;
+  }
+
+  // -- health / stats endpoint ------------------------------------------------
+
+  std::string stats_json() {
+    std::string out = "{";
+    json_kv(out, "pid", static_cast<std::uint64_t>(::getpid()));
+    json_kv(out, "protocol", kProtocolVersion);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "\"uptime_sec\":%.3f,\"draining\":%s,",
+                  mono_sec() - started, draining ? "true" : "false");
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"queue\":{\"depth\":%d,\"running\":%d,\"max_depth\":%d,"
+                  "\"workers\":%zu},",
+                  queue.queued_depth(), queue.running_count(),
+                  queue.config().max_queue_depth, slots.size());
+    out += buf;
+    out += "\"jobs\":{";
+    json_kv(out, "submitted", ctr_submitted.value());
+    json_kv(out, "rejected", ctr_rejected.value());
+    json_kv(out, "done", ctr_done.value());
+    json_kv(out, "failed", ctr_failed.value());
+    json_kv(out, "retried", ctr_retried.value());
+    json_kv(out, "shed", ctr_shed.value());
+    json_kv(out, "cancelled", ctr_cancelled.value());
+    json_kv(out, "drained", ctr_drained.value());
+    json_kv(out, "killed", ctr_kills.value(), /*comma=*/false);
+    out += "},\"workers\":[";
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const WorkerSlot& s = slots[i];
+      if (i > 0) out += ",";
+      std::snprintf(buf, sizeof(buf),
+                    "{\"slot\":%zu,\"busy\":%s,\"pid\":%d,\"job\":%llu}", i,
+                    s.busy ? "true" : "false",
+                    s.busy ? static_cast<int>(s.pid) : -1,
+                    s.busy ? static_cast<unsigned long long>(s.job->id) : 0ull);
+      out += buf;
+    }
+    out += "],\"sessions\":[";
+    bool first = true;
+    for (const auto& session : sessions.all()) {
+      if (!first) out += ",";
+      first = false;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"queued\":%d,\"inflight\":%d,"
+                    "\"submitted\":%llu,\"done\":%llu,\"failed\":%llu,"
+                    "\"shed\":%llu}",
+                    session->name.c_str(), session->queued, session->inflight,
+                    static_cast<unsigned long long>(session->submitted),
+                    static_cast<unsigned long long>(session->done),
+                    static_cast<unsigned long long>(session->failed),
+                    static_cast<unsigned long long>(session->shed));
+      out += buf;
+    }
+    out += "],\"counters\":{";
+    json_kv(out, "serve.jobs_retried", ctr_retried.value());
+    json_kv(out, "serve.jobs_killed", ctr_kills.value());
+    json_kv(out, "serve.clients_accepted", ctr_accepted.value());
+    json_kv(out, "serve.clients_dropped", ctr_dropped.value());
+    json_kv(out, "serve.accept_failures", ctr_accept_fail.value());
+    json_kv(out, "serve.queue_full_injected", ctr_forced_full.value(),
+            /*comma=*/false);
+    out += "}}";
+    return out;
+  }
+
+  // -- accept -----------------------------------------------------------------
+
+  void accept_clients() {
+    for (;;) {
+      int fd = -1;
+      Status as = unix_accept(d.listen_fd_, fd);
+      if (!as.ok()) {
+        RLCCD_LOG_WARN("serve: %s", as.to_string().c_str());
+        return;
+      }
+      if (fd < 0) return;  // nothing pending
+      if (fault_fire("serve_accept_fail")) {
+        // Injected accept failure: the connection is dropped on the floor;
+        // the client's connect-retry loop recovers.
+        ctr_accept_fail.increment();
+        RLCCD_LOG_WARN("serve: injected accept failure (fd %d dropped)", fd);
+        ::close(fd);
+        continue;
+      }
+      if (static_cast<int>(clients.size()) >= cfg.max_clients) {
+        RLCCD_LOG_WARN("serve: client limit %d reached; refusing fd %d",
+                       cfg.max_clients, fd);
+        ::close(fd);
+        continue;
+      }
+      ClientConn conn;
+      conn.fd = fd;
+      clients.emplace(fd, std::move(conn));
+      ctr_accepted.increment();
+    }
+  }
+
+  void read_client(ClientConn& c) {
+    bool eof = false;
+    Status rs = read_available(c.fd, c.decoder, eof);
+    Frame frame;
+    while (!c.dead && c.decoder.next(frame)) handle_frame(c, frame);
+    if (!c.decoder.error().ok()) {
+      send_error(c, c.decoder.error().to_string());
+      c.dead = true;
+    }
+    if (!rs.ok() || eof) c.dead = true;
+  }
+
+  // -- the loop ---------------------------------------------------------------
+
+  int poll_timeout_ms(double now) {
+    double next = now + 0.5;  // idle tick
+    const double retry = queue.next_retry_due(now);
+    if (retry > 0.0) next = std::min(next, retry);
+    for (const WorkerSlot& s : slots) {
+      if (!s.busy || s.killed) continue;
+      const double deadline = s.job->spec.deadline_sec > 0.0
+                                  ? s.job->spec.deadline_sec
+                                  : cfg.job_deadline_sec;
+      if (deadline > 0.0) next = std::min(next, s.started + deadline);
+      if (cfg.heartbeat_interval_sec > 0.0 && cfg.heartbeat_timeout_sec > 0.0) {
+        next = std::min(next, s.last_activity + cfg.heartbeat_timeout_sec);
+      }
+    }
+    if (draining && drain_deadline > 0.0) next = std::min(next, drain_deadline);
+    return std::max(1, static_cast<int>((next - now) * 1e3) + 1);
+  }
+
+  int run() {
+    RLCCD_LOG_INFO("serve: listening on %s (%zu worker slots, queue depth "
+                   "%d)",
+                   cfg.socket_path.c_str(), slots.size(),
+                   queue.config().max_queue_depth);
+    std::vector<pollfd> pfds;
+    // Parallel index: what each pollfd entry refers to.
+    struct Ref {
+      enum Kind { kStop, kListen, kClient, kWorker } kind;
+      int key;  // client fd or worker slot index
+    };
+    std::vector<Ref> refs;
+
+    while (!drained()) {
+      dispatch_jobs();
+      if (drained()) break;
+
+      pfds.clear();
+      refs.clear();
+      pfds.push_back({d.stop_read_fd_, POLLIN, 0});
+      refs.push_back({Ref::kStop, 0});
+      if (!draining) {
+        pfds.push_back({d.listen_fd_, POLLIN, 0});
+        refs.push_back({Ref::kListen, 0});
+      }
+      for (auto& [fd, conn] : clients) {
+        short events = POLLIN;
+        if (!conn.outbuf.empty()) events |= POLLOUT;
+        pfds.push_back({fd, events, 0});
+        refs.push_back({Ref::kClient, fd});
+      }
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i].busy) continue;
+        pfds.push_back({slots[i].fd, POLLIN, 0});
+        refs.push_back({Ref::kWorker, static_cast<int>(i)});
+      }
+
+      const double now = mono_sec();
+      int pr;
+      do {
+        pr = ::poll(pfds.data(), pfds.size(), poll_timeout_ms(now));
+      } while (pr < 0 && errno == EINTR);
+      if (pr < 0) {
+        RLCCD_LOG_ERROR("serve: poll: %s", std::strerror(errno));
+        break;
+      }
+
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents == 0) continue;
+        switch (refs[i].kind) {
+          case Ref::kStop: {
+            char buf[16];
+            while (::read(d.stop_read_fd_, buf, sizeof(buf)) > 0) {
+            }
+            begin_drain();
+            break;
+          }
+          case Ref::kListen:
+            accept_clients();
+            break;
+          case Ref::kClient: {
+            auto it = clients.find(refs[i].key);
+            if (it == clients.end()) break;
+            if (pfds[i].revents & POLLOUT) flush_client(it->second);
+            if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+              read_client(it->second);
+            }
+            break;
+          }
+          case Ref::kWorker: {
+            const int slot = refs[i].key;
+            if (slots[static_cast<std::size_t>(slot)].busy) {
+              drain_worker_pipe(slot);
+            }
+            break;
+          }
+        }
+      }
+
+      check_timeouts(mono_sec());
+
+      std::vector<int> doomed;
+      for (auto& [fd, conn] : clients) {
+        if (conn.dead) doomed.push_back(fd);
+      }
+      for (int fd : doomed) drop_client(fd);
+    }
+
+    // Every admitted job must be terminal here — the "no silent jobs"
+    // contract the soak test holds the daemon to.
+    queue.assert_no_silent_jobs();
+    for (auto& [fd, conn] : clients) {
+      flush_client(conn);
+      ::close(fd);
+    }
+    clients.clear();
+    RLCCD_LOG_INFO("serve: drained; exiting %d", exit_code);
+    return exit_code;
+  }
+};
+
+// ===========================================================================
+// ServeDaemon
+// ===========================================================================
+
+ServeDaemon::ServeDaemon(ServeConfig config) : config_(std::move(config)) {
+  RLCCD_EXPECTS(!config_.socket_path.empty());
+  RLCCD_EXPECTS(!config_.root_dir.empty());
+  RLCCD_EXPECTS(config_.workers >= 1);
+}
+
+ServeDaemon::~ServeDaemon() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(config_.socket_path.c_str());
+  }
+  if (stop_read_fd_ >= 0) ::close(stop_read_fd_);
+  if (stop_write_fd_ >= 0) ::close(stop_write_fd_);
+}
+
+Status ServeDaemon::init() {
+  RLCCD_TRY(make_dirs(config_.root_dir));
+  RLCCD_TRY(unix_listen(config_.socket_path, listen_fd_));
+  Pipe stop;
+  RLCCD_TRY(pipe_create(stop));
+  stop_read_fd_ = stop.read_fd;
+  stop_write_fd_ = stop.write_fd;
+  RLCCD_TRY(set_nonblocking(stop_read_fd_));
+  RLCCD_TRY(set_nonblocking(stop_write_fd_));
+  ::signal(SIGPIPE, SIG_IGN);  // dead clients surface as EPIPE, not death
+  return Status();
+}
+
+int ServeDaemon::run() {
+  RLCCD_EXPECTS(listen_fd_ >= 0 && stop_read_fd_ >= 0);
+  DaemonLoop loop(*this);
+  return loop.run();
+}
+
+void ServeDaemon::request_shutdown() {
+  // Async-signal-safe: one write to the self-pipe wakes the poll loop.
+  const char byte = 1;
+  [[maybe_unused]] ssize_t w = ::write(stop_write_fd_, &byte, 1);
+}
+
+}  // namespace serve
+}  // namespace rlccd
+
+#endif  // !_WIN32

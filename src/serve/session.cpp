@@ -1,0 +1,53 @@
+#include "serve/session.h"
+
+#include "common/io.h"
+
+namespace rlccd {
+namespace serve {
+
+bool valid_session_name(const std::string& name) {
+  if (name.empty() || name.size() > 64 || name.front() == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+SessionRegistry::SessionRegistry(std::string root_dir)
+    : root_dir_(std::move(root_dir)) {}
+
+Session* SessionRegistry::find(const std::string& name) {
+  for (const auto& s : sessions_) {
+    if (s->name == name) return s.get();
+  }
+  return nullptr;
+}
+
+Session* SessionRegistry::open(const std::string& name, Status* why) {
+  if (Session* existing = find(name)) return existing;
+  if (!valid_session_name(name)) {
+    if (why != nullptr) {
+      *why = Status::invalid_argument(
+          "invalid session name \"%s\" (want [A-Za-z0-9._-]{1,64}, no "
+          "leading dot)",
+          name.c_str());
+    }
+    return nullptr;
+  }
+  auto session = std::make_unique<Session>();
+  session->name = name;
+  session->dir = root_dir_ + "/" + name;
+  Status made = make_dirs(session->dir);
+  if (!made.ok()) {
+    if (why != nullptr) *why = made;
+    return nullptr;
+  }
+  sessions_.push_back(std::move(session));
+  return sessions_.back().get();
+}
+
+}  // namespace serve
+}  // namespace rlccd

@@ -1,0 +1,59 @@
+// Per-design session registry: one isolated workspace per session.
+//
+// A session is the unit of isolation and fairness in the daemon: every job
+// belongs to exactly one session, jobs of one session run FIFO against each
+// other, and the scheduler round-robins across sessions so one chatty
+// design cannot starve the rest. Each session owns a directory under the
+// daemon root (`<root>/<name>/`) holding one `job-<id>/ckpts/` checkpoint
+// directory per job — the PR 3 checkpoint machinery makes a crashed job
+// attempt resumable from exactly that directory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rlccd {
+namespace serve {
+
+struct Session {
+  std::string name;
+  std::string dir;  // <root>/<name>, created at open
+  // Live scheduling state (maintained by the JobQueue/daemon):
+  int queued = 0;
+  int inflight = 0;
+  // Lifetime accounting for the stats endpoint:
+  std::uint64_t submitted = 0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+};
+
+// True when `name` is usable as a session key (nonempty, at most 64 chars,
+// [A-Za-z0-9._-] only, no leading dot) — it becomes a directory name.
+[[nodiscard]] bool valid_session_name(const std::string& name);
+
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(std::string root_dir);
+
+  // Find-or-create. Creates the workspace directory on first open; returns
+  // null with `why` filled when the name is invalid or the directory cannot
+  // be created. Pointers stay valid for the registry's lifetime.
+  Session* open(const std::string& name, Status* why = nullptr);
+  [[nodiscard]] Session* find(const std::string& name);
+  [[nodiscard]] const std::vector<std::unique_ptr<Session>>& all() const {
+    return sessions_;
+  }
+  [[nodiscard]] const std::string& root_dir() const { return root_dir_; }
+
+ private:
+  std::string root_dir_;
+  std::vector<std::unique_ptr<Session>> sessions_;  // insertion order
+};
+
+}  // namespace serve
+}  // namespace rlccd

@@ -7,9 +7,15 @@
 #include <gtest/gtest.h>
 
 #ifndef _WIN32
+#include <fcntl.h>
+#include <pthread.h>
+#include <signal.h>
 #include <unistd.h>
 #endif
 
+#include <atomic>
+#include <chrono>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -101,6 +107,104 @@ TEST(IpcCodec, PodStringAndFloatVecRoundTrip) {
 }
 
 #ifndef _WIN32
+
+TEST(IpcPipe, ReadAvailableDrainsNonblockingFdAndReportsBytes) {
+  Pipe pipe;
+  ASSERT_TRUE(pipe_create(pipe).ok());
+  ASSERT_EQ(::fcntl(pipe.read_fd, F_SETFL, O_NONBLOCK), 0);
+
+  const std::string full = frame_bytes(FrameType::kResult, "split payload");
+  // First half: no complete frame yet, but the bytes must be counted (the
+  // supervisor's heartbeat bookkeeping refreshes on bytes, not frames).
+  ASSERT_EQ(::write(pipe.write_fd, full.data(), full.size() / 2),
+            static_cast<ssize_t>(full.size() / 2));
+  FrameDecoder dec;
+  bool eof = false;
+  std::size_t bytes = 0;
+  ASSERT_TRUE(read_available(pipe.read_fd, dec, eof, &bytes).ok());
+  EXPECT_EQ(bytes, full.size() / 2);
+  EXPECT_FALSE(eof);
+  Frame f;
+  EXPECT_FALSE(dec.next(f));
+  EXPECT_TRUE(dec.mid_frame());
+
+  // Drained pipe: EAGAIN is a clean zero-byte return, not an error or EOF.
+  ASSERT_TRUE(read_available(pipe.read_fd, dec, eof, &bytes).ok());
+  EXPECT_EQ(bytes, 0u);
+  EXPECT_FALSE(eof);
+
+  // Second half completes the frame; closing the write end then yields EOF
+  // with the decoder on a clean boundary.
+  ASSERT_EQ(::write(pipe.write_fd, full.data() + full.size() / 2,
+                    full.size() - full.size() / 2),
+            static_cast<ssize_t>(full.size() - full.size() / 2));
+  ::close(pipe.write_fd);
+  ASSERT_TRUE(read_available(pipe.read_fd, dec, eof, &bytes).ok());
+  ASSERT_TRUE(dec.next(f));
+  EXPECT_EQ(f.payload, "split payload");
+  ASSERT_TRUE(read_available(pipe.read_fd, dec, eof, &bytes).ok());
+  EXPECT_TRUE(eof);
+  EXPECT_FALSE(dec.mid_frame());
+  ::close(pipe.read_fd);
+}
+
+namespace {
+void ipc_noop_signal(int) {}
+}  // namespace
+
+TEST(IpcPipe, SignalsLandingMidFrameTearNeitherSide) {
+  // A signal delivered while a frame is in flight makes read()/write()
+  // return EINTR (the handler is installed without SA_RESTART); both
+  // write_frame and read_available must retry so the frame lands whole.
+  struct sigaction sa, old_sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = ipc_noop_signal;
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  Pipe pipe;
+  ASSERT_TRUE(pipe_create(pipe).ok());
+  const std::string payload(1 << 20, 'y');  // far larger than the pipe buffer
+
+  std::atomic<bool> done{false};
+  std::thread writer([&]() {
+    EXPECT_TRUE(write_frame(pipe.write_fd, FrameType::kResult, payload).ok());
+    ::close(pipe.write_fd);
+  });
+
+  FrameDecoder dec;
+  std::vector<Frame> frames;
+  Frame f;
+  std::thread reader([&]() {
+    bool eof = false;
+    while (!eof) {
+      Status s = read_available(pipe.read_fd, dec, eof);
+      ASSERT_TRUE(s.ok()) << s.to_string();
+      while (dec.next(f)) frames.push_back(f);
+    }
+    done.store(true);
+  });
+  // Pummel both ends with signals while the megabyte frame squeezes through.
+  std::thread pummel([&]() {
+    while (!done.load()) {
+      ::pthread_kill(writer.native_handle(), SIGUSR1);
+      ::pthread_kill(reader.native_handle(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+  // Join order matters: the pummel thread must stop before the threads it
+  // signals are joined (pthread_kill on a joined thread is undefined).
+  reader.join();
+  pummel.join();
+  writer.join();
+  ::close(pipe.read_fd);
+  ::sigaction(SIGUSR1, &old_sa, nullptr);
+
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload.size(), payload.size());
+  EXPECT_EQ(frames[0].payload, payload);
+  EXPECT_FALSE(dec.mid_frame())
+      << "EINTR mid-frame must not tear the stream";
+}
 
 TEST(IpcPipe, WriteFrameRoundTripsThroughARealPipe) {
   Pipe pipe;

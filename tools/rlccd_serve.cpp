@@ -1,0 +1,140 @@
+// The rlccd_serve daemon executable: a long-lived optimization service.
+//
+//   rlccd_serve --socket /tmp/rlccd.sock --root /tmp/rlccd-serve [flags]
+//
+// Accepts job submissions from rlccd_client over the Unix socket, runs each
+// job in a supervised forked worker, retries crashed attempts from their
+// newest checkpoint, and drains gracefully on SIGTERM/SIGINT (exit 0: every
+// job reached a terminal state and running children stopped at a
+// checkpoint; exit 1: the drain deadline forced SIGKILLs).
+//
+// RLCCD_FAULTS arms the serve_* fault points (see serve/daemon.h) for
+// recovery drills; --metrics-json dumps the telemetry registry (including
+// the serve.* counters the CI smoke job asserts on) at exit.
+#ifdef _WIN32
+#include <cstdio>
+int main() {
+  std::fprintf(stderr, "rlccd_serve requires fork(); not supported here\n");
+  return 2;
+}
+#else
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.h"
+#include "common/telemetry.h"
+#include "serve/daemon.h"
+
+using namespace rlccd;
+
+namespace {
+
+serve::ServeDaemon* g_daemon = nullptr;
+
+void on_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_shutdown();
+}
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: rlccd_serve --socket PATH --root DIR [flags]\n"
+      "  --socket PATH          Unix socket to listen on (required)\n"
+      "  --root DIR             session workspace root (required)\n"
+      "  --workers N            concurrent job children (default 2)\n"
+      "  --queue-depth N        global queued-job bound (default 64)\n"
+      "  --session-queue N      queued jobs per session (default 32)\n"
+      "  --session-inflight N   running jobs per session (default 2)\n"
+      "  --retries N            retries per job (default 2)\n"
+      "  --job-deadline SEC     per-attempt SIGKILL deadline (default 300)\n"
+      "  --hb-timeout SEC       heartbeat-silence SIGKILL (default 10)\n"
+      "  --drain-timeout SEC    max graceful-drain wait (default 30)\n"
+      "  --backoff-base SEC     retry backoff base (default 0.05)\n"
+      "  --metrics-json PATH    dump telemetry registry at exit\n");
+}
+
+bool arg_value(int argc, char** argv, int& i, const char* name,
+               const char** out) {
+  if (std::strcmp(argv[i], name) != 0) return false;
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", name);
+    std::exit(2);
+  }
+  *out = argv[++i];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Info);
+  serve::ServeConfig cfg;
+  std::string metrics_json;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (arg_value(argc, argv, i, "--socket", &v)) {
+      cfg.socket_path = v;
+    } else if (arg_value(argc, argv, i, "--root", &v)) {
+      cfg.root_dir = v;
+    } else if (arg_value(argc, argv, i, "--workers", &v)) {
+      cfg.workers = std::atoi(v);
+    } else if (arg_value(argc, argv, i, "--queue-depth", &v)) {
+      cfg.queue.max_queue_depth = std::atoi(v);
+    } else if (arg_value(argc, argv, i, "--session-queue", &v)) {
+      cfg.queue.max_queued_per_session = std::atoi(v);
+    } else if (arg_value(argc, argv, i, "--session-inflight", &v)) {
+      cfg.queue.max_inflight_per_session = std::atoi(v);
+    } else if (arg_value(argc, argv, i, "--retries", &v)) {
+      cfg.job_retries = std::atoi(v);
+    } else if (arg_value(argc, argv, i, "--job-deadline", &v)) {
+      cfg.job_deadline_sec = std::atof(v);
+    } else if (arg_value(argc, argv, i, "--hb-timeout", &v)) {
+      cfg.heartbeat_timeout_sec = std::atof(v);
+    } else if (arg_value(argc, argv, i, "--drain-timeout", &v)) {
+      cfg.drain_timeout_sec = std::atof(v);
+    } else if (arg_value(argc, argv, i, "--backoff-base", &v)) {
+      cfg.retry_backoff_base_sec = std::atof(v);
+    } else if (arg_value(argc, argv, i, "--metrics-json", &v)) {
+      metrics_json = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (cfg.socket_path.empty() || cfg.root_dir.empty()) {
+    usage(stderr);
+    return 2;
+  }
+
+  serve::ServeDaemon daemon(cfg);
+  Status init = daemon.init();
+  if (!init.ok()) {
+    std::fprintf(stderr, "rlccd_serve: %s\n", init.to_string().c_str());
+    return 1;
+  }
+  g_daemon = &daemon;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  const int rc = daemon.run();
+  if (!metrics_json.empty() &&
+      !MetricsRegistry::global().write_json(metrics_json)) {
+    std::fprintf(stderr, "rlccd_serve: failed to write %s\n",
+                 metrics_json.c_str());
+  }
+  return rc;
+}
+
+#endif  // _WIN32
