@@ -61,6 +61,8 @@ enum class FrameType : std::uint8_t {
   kHeartbeat = 1,  // empty payload; "the worker is alive"
   kResult = 2,     // the job's serialized result
   kError = 3,      // human-readable failure description from the child
+  kTelemetry = 4,  // ObsDelta (common/telemetry_wire.h): telemetry delta +
+                   // trace events + postmortem-ring tail from a child
 };
 
 struct Frame {

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/contracts.h"
 #include "common/json_writer.h"
+#include "common/metric_names.h"
+#include "common/postmortem.h"
 #include "common/trace.h"
 
 namespace rlccd {
@@ -123,6 +126,20 @@ void counters_to_json(
   out += '}';
 }
 
+void gauges_to_json(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::int64_t>>& gauges) {
+  out += "\"gauges\":{";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    json_escape(out, gauges[i].first);
+    out += "\":";
+    append_json_number(out, static_cast<double>(gauges[i].second));
+  }
+  out += '}';
+}
+
 void spans_array_to_json(std::string& out, const SpanNode& root) {
   out += "\"spans\":[";
   for (std::size_t i = 0; i < root.children.size(); ++i) {
@@ -150,6 +167,12 @@ void histograms_to_json(
     append_number(out, hs.min);
     out += ",\"max\":";
     append_number(out, hs.max);
+    out += ",\"p50\":";
+    append_number(out, hs.quantile(0.50));
+    out += ",\"p95\":";
+    append_number(out, hs.quantile(0.95));
+    out += ",\"p99\":";
+    append_number(out, hs.quantile(0.99));
     out += ",\"buckets\":[";
     for (std::size_t b = 0; b < hs.buckets.size(); ++b) {
       if (b) out += ',';
@@ -218,6 +241,71 @@ void MetricsHistogram::Snapshot::merge_value(double value, int exponent) {
   }
 }
 
+void MetricsHistogram::Snapshot::merge(const Snapshot& other) {
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = count == 0 ? other.max : std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  // Both bucket lists are exponent-sorted; a classic sorted merge keeps the
+  // invariant without re-sorting.
+  std::vector<std::pair<int, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0, b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b >= other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a >= buckets.size() ||
+               other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+double MetricsHistogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th value, 1-based: ceil(q * count), at least 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (const auto& [exponent, n] : buckets) {
+    cumulative += n;
+    if (cumulative < rank) continue;
+    // Interpolate linearly inside this bucket's [2^(e-1), 2^e) range by the
+    // rank's position among the bucket's n values.
+    const double hi = std::ldexp(1.0, exponent);
+    const double lo = hi * 0.5;
+    const double frac =
+        n == 0 ? 1.0
+               : static_cast<double>(rank - (cumulative - n)) /
+                     static_cast<double>(n);
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;  // rank past every bucket (only with inconsistent counts)
+}
+
+void MetricsHistogram::merge_snapshot(const Snapshot& delta) {
+  if (delta.count == 0) return;
+  count_.fetch_add(delta.count, std::memory_order_relaxed);
+  atomic_add_double(sum_, delta.sum);
+  atomic_min_double(min_, delta.min);
+  atomic_max_double(max_, delta.max);
+  for (const auto& [exponent, n] : delta.buckets) {
+    const int index = std::clamp(exponent + kBias, 0, kNumBuckets - 1);
+    buckets_[static_cast<std::size_t>(index)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+}
+
 MetricsHistogram::Snapshot MetricsHistogram::snapshot() const {
   Snapshot s;
   s.count = count_.load(std::memory_order_relaxed);
@@ -275,6 +363,10 @@ void SpanNode::merge(const SpanNode& other) {
   count += other.count;
   total_sec += other.total_sec;
   for (const SpanNode& oc : other.children) child(oc.name).merge(oc);
+  // Name-sorted siblings make the merged tree a pure function of its inputs:
+  // N worker deltas fold to the same tree in any arrival order.
+  std::sort(children.begin(), children.end(),
+            [](const SpanNode& a, const SpanNode& b) { return a.name < b.name; });
 }
 
 // -- scoped spans -------------------------------------------------------------
@@ -283,6 +375,9 @@ ScopedSpan::ScopedSpan(std::string_view name) : start_sec_(steady_seconds()) {
   ThreadSpanState& st = thread_spans();
   SpanNode& node = st.stack.back()->child(name);
   st.stack.push_back(&node);
+  // Postmortem-ring feed (off by default; one relaxed load when off). A
+  // crashed worker's last ring events show which span it died inside.
+  if (EventRing::enabled()) EventRing::global().note("span_open", name);
 }
 
 ScopedSpan::~ScopedSpan() {
@@ -295,6 +390,7 @@ ScopedSpan::~ScopedSpan() {
   // Flight-recorder hook: one Chrome-trace complete event per span close.
   // Compiled out under RLCCD_NO_TRACE; one relaxed atomic load otherwise.
   RLCCD_TRACE_COMPLETE(node->name, start_sec_, elapsed);
+  if (EventRing::enabled()) EventRing::global().note("span_close", node->name);
 
   // Feed active capture scopes with the path relative to each scope's base.
   if (t_active_scope != nullptr) {
@@ -386,6 +482,46 @@ std::uint64_t TelemetrySnapshot::counter(std::string_view name) const {
   return 0;
 }
 
+std::int64_t TelemetrySnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+namespace {
+
+// Sorted-by-name fold of `from` into `to`, combining collisions with `fold`
+// and inserting misses (sort order preserved).
+template <class V, class Fold>
+void merge_named(std::vector<std::pair<std::string, V>>& to,
+                 const std::vector<std::pair<std::string, V>>& from,
+                 const Fold& fold) {
+  for (const auto& [name, value] : from) {
+    auto it = std::lower_bound(
+        to.begin(), to.end(), name,
+        [](const auto& pair, const std::string& n) { return pair.first < n; });
+    if (it != to.end() && it->first == name) {
+      fold(it->second, value);
+    } else {
+      to.insert(it, {name, value});
+    }
+  }
+}
+
+}  // namespace
+
+void TelemetrySnapshot::merge(const TelemetrySnapshot& other) {
+  spans.merge(other.spans);
+  merge_named(counters, other.counters,
+              [](std::uint64_t& to, std::uint64_t from) { to += from; });
+  merge_named(gauges, other.gauges,
+              [](std::int64_t& to, std::int64_t from) { to = from; });
+  merge_named(histograms, other.histograms,
+              [](MetricsHistogram::Snapshot& to,
+                 const MetricsHistogram::Snapshot& from) { to.merge(from); });
+}
+
 const MetricsHistogram::Snapshot* TelemetrySnapshot::histogram(
     std::string_view name) const {
   for (const auto& [n, h] : histograms) {
@@ -397,6 +533,8 @@ const MetricsHistogram::Snapshot* TelemetrySnapshot::histogram(
 std::string TelemetrySnapshot::to_json() const {
   std::string out = "{";
   counters_to_json(out, counters);
+  out += ',';
+  gauges_to_json(out, gauges);
   out += ',';
   histograms_to_json(out, histograms);
   out += ',';
@@ -412,14 +550,127 @@ std::string TelemetrySnapshot::to_csv() const {
     append_number(out, v);
     out += '\n';
   }
+  for (const auto& [n, v] : gauges) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, ",%lld\n", static_cast<long long>(v));
+    out += "gauge," + n + buf;
+  }
   for (const auto& [n, h] : histograms) {
-    char buf[128];
-    std::snprintf(buf, sizeof buf, ",%llu,%.9g,%.9g,%.9g\n",
+    char buf[192];
+    std::snprintf(buf, sizeof buf, ",%llu,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n",
                   static_cast<unsigned long long>(h.count), h.sum, h.min,
-                  h.max);
+                  h.max, h.quantile(0.50), h.quantile(0.95),
+                  h.quantile(0.99));
     out += "histogram," + n + buf;
   }
   spans_to_csv(out, spans, "");
+  return out;
+}
+
+// -- Prometheus exposition ----------------------------------------------------
+
+namespace {
+
+// Metric-name sanitization: Prometheus names are [a-zA-Z_:][a-zA-Z0-9_:]*;
+// our dotted names map dots (and anything else) to '_'.
+void prom_name(std::string& out, std::string_view name) {
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+}
+
+void prom_label_value(std::string& out, std::string_view value) {
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+void prom_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+// Flattens the span tree to (path, node) rows. Samples of one metric family
+// must form one contiguous group in the exposition text, so the caller
+// emits all _seconds samples first, then all _count samples.
+void flatten_spans(const SpanNode& node, const std::string& prefix,
+                   std::vector<std::pair<std::string, const SpanNode*>>& out) {
+  for (const SpanNode& c : node.children) {
+    const std::string path = prefix.empty() ? c.name : prefix + "/" + c.name;
+    out.emplace_back(path, &c);
+    flatten_spans(c, path, out);
+  }
+}
+
+}  // namespace
+
+std::string TelemetrySnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    std::string base = "rlccd_";
+    prom_name(base, name);
+    base += "_total";
+    out += "# TYPE " + base + " counter\n";
+    out += base + ' ';
+    prom_number(out, static_cast<double>(value));
+    out += '\n';
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string base = "rlccd_";
+    prom_name(base, name);
+    out += "# TYPE " + base + " gauge\n";
+    out += base + ' ';
+    prom_number(out, static_cast<double>(value));
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string base = "rlccd_";
+    prom_name(base, name);
+    out += "# TYPE " + base + " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      out += base + "{quantile=\"";
+      prom_number(out, q);
+      out += "\"} ";
+      prom_number(out, h.quantile(q));
+      out += '\n';
+    }
+    out += base + "_sum ";
+    prom_number(out, h.sum);
+    out += '\n';
+    out += base + "_count ";
+    prom_number(out, static_cast<double>(h.count));
+    out += '\n';
+  }
+  if (!spans.children.empty()) {
+    std::vector<std::pair<std::string, const SpanNode*>> flat;
+    flatten_spans(spans, "", flat);
+    out += "# TYPE rlccd_span_seconds_total counter\n";
+    for (const auto& [path, node] : flat) {
+      out += "rlccd_span_seconds_total{path=\"";
+      prom_label_value(out, path);
+      out += "\"} ";
+      prom_number(out, node->total_sec);
+      out += '\n';
+    }
+    out += "# TYPE rlccd_span_count_total counter\n";
+    for (const auto& [path, node] : flat) {
+      out += "rlccd_span_count_total{path=\"";
+      prom_label_value(out, path);
+      out += "\"} ";
+      prom_number(out, static_cast<double>(node->count));
+      out += '\n';
+    }
+  }
   return out;
 }
 
@@ -434,9 +685,23 @@ MetricsCounter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
+    RLCCD_DEBUG_ASSERT(metric_name_registered(name));
     it = counters_
              .emplace(std::string(name),
                       std::make_unique<MetricsCounter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsGauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    RLCCD_DEBUG_ASSERT(metric_name_registered(name));
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<MetricsGauge>(std::string(name)))
              .first;
   }
   return *it->second;
@@ -446,12 +711,24 @@ MetricsHistogram& MetricsRegistry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
+    RLCCD_DEBUG_ASSERT(metric_name_registered(name));
     it = histograms_
              .emplace(std::string(name),
                       std::make_unique<MetricsHistogram>(std::string(name)))
              .first;
   }
   return *it->second;
+}
+
+void MetricsRegistry::merge_delta(const TelemetrySnapshot& delta) {
+  for (const auto& [name, value] : delta.counters) {
+    if (value != 0) counter(name).add(value);
+  }
+  for (const auto& [name, value] : delta.gauges) gauge(name).set(value);
+  for (const auto& [name, snap] : delta.histograms) {
+    histogram(name).merge_snapshot(snap);
+  }
+  if (!delta.spans.children.empty()) merge_spans(delta.spans);
 }
 
 void MetricsRegistry::merge_spans(const SpanNode& root) {
@@ -479,6 +756,10 @@ TelemetrySnapshot MetricsRegistry::snapshot() const {
     for (const auto& [name, c] : counters_) {
       snap.counters.emplace_back(name, c->value());
     }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+      snap.gauges.emplace_back(name, g->value());
+    }
     snap.histograms.reserve(histograms_.size());
     for (const auto& [name, h] : histograms_) {
       snap.histograms.emplace_back(name, h->snapshot());
@@ -494,6 +775,10 @@ TelemetrySnapshot MetricsRegistry::snapshot() const {
 std::string MetricsRegistry::to_json() const { return snapshot().to_json(); }
 
 std::string MetricsRegistry::to_csv() const { return snapshot().to_csv(); }
+
+std::string MetricsRegistry::to_prometheus() const {
+  return snapshot().to_prometheus();
+}
 
 namespace {
 
@@ -516,10 +801,17 @@ bool MetricsRegistry::write_csv(const std::string& path) const {
   return write_text_file(path, to_csv());
 }
 
+bool MetricsRegistry::write_prometheus(const std::string& path) const {
+  return write_text_file(path, to_prometheus());
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, c] : counters_) {
     c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->value_.store(0, std::memory_order_relaxed);
   }
   for (auto& [name, h] : histograms_) {
     h->count_.store(0, std::memory_order_relaxed);

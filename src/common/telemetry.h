@@ -3,11 +3,12 @@
 //
 // Three cooperating pieces:
 //
-//   * MetricsRegistry — named monotonic counters and histograms with O(1)
-//     lock-free increments (a relaxed atomic add). Registration takes a
-//     short-lived mutex; hot paths cache the returned reference, which is
-//     stable for the process lifetime (reset() zeroes values, never moves
-//     objects).
+//   * MetricsRegistry — named monotonic counters, level gauges and
+//     histograms with O(1) lock-free updates (a relaxed atomic add/store).
+//     Registration takes a short-lived mutex and debug-asserts the name
+//     against the central manifest (common/metric_names.h); hot paths cache
+//     the returned reference, which is stable for the process lifetime
+//     (reset() zeroes values, never moves objects).
 //
 //   * ScopedSpan / RLCCD_SPAN — RAII wall-clock spans with thread-local
 //     nesting. Closed spans aggregate by name into a tree ("flow" >
@@ -25,8 +26,13 @@
 //     to keep this header dependency-free; callbacks fire on whichever
 //     thread runs the instrumented code.
 //
-// Export: JSON (nested span trees, counters, histograms) and CSV, from
-// either the global registry or a per-flow TelemetrySnapshot.
+// Export: JSON (nested span trees, counters, gauges, histograms with
+// p50/p95/p99), CSV, and Prometheus text exposition, from either the global
+// registry or a per-flow TelemetrySnapshot. Snapshots are also *mergeable*
+// (TelemetrySnapshot::merge, MetricsRegistry::merge_delta): forked workers
+// ship compact deltas and the parent folds them into its own registry —
+// counter/histogram merges are commutative, so arrival order cannot change
+// the merged result (gauges are levels and take the incoming value).
 #pragma once
 
 #include <array>
@@ -65,6 +71,32 @@ class MetricsCounter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+// -- gauges -------------------------------------------------------------------
+
+// A level, not a rate: queue depth, in-flight jobs, resident cache bytes.
+// Unlike counters, gauges move both ways and merging takes the incoming
+// value (the child's latest level) rather than summing.
+class MetricsGauge {
+ public:
+  explicit MetricsGauge(std::string name) : name_(std::move(name)) {}
+  MetricsGauge(const MetricsGauge&) = delete;
+  MetricsGauge& operator=(const MetricsGauge&) = delete;
+
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+};
+
 // -- histograms ---------------------------------------------------------------
 
 // Lock-free histogram over positive values (durations in seconds, batch
@@ -96,8 +128,18 @@ class MetricsHistogram {
     // Folds one recorded value in (per-scope capture uses the same bucket
     // boundaries as the global histogram).
     void merge_value(double value, int exponent);
+    // Folds another snapshot in: counts/sums/buckets add, min/max widen.
+    // Commutative and associative, so merge order cannot change the result.
+    void merge(const Snapshot& other);
+    // Quantile estimate from the log2 buckets: finds the bucket holding the
+    // q-th value and interpolates linearly inside its [2^(e-1), 2^e) range,
+    // clamped to the exact [min, max]. q in [0, 1]; 0 when count == 0.
+    [[nodiscard]] double quantile(double q) const;
   };
   [[nodiscard]] Snapshot snapshot() const;
+  // Folds a snapshot delta into the live histogram (atomic adds; min/max
+  // widen). How a parent process applies a forked worker's histogram delta.
+  void merge_snapshot(const Snapshot& delta);
   [[nodiscard]] const std::string& name() const { return name_; }
 
   // Bucket index in [0, kNumBuckets) for a value; the snapshot exponent is
@@ -162,17 +204,32 @@ class ScopedSpan {
 struct TelemetrySnapshot {
   SpanNode spans;  // synthetic root (empty name); children are top-level spans
   std::vector<std::pair<std::string, std::uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, std::int64_t>> gauges;     // name-sorted
   std::vector<std::pair<std::string, MetricsHistogram::Snapshot>>
       histograms;  // name-sorted
 
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const;
   [[nodiscard]] const MetricsHistogram::Snapshot* histogram(
       std::string_view name) const;
   [[nodiscard]] const SpanNode* find_span(std::string_view path) const {
     return spans.find(path);
   }
+
+  // Folds `other` in: counters and histogram contents add, span trees merge
+  // by path, gauges take the incoming level. Counter/histogram/span merging
+  // is commutative and associative — N deltas merge to the same snapshot in
+  // any arrival order.
+  void merge(const TelemetrySnapshot& other);
+
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string to_csv() const;
+  // Prometheus text exposition: counters as `rlccd_<name>` counter
+  // families, gauges as gauges, histograms as summaries with
+  // quantile="0.5|0.95|0.99" plus _sum/_count, spans as
+  // rlccd_span_seconds_total / rlccd_span_count_total with a path label.
+  // Dots and other non-[a-zA-Z0-9_] characters sanitize to '_'.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 // Captures spans closed and counter deltas added on the *current thread*
@@ -211,8 +268,12 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
   // Find-or-register. Returned references are stable for the process
-  // lifetime; hot paths should cache them.
+  // lifetime; hot paths should cache them. Registration (first use of a
+  // name) debug-asserts the name against the common/metric_names.h
+  // manifest, so a typo'd metric dies in debug builds instead of silently
+  // registering a fresh always-zero series.
   MetricsCounter& counter(std::string_view name);
+  MetricsGauge& gauge(std::string_view name);
   MetricsHistogram& histogram(std::string_view name);
 
   // Merges the calling thread's batched outermost-span closes into the
@@ -225,8 +286,16 @@ class MetricsRegistry {
   [[nodiscard]] TelemetrySnapshot snapshot() const;
   [[nodiscard]] std::string to_json() const;
   [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_prometheus() const;
   bool write_json(const std::string& path) const;
   bool write_csv(const std::string& path) const;
+  bool write_prometheus(const std::string& path) const;
+
+  // Folds a worker's telemetry delta into the live registry: counters add,
+  // histograms merge (atomic), span trees merge by path, gauges take the
+  // incoming level. The parent-side half of the cross-process observability
+  // plane (children ship deltas; see common/telemetry_wire.h).
+  void merge_delta(const TelemetrySnapshot& delta);
 
   // Zeroes every counter/histogram and clears the span aggregate. Object
   // addresses survive (cached references stay valid). Test helper; not
@@ -240,6 +309,7 @@ class MetricsRegistry {
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<MetricsCounter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<MetricsGauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<MetricsHistogram>, std::less<>>
       histograms_;
   mutable std::mutex span_mutex_;

@@ -38,9 +38,15 @@ struct ThreadRing {
   int tid;
 };
 
+struct ForeignEvent {
+  int pid;
+  CollectedTraceEvent ev;
+};
+
 struct TraceState {
   std::mutex mutex;
   std::vector<std::shared_ptr<ThreadRing>> rings;
+  std::vector<ForeignEvent> foreign;  // imported child-process events
   std::size_t capacity = TraceRecorder::kDefaultCapacity;
   std::atomic<std::uint64_t> epoch{0};
   std::atomic<std::uint64_t> dropped{0};
@@ -87,19 +93,28 @@ void record_event(std::string_view name, double start_sec, double dur_sec) {
   }
 }
 
-void append_event_json(std::string& out, const TraceEvent& ev, int tid,
+// ts/dur in microseconds relative to `t0_sec`; events that began before it
+// are clipped at zero so viewers get a non-negative timeline.
+void append_event_json(std::string& out, std::string_view name,
+                       double start_sec, double dur_sec, int pid, int tid,
                        double t0_sec) {
-  // ts/dur in microseconds relative to enable(); events that began before
-  // enable() are clipped at zero so viewers get a non-negative timeline.
-  double ts_us = (ev.start_sec - t0_sec) * 1e6;
-  double dur_us = ev.dur_sec * 1e6;
+  double ts_us = (start_sec - t0_sec) * 1e6;
+  double dur_us = dur_sec * 1e6;
   if (ts_us < 0.0) {
     if (dur_us > 0.0) dur_us = std::max(0.0, dur_us + ts_us);
     ts_us = 0.0;
   }
+  append_chrome_event(out, name, ts_us, dur_sec < 0.0 ? -1.0 : dur_us, pid,
+                      tid);
+}
+
+}  // namespace
+
+void append_chrome_event(std::string& out, std::string_view name, double ts_us,
+                         double dur_us, int pid, int tid) {
   out += "{\"name\":\"";
-  json_escape(out, ev.name);
-  if (ev.dur_sec < 0.0) {
+  json_escape(out, name);
+  if (dur_us < 0.0) {
     out += "\",\"cat\":\"marker\",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
     append_json_number(out, ts_us);
   } else {
@@ -108,12 +123,21 @@ void append_event_json(std::string& out, const TraceEvent& ev, int tid,
     out += ",\"dur\":";
     append_json_number(out, dur_us);
   }
-  out += ",\"pid\":1,\"tid\":";
+  out += ",\"pid\":";
+  append_json_number(out, static_cast<std::uint64_t>(pid));
+  out += ",\"tid\":";
   append_json_number(out, static_cast<std::uint64_t>(tid));
   out += '}';
 }
 
-}  // namespace
+void append_chrome_process_name(std::string& out, int pid,
+                                std::string_view name) {
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  append_json_number(out, static_cast<std::uint64_t>(pid));
+  out += ",\"tid\":0,\"args\":{\"name\":\"";
+  json_escape(out, name);
+  out += "\"}}";
+}
 
 TraceRecorder& TraceRecorder::global() {
   static TraceRecorder recorder;
@@ -124,6 +148,7 @@ void TraceRecorder::enable(std::size_t capacity) {
   TraceState& st = state();
   std::lock_guard<std::mutex> lock(st.mutex);
   st.rings.clear();
+  st.foreign.clear();
   st.capacity = std::max<std::size_t>(capacity, 16);
   st.dropped.store(0, std::memory_order_relaxed);
   st.t0_sec = steady_seconds();
@@ -162,6 +187,65 @@ std::uint64_t TraceRecorder::dropped_events() const {
   return state().dropped.load(std::memory_order_relaxed);
 }
 
+void TraceRecorder::collect_since(TraceCursor& cursor,
+                                  std::vector<CollectedTraceEvent>& out) const {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  const std::uint64_t epoch = st.epoch.load(std::memory_order_acquire);
+  if (cursor.epoch != epoch) {
+    cursor.epoch = epoch;
+    cursor.taken.clear();
+  }
+  cursor.taken.resize(st.rings.size(), 0);
+  for (std::size_t i = 0; i < st.rings.size(); ++i) {
+    const ThreadRing& ring = *st.rings[i];
+    const std::uint64_t total = ring.total.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring.slots.size();
+    std::uint64_t from = cursor.taken[i];
+    if (total > cap && from < total - cap) from = total - cap;  // wrapped away
+    for (std::uint64_t k = from; k < total; ++k) {
+      const TraceEvent& ev = ring.slots[k % cap];
+      // strnlen bounds the copy even if the producer tore this slot
+      // mid-write (a wrapped ring under concurrent recording).
+      out.push_back(CollectedTraceEvent{
+          std::string(ev.name, strnlen(ev.name, TraceEvent::kMaxName)),
+          ev.start_sec, ev.dur_sec, ring.tid});
+    }
+    cursor.taken[i] = total;
+  }
+}
+
+void TraceRecorder::sync_cursor(TraceCursor& cursor) const {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  cursor.epoch = st.epoch.load(std::memory_order_acquire);
+  cursor.taken.resize(st.rings.size());
+  for (std::size_t i = 0; i < st.rings.size(); ++i) {
+    cursor.taken[i] = st.rings[i]->total.load(std::memory_order_acquire);
+  }
+}
+
+void TraceRecorder::import_events(
+    int pid, const std::vector<CollectedTraceEvent>& events) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  for (const CollectedTraceEvent& ev : events) {
+    if (st.foreign.size() >= kMaxForeignEvents) {
+      const std::uint64_t over = events.size() - (&ev - events.data());
+      st.dropped.fetch_add(over, std::memory_order_relaxed);
+      MetricsRegistry::global().counter("trace.events_dropped").add(over);
+      break;
+    }
+    st.foreign.push_back(ForeignEvent{pid, ev});
+  }
+}
+
+double TraceRecorder::t0_sec() const {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.t0_sec;
+}
+
 std::string TraceRecorder::to_chrome_json() const {
   TraceState& st = state();
   std::lock_guard<std::mutex> lock(st.mutex);
@@ -176,8 +260,15 @@ std::string TraceRecorder::to_chrome_json() const {
       const TraceEvent& ev = ring->slots[(start + i) % cap];
       if (!first) out += ',';
       first = false;
-      append_event_json(out, ev, ring->tid, st.t0_sec);
+      append_event_json(out, ev.name, ev.start_sec, ev.dur_sec, 1, ring->tid,
+                        st.t0_sec);
     }
+  }
+  for (const ForeignEvent& fe : st.foreign) {
+    if (!first) out += ',';
+    first = false;
+    append_event_json(out, fe.ev.name, fe.ev.start_sec, fe.ev.dur_sec, fe.pid,
+                      fe.ev.tid, st.t0_sec);
   }
   out += "]}";
   return out;

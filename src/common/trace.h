@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace rlccd {
 
@@ -46,6 +47,26 @@ struct TraceEvent {
   char name[kMaxName + 1];
   double start_sec;  // steady-clock seconds
   double dur_sec;    // < 0: instant event
+};
+
+// A trace event lifted out of the rings (or received from a child process):
+// plain data with an explicit thread id, ready to ship over a pipe or
+// re-import into another process's recorder. Timestamps stay raw
+// steady-clock seconds — CLOCK_MONOTONIC is system-wide on Linux, so a
+// child's start_sec values are directly comparable to the parent's.
+struct CollectedTraceEvent {
+  std::string name;
+  double start_sec = 0.0;
+  double dur_sec = 0.0;  // < 0: instant event
+  int tid = 0;
+};
+
+// Incremental-collection cursor: remembers, per thread ring, how many
+// events were already collected. Bound to one enable() generation; after a
+// re-enable the cursor resets itself and collection starts over.
+struct TraceCursor {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> taken;
 };
 
 class TraceRecorder {
@@ -72,6 +93,33 @@ class TraceRecorder {
   [[nodiscard]] std::uint64_t buffered_events() const;
   [[nodiscard]] std::uint64_t dropped_events() const;
 
+  // Appends events recorded since `cursor` (oldest first per thread ring)
+  // to `out` and advances the cursor; events already lost to wrap-around
+  // between calls are skipped. Safe to call while other threads record —
+  // at worst the producing thread's in-flight slot reads torn (a garbled
+  // name, never out-of-bounds), which a forked worker's periodic shipping
+  // thread accepts for not having to stop the rollout.
+  void collect_since(TraceCursor& cursor,
+                     std::vector<CollectedTraceEvent>& out) const;
+
+  // Positions `cursor` at "now" without collecting anything: the next
+  // collect_since returns only events recorded after this call. A forked
+  // child primes its cursor this way so events inherited from the parent's
+  // rings are never re-shipped.
+  void sync_cursor(TraceCursor& cursor) const;
+
+  // Buffers events received from another process (a forked worker), tagged
+  // with `pid`; to_chrome_json() emits them on that pid's rows so one
+  // export holds the parent's and every child's timeline. Bounded: beyond
+  // kMaxForeignEvents the newest imports are dropped and counted.
+  void import_events(int pid, const std::vector<CollectedTraceEvent>& events);
+
+  // Steady-clock origin of the current enable() generation (exported ts
+  // values are relative to this).
+  [[nodiscard]] double t0_sec() const;
+
+  static constexpr std::size_t kMaxForeignEvents = 1 << 20;
+
   // Record-path hooks; prefer the macros below. No-ops unless enabled.
   static void record_complete(std::string_view name, double start_sec,
                               double dur_sec);
@@ -82,6 +130,16 @@ class TraceRecorder {
  private:
   TraceRecorder() = default;
 };
+
+// -- Chrome-trace JSON helpers ------------------------------------------------
+//
+// Shared by the recorder's exporter and the serve daemon's stitched per-job
+// trace writer. ts/dur are microseconds; dur_us < 0 emits an instant event.
+void append_chrome_event(std::string& out, std::string_view name, double ts_us,
+                         double dur_us, int pid, int tid);
+// Metadata event naming a pid row ("attempt 0 (signal 9)", "daemon").
+void append_chrome_process_name(std::string& out, int pid,
+                                std::string_view name);
 
 // RLCCD_TRACE_COMPLETE(name, start_sec, dur_sec) — one closed span.
 // RLCCD_TRACE_INSTANT(name)                      — a point-in-time marker.

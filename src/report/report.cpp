@@ -271,6 +271,56 @@ Status parse_bench_json(const std::string& text, RunReport& out) {
   return Status();
 }
 
+Status parse_chrome_trace_json(const std::string& text, RunReport& out) {
+  JsonValue doc;
+  RLCCD_TRY(JsonValue::parse(text, doc));
+  if (!doc.is_object()) {
+    return Status::corrupt("trace document is not a JSON object");
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::corrupt("trace document has no \"traceEvents\" array");
+  }
+  auto row_for = [&](int pid) -> RunReport::TracePidRow& {
+    for (RunReport::TracePidRow& r : out.trace_pids) {
+      if (r.pid == pid) return r;
+    }
+    RunReport::TracePidRow r;
+    r.pid = pid;
+    out.trace_pids.push_back(std::move(r));
+    return out.trace_pids.back();
+  };
+  for (const JsonValue& ev : events->array_items()) {
+    if (!ev.is_object()) {
+      return Status::corrupt("trace event is not a JSON object");
+    }
+    const int pid = static_cast<int>(ev.number_or("pid", 0.0));
+    const std::string ph = ev.string_or("ph", "");
+    if (ph == "M") {
+      // process_name metadata names the pid row.
+      if (ev.string_or("name", "") == "process_name") {
+        const JsonValue* args = ev.find("args");
+        if (args != nullptr && args->is_object()) {
+          row_for(pid).name = args->string_or("name", "");
+        }
+      }
+      continue;
+    }
+    if (ph != "X" && ph != "i") continue;  // tolerate richer traces
+    RunReport::TracePidRow& row = row_for(pid);
+    const double ts = ev.number_or("ts", 0.0);
+    const double end = ts + std::max(0.0, ev.number_or("dur", 0.0));
+    if (row.events == 0 || ts < row.first_ts_us) row.first_ts_us = ts;
+    if (row.events == 0 || end > row.last_ts_us) row.last_ts_us = end;
+    row.events += 1;
+    out.trace_events += 1;
+  }
+  std::sort(out.trace_pids.begin(), out.trace_pids.end(),
+            [](const auto& a, const auto& b) { return a.pid < b.pid; });
+  out.has_trace = true;
+  return Status();
+}
+
 Status load_run(const std::string& path, RunReport& out) {
   out = RunReport{};
   std::error_code ec;
@@ -307,9 +357,27 @@ Status load_run(const std::string& path, RunReport& out) {
       RLCCD_TRY(parse_bench_json(text, out).with_context(bp));
       loaded = true;
     }
+    // Stitched Chrome traces (the serve daemon's trace-<job>.json), sorted
+    // so multi-job workspaces summarize deterministically.
+    std::vector<std::string> trace_paths;
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("trace", 0) == 0 && name.size() > 5 &&
+          name.substr(name.size() - 5) == ".json") {
+        trace_paths.push_back(entry.path().string());
+      }
+    }
+    std::sort(trace_paths.begin(), trace_paths.end());
+    for (const std::string& tp : trace_paths) {
+      std::string text;
+      RLCCD_TRY(read_file(tp, text));
+      RLCCD_TRY(parse_chrome_trace_json(text, out).with_context(tp));
+      loaded = true;
+    }
     if (!loaded) {
       return Status::not_found(
-          "%s has no metrics.json, audit.jsonl or BENCH_*.json",
+          "%s has no metrics.json, audit.jsonl, BENCH_*.json or "
+          "trace*.json",
           path.c_str());
     }
     return Status();
@@ -317,8 +385,8 @@ Status load_run(const std::string& path, RunReport& out) {
   std::string text;
   RLCCD_TRY(read_file(path, text));
   // Sniff: a metrics document is one JSON object with a "counters" or
-  // "spans" key, a bench document has "bench" + "metrics"; anything else is
-  // treated as audit JSONL.
+  // "spans" key, a bench document has "bench" + "metrics", a Chrome trace
+  // has "traceEvents"; anything else is treated as audit JSONL.
   JsonValue doc;
   if (JsonValue::parse(text, doc).ok() && doc.is_object()) {
     if (doc.find("counters") != nullptr || doc.find("spans") != nullptr) {
@@ -326,6 +394,9 @@ Status load_run(const std::string& path, RunReport& out) {
     }
     if (doc.find("bench") != nullptr && doc.find("metrics") != nullptr) {
       return parse_bench_json(text, out).with_context(path);
+    }
+    if (doc.find("traceEvents") != nullptr) {
+      return parse_chrome_trace_json(text, out).with_context(path);
     }
   }
   return parse_audit_jsonl(text, out).with_context(path);
@@ -388,6 +459,21 @@ std::string render_text_report(const RunReport& report) {
     for (const auto& [name, value] : report.bench_metrics) {
       append_line(out, "%-40s %14.4f", name.c_str(), value);
     }
+    out += '\n';
+  }
+  if (report.has_trace) {
+    append_line(out, "== stitched trace ==");
+    append_line(out, "%8s %-32s %8s %12s %12s", "pid", "process", "events",
+                "first_ms", "last_ms");
+    for (const auto& row : report.trace_pids) {
+      append_line(out, "%8d %-32s %8llu %12.3f %12.3f", row.pid,
+                  row.name.empty() ? "?" : row.name.c_str(),
+                  static_cast<unsigned long long>(row.events),
+                  row.first_ts_us / 1e3, row.last_ts_us / 1e3);
+    }
+    append_line(out, "trace events: %llu across %zu pids",
+                static_cast<unsigned long long>(report.trace_events),
+                report.trace_pids.size());
     out += '\n';
   }
   if (report.rollouts > 0) {
@@ -524,6 +610,15 @@ ReportDiff diff_runs(const RunReport& base, const RunReport& candidate,
       info("final_mean_entropy", base.iterations.back().mean_entropy,
            candidate.iterations.back().mean_entropy);
     }
+  }
+  if (base.has_trace && candidate.has_trace) {
+    // Informational only: event counts vary with timing, but a pid-count
+    // jump (extra attempt rows) is the kind of change a reviewer wants
+    // surfaced.
+    info("trace.events", static_cast<double>(base.trace_events),
+         static_cast<double>(candidate.trace_events));
+    info("trace.pids", static_cast<double>(base.trace_pids.size()),
+         static_cast<double>(candidate.trace_pids.size()));
   }
 
   // Bench metrics present in both runs. Ratio metrics (speedups and work

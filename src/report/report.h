@@ -61,6 +61,22 @@ struct RunReport {
   std::uint64_t cancelled_rollouts = 0;
   bool has_audit = false;
 
+  // From a stitched Chrome trace (the serve daemon's trace-<job>.json, or
+  // any "traceEvents" document): one row per pid with the process_name
+  // metadata, event count, and time extent — enough to see that a
+  // crashed-and-retried job produced two attempt rows without loading the
+  // trace into a browser.
+  struct TracePidRow {
+    int pid = 0;
+    std::string name;          // from the process_name metadata, if any
+    std::uint64_t events = 0;  // X + i events on this pid
+    double first_ts_us = 0.0;
+    double last_ts_us = 0.0;
+  };
+  std::vector<TracePidRow> trace_pids;  // sorted by pid
+  std::uint64_t trace_events = 0;       // total X + i events
+  bool has_trace = false;
+
   // From BENCH_*.json files (the bench binaries' --json output): flat
   // metric names prefixed with the bench name ("sta_kernels.speedup_t8"),
   // sorted by name. Ratio metrics (names containing "speedup" or
@@ -88,6 +104,9 @@ Status parse_audit_jsonl(const std::string& text, RunReport& out);
 // `out`, prefixing each metric with the bench name (accumulates across
 // calls; duplicate names keep the last value).
 Status parse_bench_json(const std::string& text, RunReport& out);
+// Parses a Chrome trace ({"traceEvents": [...]}) into the per-pid summary
+// rows (accumulates across calls; re-parsing the same pid merges counts).
+Status parse_chrome_trace_json(const std::string& text, RunReport& out);
 
 // Loads a run from `path`: a directory containing metrics.json,
 // audit.jsonl and/or BENCH_*.json files, or a single metrics-JSON /

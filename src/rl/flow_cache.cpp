@@ -53,6 +53,12 @@ FlowOutcomeCache::FlowOutcomeCache(std::size_t capacity_mb) {
   }
   capacity_bytes_ = kShards * clusters_per_shard * cluster_bytes;
   CacheCounters::get().bytes.add(capacity_bytes_);
+  // Gauge alongside the cumulative counter: the counter sums every cache
+  // ever built in this process, the gauge reads the newest level (what a
+  // live stats scrape wants).
+  MetricsRegistry::global()
+      .gauge("train.cache_resident_bytes")
+      .set(static_cast<std::int64_t>(capacity_bytes_));
 }
 
 bool FlowOutcomeCache::probe(const Hash128& key, EvalOutcome& out) {

@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/telemetry_wire.h"
 #include "common/trace.h"
 
 #ifndef _WIN32
@@ -141,15 +142,36 @@ Directives eval_directives(int w) {
     _exit(0);
   }
 
+  // Trace shipping: the child inherits the parent recorder's runtime gate
+  // and ring contents across fork; prime a cursor so only events recorded
+  // *after* the fork ship back. Numeric telemetry is NOT shipped here — it
+  // rides the result wire's TelemetrySnapshot, so nothing double-counts.
+  TraceCursor trace_cursor;
+  std::uint64_t obs_seq = 0;
+  const bool ship_trace = TraceRecorder::enabled();
+  if (ship_trace) TraceRecorder::global().sync_cursor(trace_cursor);
+  // Single-threaded use only: the heartbeat thread calls this while alive,
+  // the main thread only after joining it (final flush before the result).
+  auto ship_obs = [&trace_cursor, &obs_seq, write_fd, ship_trace]() {
+    if (!ship_trace) return;
+    ObsDelta d;
+    d.seq = ++obs_seq;
+    d.source_pid = static_cast<std::int32_t>(::getpid());
+    TraceRecorder::global().collect_since(trace_cursor, d.trace_events);
+    if (d.trace_events.empty()) return;
+    (void)write_frame(write_fd, FrameType::kTelemetry, d.encode());
+  };
+
   std::atomic<bool> done{false};
   std::thread beat;
   if (hb_interval > 0.0) {
-    beat = std::thread([&done, write_fd, hb_interval]() {
+    beat = std::thread([&done, &ship_obs, write_fd, hb_interval]() {
       double last = mono_sec();
       while (!done.load(std::memory_order_relaxed)) {
         const double now = mono_sec();
         if (now - last >= hb_interval) {
           if (!write_frame(write_fd, FrameType::kHeartbeat, "").ok()) return;
+          ship_obs();
           last = now;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -171,6 +193,9 @@ Directives eval_directives(int w) {
   }
   done.store(true, std::memory_order_relaxed);
   if (beat.joinable()) beat.join();
+  // Final flush: trace events recorded after the last heartbeat ship now,
+  // so a clean completion loses nothing.
+  ship_obs();
 
   if (failed) {
     (void)write_frame(write_fd, FrameType::kError, error);
@@ -344,6 +369,18 @@ std::vector<WorkerOutcome> RolloutSupervisor::run(const WorkerJob& job) {
         s.out.payload = std::move(frame.payload);
       } else if (frame.type == static_cast<std::uint8_t>(FrameType::kError)) {
         s.error_frame = std::move(frame.payload);
+      } else if (frame.type ==
+                 static_cast<std::uint8_t>(FrameType::kTelemetry)) {
+        // Child trace events stitch into the parent timeline on the
+        // child's pid row. A frame that fails to decode is dropped whole —
+        // a torn delta can never half-apply.
+        ObsDelta d;
+        if (d.decode(frame.payload).ok()) {
+          reg.merge_delta(d.telemetry);
+          TraceRecorder::global().import_events(
+              d.source_pid > 0 ? d.source_pid : static_cast<int>(s.pid),
+              d.trace_events);
+        }
       }
       // Heartbeats only refresh last_activity, done above.
     }

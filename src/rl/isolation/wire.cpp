@@ -1,43 +1,11 @@
 #include "rl/isolation/wire.h"
 
 #include "common/ipc.h"
+#include "common/telemetry_wire.h"
 
 namespace rlccd {
 
 namespace {
-
-// Span trees are shallow in practice ("rollout" > "flow" > passes); a depth
-// cap keeps a corrupt frame from recursing the decoder into the ground.
-constexpr int kMaxSpanDepth = 64;
-
-void append_span(std::string& out, const SpanNode& node) {
-  ipc_append_string(out, node.name);
-  ipc_append_pod(out, node.count);
-  ipc_append_pod(out, node.total_sec);
-  ipc_append_pod(out, static_cast<std::uint32_t>(node.children.size()));
-  for (const SpanNode& child : node.children) append_span(out, child);
-}
-
-Status parse_span(std::string_view bytes, std::size_t& offset, SpanNode& node,
-                  int depth) {
-  if (depth > kMaxSpanDepth) {
-    return Status::corrupt("span tree deeper than %d levels", kMaxSpanDepth);
-  }
-  RLCCD_TRY(ipc_parse_string(bytes, offset, node.name, "span name"));
-  RLCCD_TRY(ipc_parse_pod(bytes, offset, node.count, "span count"));
-  RLCCD_TRY(ipc_parse_pod(bytes, offset, node.total_sec, "span seconds"));
-  std::uint32_t n_children = 0;
-  RLCCD_TRY(ipc_parse_pod(bytes, offset, n_children, "span child count"));
-  if (n_children > bytes.size() - offset) {
-    return Status::corrupt("span child count %u exceeds remaining bytes",
-                           n_children);
-  }
-  node.children.resize(n_children);
-  for (SpanNode& child : node.children) {
-    RLCCD_TRY(parse_span(bytes, offset, child, depth + 1));
-  }
-  return Status();
-}
 
 void append_audit(std::string& out, const SelectionAudit& audit) {
   ipc_append_pod(out, static_cast<std::uint8_t>(audit.poisoned));
@@ -156,12 +124,7 @@ void encode_rollout_wire(const RolloutWire& wire, std::string& out) {
   ipc_append_pod(out, static_cast<std::uint32_t>(wire.grads.size()));
   for (const std::vector<float>& g : wire.grads) ipc_append_float_vec(out, g);
   append_audit(out, wire.audit);
-  ipc_append_pod(out, static_cast<std::uint32_t>(wire.counter_deltas.size()));
-  for (const auto& [name, delta] : wire.counter_deltas) {
-    ipc_append_string(out, name);
-    ipc_append_pod(out, delta);
-  }
-  append_span(out, wire.spans);
+  append_telemetry_snapshot(out, wire.telemetry);
 }
 
 Status decode_rollout_wire(std::string_view bytes, RolloutWire& out) {
@@ -201,19 +164,7 @@ Status decode_rollout_wire(std::string_view bytes, RolloutWire& out) {
 
   RLCCD_TRY(parse_audit(bytes, offset, out.audit));
 
-  std::uint32_t n_counters = 0;
-  RLCCD_TRY(ipc_parse_pod(bytes, offset, n_counters, "counter delta count"));
-  if (n_counters > bytes.size() - offset) {
-    return Status::corrupt("counter delta count %u exceeds remaining bytes",
-                           n_counters);
-  }
-  out.counter_deltas.resize(n_counters);
-  for (auto& [name, delta] : out.counter_deltas) {
-    RLCCD_TRY(ipc_parse_string(bytes, offset, name, "counter name"));
-    RLCCD_TRY(ipc_parse_pod(bytes, offset, delta, "counter delta"));
-  }
-
-  RLCCD_TRY(parse_span(bytes, offset, out.spans, 0));
+  RLCCD_TRY(parse_telemetry_snapshot(bytes, offset, out.telemetry));
   if (offset != bytes.size()) {
     return Status::corrupt("rollout wire has %zu trailing bytes",
                            bytes.size() - offset);

@@ -6,8 +6,8 @@
 // the EvalOutcome of the reward evaluation (the same struct every backend
 // receives from RolloutEvaluator, so cached and fresh outcomes serialize
 // identically), per-parameter gradients, the decision-provenance audit —
-// plus the child's telemetry delta (counter increments and the span tree
-// recorded while the rollout ran), which the parent re-applies to the
+// plus the child's telemetry delta (counters, histograms and the span tree
+// recorded while the rollout ran), which the parent merge_delta()s into the
 // global registry so metrics agree with the thread backend. Encoding is
 // little-endian fixed-width via the common/ipc.h codec; a leading version
 // byte rejects frames from a mismatched binary.
@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -30,7 +29,10 @@ namespace rlccd {
 struct RolloutWire {
   // v2: tns/reward/flow_ran/cancelled folded into an embedded EvalOutcome
   // (adds the state hash, hit provenance and the flow-cost skeleton).
-  static constexpr std::uint8_t kVersion = 2;
+  // v3: counter_deltas + spans replaced by a full TelemetrySnapshot delta
+  // (adds gauges and histograms) using the shared common/telemetry_wire
+  // codec — the same byte layout ObsDelta frames carry.
+  static constexpr std::uint8_t kVersion = 3;
 
   EvalOutcome outcome;
   std::int32_t steps = 0;
@@ -38,10 +40,11 @@ struct RolloutWire {
   std::vector<PinId> selection;
   std::vector<std::vector<float>> grads;  // per parameter
   SelectionAudit audit;
-  // Telemetry recorded on the child's rollout thread: counter deltas
-  // (name-sorted) and the closed-span tree under a synthetic root.
-  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
-  SpanNode spans;
+  // Telemetry recorded on the child's rollout thread (a TelemetryScope
+  // capture): counter/histogram deltas and the closed-span tree. The
+  // numeric telemetry rides *only* here — periodic kTelemetry frames from
+  // rollout children carry trace events alone, so nothing double-counts.
+  TelemetrySnapshot telemetry;
 };
 
 // EvalOutcome codec, shared between the rollout wire and anything else that

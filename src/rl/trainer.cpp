@@ -416,9 +416,7 @@ TrainStats ReinforceTrainer::train() {
             wire.selection = std::move(out.selection);
             wire.grads = std::move(out.grads);
             wire.audit = std::move(out.audit);
-            TelemetrySnapshot snap = scope.snapshot();
-            wire.counter_deltas = std::move(snap.counters);
-            wire.spans = std::move(snap.spans);
+            wire.telemetry = scope.snapshot();
             std::string payload;
             encode_rollout_wire(wire, payload);
             return payload;
@@ -458,16 +456,13 @@ TrainStats ReinforceTrainer::train() {
             !out.outcome.cache_hit && !out.outcome.cancelled &&
             !out.poisoned) {
           // count_global=false: the child's insert delta is already in
-          // wire.counter_deltas, applied below.
+          // wire.telemetry, applied below.
           cache_->insert(out.outcome.state_hash, out.outcome,
                          /*count_global=*/false);
         }
-        // Re-apply what the child's rollout recorded, so global counters
-        // and span trees agree with the thread backend.
-        for (const auto& [name, delta] : wire.counter_deltas) {
-          if (delta != 0) reg.counter(name).add(delta);
-        }
-        MetricsRegistry::global().merge_spans(wire.spans);
+        // Re-apply what the child's rollout recorded, so global counters,
+        // histograms and span trees agree with the thread backend.
+        reg.merge_delta(wire.telemetry);
       }
       if (n_crashed > 0) {
         ctr_iter_degraded.increment();

@@ -127,14 +127,19 @@ Status ServeClient::request(MsgType type, std::string_view payload,
         if (reply.type == static_cast<std::uint8_t>(MsgType::kProgress) ||
             reply.type == static_cast<std::uint8_t>(MsgType::kAudit) ||
             (reply.type == static_cast<std::uint8_t>(MsgType::kJobStatus) &&
-             expect != MsgType::kJobStatus)) {
+             expect != MsgType::kJobStatus) ||
+            (reply.type == static_cast<std::uint8_t>(MsgType::kStatsReply) &&
+             expect != MsgType::kStatsReply)) {
           continue;
         }
         break;
       }
       if (s.ok()) {
         if (reply.type == static_cast<std::uint8_t>(MsgType::kError)) {
-          return Status::invalid_argument("daemon: %s", reply.payload.c_str());
+          // The daemon's reject reason travels verbatim: callers (and
+          // tests) match on the exact text the daemon produced, so no
+          // "daemon:" prefix is prepended here.
+          return Status::invalid_argument("%s", reply.payload.c_str());
         }
         if (reply.type != static_cast<std::uint8_t>(expect)) {
           return Status::corrupt("expected %s reply, got type %d",
@@ -258,7 +263,8 @@ Status ServeClient::wait(std::uint64_t job_id, JobStatus& final_status,
         break;
       }
       case MsgType::kError:
-        return Status::invalid_argument("daemon: %s", frame.payload.c_str());
+        // Verbatim, like request(): the daemon's words are the diagnosis.
+        return Status::invalid_argument("%s", frame.payload.c_str());
       default:
         break;  // tolerate unknown streamed frames
     }
@@ -270,6 +276,54 @@ Status ServeClient::stats_json(std::string& json_out) {
   RLCCD_TRY(request(MsgType::kStats, {}, MsgType::kStatsReply, frame,
                     kReplyTimeoutSec));
   json_out = std::move(frame.payload);
+  return Status();
+}
+
+Status ServeClient::watch_stats(const StatsFn& on_stats, int count,
+                                double timeout_sec) {
+  if (fd_ < 0) {
+    return Status::failed_precondition("not connected; call connect() first");
+  }
+  RLCCD_TRY(write_msg(fd_, MsgType::kStatsWatch, {}));
+  const double deadline =
+      timeout_sec > 0.0 ? mono_sec() + timeout_sec : 0.0;
+  int seen = 0;
+  for (;;) {
+    double wait_sec = 1.0;
+    if (deadline > 0.0) {
+      wait_sec = std::min(wait_sec, deadline - mono_sec());
+      if (wait_sec <= 0.0) {
+        // No terminal frame exists for a stats stream; a timeout after at
+        // least one snapshot is a normal end of watching.
+        return seen > 0 ? Status()
+                        : Status::io_error("timeout waiting for stats");
+      }
+    }
+    Frame frame;
+    Status rs = recv_frame(fd_, decoder_, frame, wait_sec);
+    if (!rs.ok()) {
+      if (rs.to_string().find("timeout") != std::string::npos) continue;
+      return rs;
+    }
+    switch (static_cast<MsgType>(frame.type)) {
+      case MsgType::kStatsReply:
+        ++seen;
+        if (on_stats && !on_stats(frame.payload)) return Status();
+        if (count > 0 && seen >= count) return Status();
+        break;
+      case MsgType::kError:
+        return Status::invalid_argument("%s", frame.payload.c_str());
+      default:
+        break;  // tolerate stray streamed frames from an earlier watch
+    }
+  }
+}
+
+Status ServeClient::metrics_text(std::string& text_out) {
+  Frame frame;
+  RLCCD_TRY(request(MsgType::kMetrics, {}, MsgType::kMetricsReply, frame,
+                    kReplyTimeoutSec));
+  text_out = std::move(frame.payload);
   return Status();
 }
 

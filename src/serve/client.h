@@ -62,6 +62,18 @@ class ServeClient {
   // Health/stats endpoint: one JSON document.
   Status stats_json(std::string& json_out);
 
+  // Subscribes to the daemon's streamed stats feed (kStatsWatch) and calls
+  // `on_stats` with each pushed JSON document. Returns after `count`
+  // snapshots (count <= 0: until timeout), when the callback returns false,
+  // or when `timeout_sec` elapses (a timeout after at least one snapshot is
+  // success — the stream has no terminal frame).
+  using StatsFn = std::function<bool(const std::string& json)>;
+  Status watch_stats(const StatsFn& on_stats, int count = 0,
+                     double timeout_sec = 10.0);
+
+  // Prometheus exposition of the daemon's full metrics registry.
+  Status metrics_text(std::string& text_out);
+
   // Asks the daemon to drain and exit.
   Status shutdown();
 

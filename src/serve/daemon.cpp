@@ -24,8 +24,11 @@
 #include "common/fault.h"
 #include "common/io.h"
 #include "common/log.h"
+#include "common/postmortem.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "common/telemetry_wire.h"
+#include "common/trace.h"
 #include "core/rlccd.h"
 #include "designgen/blocks.h"
 #include "rl/audit.h"
@@ -85,6 +88,9 @@ class ChildProgress : public ProgressObserver {
     JobProgress p;
     p.phase.assign(event.phase.data(), event.phase.size());
     p.step.assign(event.step.data(), event.step.size());
+    if (EventRing::enabled()) {
+      EventRing::global().note("progress", p.phase + "/" + p.step);
+    }
     p.index = event.index;
     p.seconds = event.seconds;
     for (const ProgressMetric& m : event.metrics) {
@@ -118,6 +124,7 @@ class ChildAudit : public AuditSink {
 
  private:
   void line(const std::string& json) {
+    if (EventRing::enabled()) EventRing::global().note("audit", json);
     pipe_->send(static_cast<std::uint8_t>(MsgType::kChildAudit), json);
   }
   ChildPipe* pipe_;
@@ -149,6 +156,40 @@ std::uint32_t result_digest(const TrainStats& stats) {
 
   if (crash && crash_after <= 0) _exit(3);  // crash before any work
 
+  // Child-side observability plane: a fresh trace-event ring (the parent's
+  // buffers, inherited over fork, are its own story), a postmortem event
+  // ring fed by every log line / progress step / audit record, and a
+  // telemetry tracker baselined *now* so registry values inherited from the
+  // parent are never re-shipped. The heartbeat thread ships an ObsDelta
+  // alongside each heartbeat; a final flush precedes the result frame.
+  TraceRecorder::global().enable(4096);
+  EventRing::global().enable();
+  set_log_hook(+[](LogLevel, const char* l) {
+    EventRing::global().note("log", l);
+  });
+  TelemetryDeltaTracker obs_tracker;
+  TraceCursor obs_trace_cursor;
+  std::uint64_t obs_ring_seq = 0;
+  std::uint64_t obs_seq = 0;
+  auto ship_obs = [&] {
+    // Heartbeat-thread-then-main-thread use only (the final flush runs
+    // after the beat thread is joined), so the cursors need no lock.
+    ObsDelta d;
+    d.seq = ++obs_seq;
+    d.source_pid = static_cast<std::int32_t>(::getpid());
+    d.telemetry = obs_tracker.take();
+    TraceRecorder::global().collect_since(obs_trace_cursor, d.trace_events);
+    obs_ring_seq = EventRing::global().collect_since(obs_ring_seq,
+                                                     d.ring_events);
+    if (d.telemetry.counters.empty() && d.telemetry.gauges.empty() &&
+        d.telemetry.histograms.empty() && d.telemetry.spans.children.empty() &&
+        d.trace_events.empty() && d.ring_events.empty()) {
+      return;  // nothing new since the last ship
+    }
+    pipe.send(static_cast<std::uint8_t>(FrameType::kTelemetry), d.encode());
+  };
+  EventRing::global().note("phase", "attempt start");
+
   std::atomic<bool> hb_stop{false};
   std::thread beat;
   if (cfg.heartbeat_interval_sec > 0.0) {
@@ -159,6 +200,7 @@ std::uint32_t result_digest(const TrainStats& stats) {
         const double now = mono_sec();
         if (now >= next) {
           pipe.send(static_cast<std::uint8_t>(FrameType::kHeartbeat), {});
+          ship_obs();
           next = now + interval;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -168,6 +210,8 @@ std::uint32_t result_digest(const TrainStats& stats) {
 
   JobResult result;
   if (job.spec.kind == JobKind::kNoop) {
+    // Spanned so even a noop attempt lands one trace event on its pid row.
+    RLCCD_SPAN("noop");
     const double until = mono_sec() + std::max(0.0, job.spec.noop_sec);
     while (mono_sec() < until && !cancel.expired()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -215,6 +259,8 @@ std::uint32_t result_digest(const TrainStats& stats) {
     hb_stop.store(true, std::memory_order_relaxed);
     beat.join();
   }
+  EventRing::global().note("phase", "attempt done");
+  ship_obs();  // final flush: nothing recorded is lost on a clean exit
   std::string bytes;
   encode_job_result(bytes, result);
   pipe.send(static_cast<std::uint8_t>(FrameType::kResult), bytes);
@@ -269,6 +315,29 @@ void json_kv(std::string& out, const char* key, std::uint64_t v,
   out += buf;
 }
 
+// Minimal JSON string escape for free-text fields (job detail lines, paths)
+// embedded in the stats document.
+void json_str(std::string& out, std::string_view s) {
+  out += '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
 }  // namespace
 
 // The whole event loop lives in one stack-allocated struct so run() has no
@@ -299,8 +368,21 @@ struct DaemonLoop {
   MetricsCounter& ctr_dropped = reg.counter("serve.clients_dropped");
   MetricsCounter& ctr_accept_fail = reg.counter("serve.accept_failures");
   MetricsCounter& ctr_forced_full = reg.counter("serve.queue_full_injected");
+  MetricsCounter& ctr_obs_merged = reg.counter("serve.obs_deltas_merged");
+  MetricsCounter& ctr_obs_errors = reg.counter("serve.obs_delta_errors");
+  MetricsCounter& ctr_postmortems = reg.counter("serve.postmortems_written");
+  MetricsCounter& ctr_traces = reg.counter("serve.traces_written");
   MetricsHistogram& hist_wait = reg.histogram("serve.queue_wait_sec");
   MetricsHistogram& hist_run = reg.histogram("serve.job_run_sec");
+  MetricsGauge& g_queue_depth = reg.gauge("serve.queue_depth");
+  MetricsGauge& g_jobs_running = reg.gauge("serve.jobs_running");
+  MetricsGauge& g_retry_wait = reg.gauge("serve.jobs_retry_wait");
+  MetricsGauge& g_clients = reg.gauge("serve.clients_connected");
+  MetricsGauge& g_watchers = reg.gauge("serve.stats_watchers");
+
+  // kStatsWatch subscribers (client fds) and the next scheduled push.
+  std::vector<int> stats_watchers;
+  double next_stats_push = 0.0;
 
   explicit DaemonLoop(ServeDaemon& daemon)
       : d(daemon),
@@ -350,6 +432,9 @@ struct DaemonLoop {
     ctr_dropped.increment();
     for (Job* job : queue.queued_jobs()) forget_watcher(job, fd);
     for (Job* job : queue.running_jobs()) forget_watcher(job, fd);
+    stats_watchers.erase(
+        std::remove(stats_watchers.begin(), stats_watchers.end(), fd),
+        stats_watchers.end());
   }
 
   static void forget_watcher(Job* job, int fd) {
@@ -372,6 +457,8 @@ struct DaemonLoop {
     s.selection_size = job.result.selection_size;
     s.result_digest = job.result.digest;
     s.detail = job.detail;
+    s.postmortem = job.postmortem_path;
+    s.trace = job.trace_path;
     return s;
   }
 
@@ -534,7 +621,24 @@ struct DaemonLoop {
         break;
       }
       case MsgType::kStats:
+        update_gauges();
         send_msg(c, MsgType::kStatsReply, stats_json());
+        break;
+      case MsgType::kStatsWatch: {
+        // Subscribe to the streamed stats feed: one immediate snapshot,
+        // then periodic pushes until the client disconnects.
+        if (std::find(stats_watchers.begin(), stats_watchers.end(), c.fd) ==
+            stats_watchers.end()) {
+          stats_watchers.push_back(c.fd);
+        }
+        update_gauges();
+        send_msg(c, MsgType::kStatsReply, stats_json());
+        next_stats_push = mono_sec() + cfg.stats_push_interval_sec;
+        break;
+      }
+      case MsgType::kMetrics:
+        update_gauges();
+        send_msg(c, MsgType::kMetricsReply, reg.to_prometheus());
         break;
       case MsgType::kShutdown: {
         send_msg(c, MsgType::kShutdownReply, {});
@@ -663,6 +767,11 @@ struct DaemonLoop {
     s.result = JobResult();
 
     queue.mark_running(job, slot_index);
+    AttemptObs obs;
+    obs.attempt = job->attempts;
+    obs.pid = static_cast<int>(pid);
+    obs.started_sec = now;
+    job->attempt_obs.push_back(std::move(obs));
     job->detail = "running (attempt " + std::to_string(job->attempts) + ")";
     RLCCD_LOG_INFO("serve: job %llu attempt %d -> slot %d (pid %d%s%s)",
                    static_cast<unsigned long long>(job->id), job->attempts,
@@ -718,6 +827,42 @@ struct DaemonLoop {
           relay_to_watchers(s.job, MsgType::kAudit, bytes2);
           break;
         }
+        case static_cast<std::uint8_t>(FrameType::kTelemetry): {
+          // An ObsDelta from the child: merge the telemetry delta into the
+          // global registry and accumulate the trace/ring events on the
+          // attempt. A frame that fails to decode is dropped whole — a torn
+          // or corrupt delta can never half-apply.
+          ObsDelta d;
+          if (!d.decode(frame.payload).ok()) {
+            ctr_obs_errors.increment();
+            break;
+          }
+          reg.merge_delta(d.telemetry);
+          ctr_obs_merged.increment();
+          if (!s.job->attempt_obs.empty()) {
+            AttemptObs& obs = s.job->attempt_obs.back();
+            // Bounded accumulation: a runaway child must not balloon the
+            // daemon. Oldest trace events win (the stitched timeline reads
+            // left to right); newest ring events win (a postmortem wants
+            // the *last* things the child did).
+            constexpr std::size_t kMaxTraceEvents = 1u << 16;
+            constexpr std::size_t kMaxRingEvents = 512;
+            for (auto& ev : d.trace_events) {
+              if (obs.trace_events.size() >= kMaxTraceEvents) break;
+              obs.trace_events.push_back(std::move(ev));
+            }
+            for (auto& ev : d.ring_events) {
+              obs.ring_events.push_back(std::move(ev));
+            }
+            if (obs.ring_events.size() > kMaxRingEvents) {
+              obs.ring_events.erase(
+                  obs.ring_events.begin(),
+                  obs.ring_events.end() -
+                      static_cast<std::ptrdiff_t>(kMaxRingEvents));
+            }
+          }
+          break;
+        }
         default:
           s.error_frame = "unexpected frame type " +
                           std::to_string(static_cast<int>(frame.type));
@@ -749,6 +894,7 @@ struct DaemonLoop {
 
     const double now = mono_sec();
     hist_run.record(now - s.started);
+    if (!job->attempt_obs.empty()) job->attempt_obs.back().ended_sec = now;
 
     if (s.got_result) {
       job->result = s.result;
@@ -765,6 +911,10 @@ struct DaemonLoop {
         queue.finish_running(job, JobState::kDone);
         ctr_done.increment();
       }
+      if (!job->attempt_obs.empty()) {
+        job->attempt_obs.back().outcome = job_state_name(job->state);
+      }
+      write_job_trace(job, now);
       RLCCD_LOG_INFO("serve: job %llu %s (%s)",
                      static_cast<unsigned long long>(job->id),
                      job_state_name(job->state), job->detail.c_str());
@@ -784,11 +934,16 @@ struct DaemonLoop {
                   s.killed ? s.kill_reason : s.error_frame.c_str(),
                   cls.exit_code, cls.term_signal);
     job->kills += s.killed ? 1 : 0;
+    if (!job->attempt_obs.empty()) job->attempt_obs.back().outcome = desc;
+    // Every attempt that dies without a result gets a forensic record: the
+    // crash classification plus the last ring events the child shipped.
+    write_postmortem(job, cls, now - s.started);
 
     if (job->cancel_requested) {
       job->detail = std::string("cancelled: ") + desc;
       queue.finish_running(job, JobState::kCancelled);
       ctr_cancelled.increment();
+      write_job_trace(job, now);
       notify_watchers(job);
       return;
     }
@@ -828,10 +983,86 @@ struct DaemonLoop {
                             (draining ? " (during drain)" : ", retries exhausted");
     queue.finish_running(job, JobState::kFailed);
     ctr_failed.increment();
+    write_job_trace(job, now);
     RLCCD_LOG_ERROR("serve: job %llu lost after %d attempts (%s)",
                     static_cast<unsigned long long>(job->id), job->attempts,
                     desc);
     notify_watchers(job);
+  }
+
+  // -- observability artifacts ------------------------------------------------
+
+  void write_postmortem(Job* job, const WorkerExit& cls, double wall_sec) {
+    if (job->attempt_obs.empty()) return;
+    const AttemptObs& obs = job->attempt_obs.back();
+    PostmortemReport rep;
+    rep.job = std::to_string(job->id);
+    rep.attempt = obs.attempt;
+    rep.pid = obs.pid;
+    rep.classification = worker_failure_name(cls.failure);
+    rep.exit_code = cls.exit_code;
+    rep.term_signal = cls.term_signal;
+    rep.wall_sec = wall_sec;
+    rep.events = obs.ring_events;
+    const std::string path = job->workspace + "/postmortem-" +
+                             std::to_string(job->id) + "-" +
+                             std::to_string(obs.attempt) + ".json";
+    Status ws = write_postmortem_json(path, rep);
+    if (!ws.ok()) {
+      RLCCD_LOG_WARN("serve: postmortem %s: %s", path.c_str(),
+                     ws.to_string().c_str());
+      return;
+    }
+    job->postmortem_path = path;
+    ctr_postmortems.increment();
+    RLCCD_LOG_INFO("serve: job %llu attempt %d postmortem -> %s (%zu ring "
+                   "events)",
+                   static_cast<unsigned long long>(job->id), obs.attempt,
+                   path.c_str(), rep.events.size());
+  }
+
+  // Stitches every attempt's shipped trace events into one Chrome trace:
+  // the daemon's row carries a "job <id>" span covering submission to
+  // finalization, and each attempt's events land on its own pid row (named
+  // with the attempt number and outcome), so a crashed-and-retried job
+  // reads as two side-by-side process timelines.
+  void write_job_trace(Job* job, double now) {
+    if (job->attempt_obs.empty()) return;
+    const double t0 = job->submitted_sec;
+    const int daemon_pid = static_cast<int>(::getpid());
+    std::string out = "{\"traceEvents\":[";
+    append_chrome_process_name(out, daemon_pid, "daemon");
+    out += ',';
+    append_chrome_event(out, "job " + std::to_string(job->id), 0.0,
+                        (now - t0) * 1e6, daemon_pid, 0);
+    for (const AttemptObs& a : job->attempt_obs) {
+      char label[160];
+      std::snprintf(label, sizeof(label), "attempt %d%s%s", a.attempt,
+                    a.outcome.empty() ? "" : ": ", a.outcome.c_str());
+      out += ',';
+      append_chrome_process_name(out, a.pid, label);
+      const double end = a.ended_sec > 0.0 ? a.ended_sec : now;
+      out += ',';
+      append_chrome_event(out, "attempt", (a.started_sec - t0) * 1e6,
+                          std::max(0.0, end - a.started_sec) * 1e6, a.pid, 0);
+      for (const CollectedTraceEvent& ev : a.trace_events) {
+        out += ',';
+        append_chrome_event(out, ev.name, (ev.start_sec - t0) * 1e6,
+                            ev.dur_sec < 0.0 ? -1.0 : ev.dur_sec * 1e6, a.pid,
+                            ev.tid);
+      }
+    }
+    out += "]}\n";
+    const std::string path =
+        job->workspace + "/trace-" + std::to_string(job->id) + ".json";
+    Status ws = atomic_write_file(path, out);
+    if (!ws.ok()) {
+      RLCCD_LOG_WARN("serve: trace %s: %s", path.c_str(),
+                     ws.to_string().c_str());
+      return;
+    }
+    job->trace_path = path;
+    ctr_traces.increment();
   }
 
   // -- timeouts, drain --------------------------------------------------------
@@ -932,11 +1163,14 @@ struct DaemonLoop {
       const WorkerSlot& s = slots[i];
       if (i > 0) out += ",";
       std::snprintf(buf, sizeof(buf),
-                    "{\"slot\":%zu,\"busy\":%s,\"pid\":%d,\"job\":%llu}", i,
-                    s.busy ? "true" : "false",
+                    "{\"slot\":%zu,\"busy\":%s,\"pid\":%d,\"job\":%llu,"
+                    "\"phase\":",
+                    i, s.busy ? "true" : "false",
                     s.busy ? static_cast<int>(s.pid) : -1,
                     s.busy ? static_cast<unsigned long long>(s.job->id) : 0ull);
       out += buf;
+      json_str(out, s.busy ? s.job->detail : "idle");
+      out += "}";
     }
     out += "],\"sessions\":[";
     bool first = true;
@@ -960,10 +1194,88 @@ struct DaemonLoop {
     json_kv(out, "serve.clients_accepted", ctr_accepted.value());
     json_kv(out, "serve.clients_dropped", ctr_dropped.value());
     json_kv(out, "serve.accept_failures", ctr_accept_fail.value());
-    json_kv(out, "serve.queue_full_injected", ctr_forced_full.value(),
+    json_kv(out, "serve.queue_full_injected", ctr_forced_full.value());
+    json_kv(out, "serve.obs_deltas_merged", ctr_obs_merged.value());
+    json_kv(out, "serve.obs_delta_errors", ctr_obs_errors.value());
+    json_kv(out, "serve.postmortems_written", ctr_postmortems.value());
+    json_kv(out, "serve.traces_written", ctr_traces.value(), /*comma=*/false);
+    out += "},\"gauges\":{";
+    json_kv(out, "serve.queue_depth",
+            static_cast<std::uint64_t>(queue.queued_depth()));
+    json_kv(out, "serve.jobs_running",
+            static_cast<std::uint64_t>(queue.running_count()));
+    json_kv(out, "serve.jobs_retry_wait",
+            static_cast<std::uint64_t>(
+                queue.count_in_state(JobState::kRetryWait)));
+    json_kv(out, "serve.clients_connected",
+            static_cast<std::uint64_t>(clients.size()));
+    json_kv(out, "serve.stats_watchers",
+            static_cast<std::uint64_t>(stats_watchers.size()),
             /*comma=*/false);
+    out += "},";
+    // Retry/backoff state: how many jobs sit out a backoff and when the
+    // next one becomes runnable.
+    const double now2 = mono_sec();
+    const double due = queue.next_retry_due(now2);
+    std::snprintf(buf, sizeof(buf),
+                  "\"retry\":{\"waiting\":%d,\"next_due_in_sec\":%.3f},",
+                  queue.count_in_state(JobState::kRetryWait),
+                  due > 0.0 ? std::max(0.0, due - now2) : -1.0);
+    out += buf;
+    // Rollout evaluation cache, merged up from every job child's deltas.
+    const std::uint64_t hits = reg.counter("train.cache_hits").value();
+    const std::uint64_t misses = reg.counter("train.cache_misses").value();
+    std::snprintf(buf, sizeof(buf),
+                  "\"cache\":{\"hits\":%llu,\"misses\":%llu,"
+                  "\"hit_rate\":%.4f},",
+                  static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(misses),
+                  hits + misses > 0
+                      ? static_cast<double>(hits) /
+                            static_cast<double>(hits + misses)
+                      : 0.0);
+    out += buf;
+    out += "\"histograms\":{";
+    bool first_h = true;
+    for (const char* name : {"serve.queue_wait_sec", "serve.job_run_sec"}) {
+      const MetricsHistogram::Snapshot h = reg.histogram(name).snapshot();
+      if (!first_h) out += ",";
+      first_h = false;
+      json_str(out, name);
+      std::snprintf(buf, sizeof(buf),
+                    ":{\"count\":%llu,\"sum\":%.6f,\"p50\":%.6f,"
+                    "\"p95\":%.6f,\"p99\":%.6f}",
+                    static_cast<unsigned long long>(h.count), h.sum,
+                    h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+      out += buf;
+    }
     out += "}}";
     return out;
+  }
+
+  // Refreshes the registry gauges from live loop state; called on every
+  // loop pass and before any stats/metrics reply so scrapes never read a
+  // stale level.
+  void update_gauges() {
+    g_queue_depth.set(queue.queued_depth());
+    g_jobs_running.set(queue.running_count());
+    g_retry_wait.set(queue.count_in_state(JobState::kRetryWait));
+    g_clients.set(static_cast<std::int64_t>(clients.size()));
+    g_watchers.set(static_cast<std::int64_t>(stats_watchers.size()));
+  }
+
+  void push_stats(double now) {
+    if (stats_watchers.empty() || cfg.stats_push_interval_sec <= 0.0) return;
+    if (now < next_stats_push) return;
+    next_stats_push = now + cfg.stats_push_interval_sec;
+    update_gauges();
+    const std::string json = stats_json();
+    for (int fd : stats_watchers) {
+      auto it = clients.find(fd);
+      if (it != clients.end()) {
+        send_msg(it->second, MsgType::kStatsReply, json);
+      }
+    }
   }
 
   // -- accept -----------------------------------------------------------------
@@ -1027,6 +1339,9 @@ struct DaemonLoop {
       }
     }
     if (draining && drain_deadline > 0.0) next = std::min(next, drain_deadline);
+    if (!stats_watchers.empty() && cfg.stats_push_interval_sec > 0.0) {
+      next = std::min(next, next_stats_push);
+    }
     return std::max(1, static_cast<int>((next - now) * 1e3) + 1);
   }
 
@@ -1110,6 +1425,8 @@ struct DaemonLoop {
       }
 
       check_timeouts(mono_sec());
+      update_gauges();
+      push_stats(mono_sec());
 
       std::vector<int> doomed;
       for (auto& [fd, conn] : clients) {

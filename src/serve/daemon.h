@@ -67,6 +67,10 @@ struct ServeConfig {
   // are SIGKILLed and their jobs marked failed; the daemon then exits 1.
   double drain_timeout_sec = 30.0;
 
+  // kStatsWatch subscribers get a fresh stats JSON push this often while
+  // subscribed (the first push is immediate). <= 0 disables pushes.
+  double stats_push_interval_sec = 0.25;
+
   int max_clients = 64;
   // A client whose unsent output passes this bound is disconnected
   // (backpressure: a stalled reader must not buffer the daemon into the

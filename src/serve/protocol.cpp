@@ -22,6 +22,9 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kShutdownReply: return "shutdown_reply";
     case MsgType::kError: return "error";
+    case MsgType::kStatsWatch: return "stats_watch";
+    case MsgType::kMetrics: return "metrics";
+    case MsgType::kMetricsReply: return "metrics_reply";
   }
   return "?";
 }
@@ -115,6 +118,8 @@ void encode_job_status(std::string& out, const JobStatus& status) {
   ipc_append_pod(out, status.selection_size);
   ipc_append_pod(out, status.result_digest);
   ipc_append_string(out, status.detail);
+  ipc_append_string(out, status.postmortem);
+  ipc_append_string(out, status.trace);
 }
 
 Status parse_job_status(std::string_view bytes, std::size_t& offset,
@@ -144,6 +149,9 @@ Status parse_job_status(std::string_view bytes, std::size_t& offset,
   RLCCD_TRY(ipc_parse_pod(bytes, offset, status.result_digest,
                           "status.result_digest"));
   RLCCD_TRY(ipc_parse_string(bytes, offset, status.detail, "status.detail"));
+  RLCCD_TRY(
+      ipc_parse_string(bytes, offset, status.postmortem, "status.postmortem"));
+  RLCCD_TRY(ipc_parse_string(bytes, offset, status.trace, "status.trace"));
   return Status();
 }
 

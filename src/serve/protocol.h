@@ -38,7 +38,10 @@
 namespace rlccd {
 namespace serve {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// v2: JobStatus gained the postmortem/trace artifact paths; kStatsWatch
+// subscribes to a streamed stats feed; kMetrics fetches the Prometheus
+// exposition of the daemon's metrics registry.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 // Frame types. 1..3 belong to common/ipc FrameType (heartbeat / result /
 // error, reused verbatim on the job-worker pipes); 10..15 are
@@ -62,6 +65,12 @@ enum class MsgType : std::uint8_t {
   kShutdown = 28,
   kShutdownReply = 29,
   kError = 30,  // payload: human-readable message
+  // Streaming stats subscription: one kStatsWatch subscribes this client to
+  // periodic kStatsReply pushes (same JSON document as kStats) until it
+  // disconnects.
+  kStatsWatch = 31,
+  kMetrics = 32,       // request the Prometheus exposition
+  kMetricsReply = 33,  // payload: exposition text (UTF-8)
 };
 
 const char* msg_type_name(MsgType type);
@@ -127,6 +136,11 @@ struct JobStatus {
   // spec must agree bit-for-bit, crashed-and-resumed or not.
   std::uint32_t result_digest = 0;
   std::string detail;  // human-readable: last progress / failure reason
+  // Observability artifacts, when the daemon wrote them: the newest crash
+  // postmortem JSON for this job and the stitched per-job Chrome trace.
+  // Paths under the job workspace; empty when not (yet) written.
+  std::string postmortem;
+  std::string trace;
 };
 
 void encode_job_status(std::string& out, const JobStatus& status);

@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "common/postmortem.h"
+#include "common/trace.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
 
@@ -42,6 +44,21 @@ struct QueueConfig {
   int max_queue_depth = 64;         // queued jobs across all sessions
   int max_queued_per_session = 32;  // queued jobs per session
   int max_inflight_per_session = 2; // running jobs per session
+};
+
+// Observability accumulated for one job attempt from the worker child's
+// periodic ObsDelta frames: its trace events (stitched into the per-job
+// Chrome trace on one pid row per attempt) and the tail of its postmortem
+// event ring (serialized into postmortem-<job>-<attempt>.json if the
+// attempt dies without a result).
+struct AttemptObs {
+  int attempt = 0;  // 1-based, matches Job::attempts at spawn
+  int pid = 0;
+  double started_sec = 0.0;  // mono clock at fork
+  double ended_sec = 0.0;    // mono clock at finalize; 0 while running
+  std::string outcome;       // "done" / failure description once finished
+  std::vector<CollectedTraceEvent> trace_events;
+  std::vector<PostmortemEvent> ring_events;
 };
 
 // One admitted job. Plain data owned by the JobQueue; the daemon reaches in
@@ -64,6 +81,12 @@ struct Job {
   JobResult result;    // valid for kDone / kDrained
   std::string detail;  // last progress line or failure reason
   std::vector<int> watchers;  // client fds streaming this job
+
+  // Observability plane: one AttemptObs per forked attempt, and the
+  // artifact paths once the daemon writes them (JobStatus carries both).
+  std::vector<AttemptObs> attempt_obs;
+  std::string postmortem_path;  // newest postmortem-<job>-<attempt>.json
+  std::string trace_path;       // stitched trace-<job>.json
 
   [[nodiscard]] int priority() const { return spec.priority; }
 };

@@ -19,7 +19,7 @@ namespace {
 
 TEST(ReportMetrics, ParsesRegistryExportRoundTrip) {
   // Feed the parser the real exporter's output, not a handwritten imitation.
-  MetricsRegistry::global().counter("report.test_counter").add(17);
+  MetricsRegistry::global().counter("test.report_counter").add(17);
   TelemetryScope scope;
   {
     RLCCD_SPAN("report_outer");

@@ -57,9 +57,14 @@ RolloutWire sample_wire() {
   step.masked = {{9, 0.8125}, {13, 0.4375}};
   w.audit.steps = {step};
   w.audit.poisoned = false;
-  w.counter_deltas = {{"flow.cancelled", 0}, {"sta.full_runs", 4}};
-  w.spans.name = "<root>";
-  SpanNode& rollout = w.spans.child("rollout");
+  w.telemetry.counters = {{"flow.cancelled", 0}, {"sta.full_runs", 4}};
+  w.telemetry.gauges = {{"train.cache_resident_bytes", 4096}};
+  MetricsHistogram::Snapshot h;
+  h.merge_value(0.25, -2);
+  h.merge_value(1.5, 1);
+  w.telemetry.histograms = {{"flow.seconds", h}};
+  w.telemetry.spans.name = "<root>";
+  SpanNode& rollout = w.telemetry.spans.child("rollout");
   rollout.count = 1;
   rollout.total_sec = 0.25;
   SpanNode& flow = rollout.child("flow");
@@ -105,10 +110,22 @@ void expect_wire_equal(const RolloutWire& a, const RolloutWire& b) {
       EXPECT_EQ(sa.masked[m].overlap, sb.masked[m].overlap);
     }
   }
-  EXPECT_EQ(a.counter_deltas, b.counter_deltas);
+  EXPECT_EQ(a.telemetry.counters, b.telemetry.counters);
+  EXPECT_EQ(a.telemetry.gauges, b.telemetry.gauges);
+  ASSERT_EQ(a.telemetry.histograms.size(), b.telemetry.histograms.size());
+  for (std::size_t i = 0; i < a.telemetry.histograms.size(); ++i) {
+    EXPECT_EQ(a.telemetry.histograms[i].first, b.telemetry.histograms[i].first);
+    const MetricsHistogram::Snapshot& ha = a.telemetry.histograms[i].second;
+    const MetricsHistogram::Snapshot& hb = b.telemetry.histograms[i].second;
+    EXPECT_EQ(ha.count, hb.count);
+    EXPECT_EQ(ha.sum, hb.sum);
+    EXPECT_EQ(ha.min, hb.min);
+    EXPECT_EQ(ha.max, hb.max);
+    EXPECT_EQ(ha.buckets, hb.buckets);
+  }
   // Span tree: compare the one path the sample populates.
-  const SpanNode* ra = a.spans.find("rollout/flow");
-  const SpanNode* rb = b.spans.find("rollout/flow");
+  const SpanNode* ra = a.telemetry.spans.find("rollout/flow");
+  const SpanNode* rb = b.telemetry.spans.find("rollout/flow");
   ASSERT_NE(ra, nullptr);
   ASSERT_NE(rb, nullptr);
   EXPECT_EQ(ra->count, rb->count);

@@ -82,6 +82,8 @@ TEST(ServeProtocol, JobStatusRoundTripsEveryState) {
     st.selection_size = 7;
     st.result_digest = 0xCAFEF00Du;
     st.detail = "retrying after signal (exit=-1 signal=9)";
+    st.postmortem = "/ws/7/postmortem-7-1.json";
+    st.trace = "/ws/7/trace-7.json";
 
     std::string bytes;
     encode_job_status(bytes, st);
@@ -92,6 +94,8 @@ TEST(ServeProtocol, JobStatusRoundTripsEveryState) {
     EXPECT_EQ(out.job_id, st.job_id);
     EXPECT_EQ(out.result_digest, st.result_digest);
     EXPECT_EQ(out.detail, st.detail);
+    EXPECT_EQ(out.postmortem, st.postmortem);
+    EXPECT_EQ(out.trace, st.trace);
   }
 }
 
@@ -183,6 +187,9 @@ TEST(ServeProtocol, JobResultRoundTrips) {
 TEST(ServeProtocol, NamesAreStable) {
   EXPECT_STREQ(msg_type_name(MsgType::kSubmit), "submit");
   EXPECT_STREQ(msg_type_name(MsgType::kStatsReply), "stats_reply");
+  EXPECT_STREQ(msg_type_name(MsgType::kStatsWatch), "stats_watch");
+  EXPECT_STREQ(msg_type_name(MsgType::kMetrics), "metrics");
+  EXPECT_STREQ(msg_type_name(MsgType::kMetricsReply), "metrics_reply");
   EXPECT_STREQ(job_kind_name(JobKind::kNoop), "noop");
   EXPECT_STREQ(job_state_name(JobState::kRetryWait), "retry_wait");
   EXPECT_STREQ(job_state_name(JobState::kDrained), "drained");

@@ -32,6 +32,9 @@ const FlagSpec kSpecs[] = {
     {"--metrics-csv", "FILE",
      "write the telemetry counters/histograms as CSV",
      &CommonArgs::metrics_csv},
+    {"--metrics-prom", "FILE",
+     "write the telemetry registry as Prometheus text exposition",
+     &CommonArgs::metrics_prom},
     {"--trace-json", "FILE",
      "record a Chrome-trace timeline (Perfetto / chrome://tracing)",
      &CommonArgs::trace_json},
@@ -156,6 +159,13 @@ bool write_common_artifacts(const CommonArgs& args, JsonlAuditWriter* audit) {
       return false;
     }
     std::printf("telemetry written to %s\n", args.metrics_csv.c_str());
+  }
+  if (!args.metrics_prom.empty()) {
+    if (!MetricsRegistry::global().write_prometheus(args.metrics_prom)) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_prom.c_str());
+      return false;
+    }
+    std::printf("telemetry written to %s\n", args.metrics_prom.c_str());
   }
   if (!args.trace_json.empty()) {
     TraceRecorder& rec = TraceRecorder::global();

@@ -1,7 +1,8 @@
 // Flags shared by the rlccd_cli and smoke_rl drivers, parsed in one place.
 //
 // Both tools accept the same flight-recorder artifact flags
-// (--metrics-json, --metrics-csv, --trace-json, --audit-jsonl, --progress),
+// (--metrics-json, --metrics-csv, --metrics-prom, --trace-json,
+// --audit-jsonl, --progress),
 // the same fault-tolerance knobs (--checkpoint-dir, --resume,
 // --rollout-deadline, --isolate-workers, --max-worker-restarts) and the
 // flow-outcome cache budget (--flow-cache-mb). Each used to hand-roll its
@@ -30,6 +31,7 @@ namespace tools {
 struct CommonArgs {
   std::string metrics_json;
   std::string metrics_csv;
+  std::string metrics_prom;
   std::string trace_json;
   std::string audit_jsonl;
   bool progress = false;

@@ -5,11 +5,17 @@
 //   rlccd_client --socket PATH wait JOB_ID [--timeout SEC]
 //   rlccd_client --socket PATH cancel JOB_ID
 //   rlccd_client --socket PATH stats
+//   rlccd_client --socket PATH watch [--count N] [--timeout SEC] [--json]
+//   rlccd_client --socket PATH metrics
 //   rlccd_client --socket PATH shutdown
 //
 // submit prints "job <id>" on admission (exit 0) or the rejection reason
 // (exit 3). wait streams progress lines while the job runs and exits 0 only
-// when the job ends kDone or kDrained.
+// when the job ends kDone or kDrained. watch subscribes to the daemon's
+// streamed stats feed and renders a refreshing fleet view (queue depth,
+// per-worker phase, cache hit rate, retry state) — or the raw JSON
+// documents with --json. metrics prints the daemon's Prometheus text
+// exposition.
 #ifdef _WIN32
 #include <cstdio>
 int main() {
@@ -23,6 +29,7 @@ int main() {
 #include <cstring>
 #include <string>
 
+#include "common/json.h"
 #include "common/log.h"
 #include "serve/client.h"
 
@@ -43,6 +50,8 @@ void usage(std::FILE* out) {
       "  wait JOB_ID [--timeout SEC]\n"
       "  cancel JOB_ID\n"
       "  stats\n"
+      "  watch     [--count N] [--timeout SEC] [--json]\n"
+      "  metrics\n"
       "  shutdown\n");
 }
 
@@ -60,6 +69,8 @@ void print_status(const serve::JobStatus& s) {
                 s.result_digest);
   }
   if (!s.detail.empty()) std::printf("  (%s)", s.detail.c_str());
+  if (!s.postmortem.empty()) std::printf("  postmortem=%s", s.postmortem.c_str());
+  if (!s.trace.empty()) std::printf("  trace=%s", s.trace.c_str());
   std::printf("\n");
 }
 
@@ -68,6 +79,68 @@ int exit_code_for(const serve::JobStatus& s) {
           s.state == serve::JobState::kDrained)
              ? 0
              : 1;
+}
+
+// One rendered frame of the fleet view: a compact multi-line summary of the
+// streamed stats document. Falls back to the raw JSON if it fails to parse
+// (a newer daemon's document still shows up, just unrendered).
+void print_fleet_view(const std::string& json, int frame) {
+  JsonValue doc;
+  if (!JsonValue::parse(json, doc).ok() || !doc.is_object()) {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  const JsonValue* gauges = doc.find("gauges");
+  auto gauge = [&](const char* name) -> double {
+    return gauges != nullptr && gauges->is_object()
+               ? gauges->number_or(name, 0.0)
+               : 0.0;
+  };
+  std::printf("-- stats #%d  uptime %.1fs%s --\n", frame,
+              doc.number_or("uptime_sec", 0.0),
+              doc.bool_or("draining", false) ? "  DRAINING" : "");
+  std::printf("queue depth=%d running=%d retry_wait=%d clients=%d "
+              "watchers=%d\n",
+              static_cast<int>(gauge("serve.queue_depth")),
+              static_cast<int>(gauge("serve.jobs_running")),
+              static_cast<int>(gauge("serve.jobs_retry_wait")),
+              static_cast<int>(gauge("serve.clients_connected")),
+              static_cast<int>(gauge("serve.stats_watchers")));
+  const JsonValue* retry = doc.find("retry");
+  if (retry != nullptr && retry->is_object()) {
+    const double due = retry->number_or("next_due_in_sec", -1.0);
+    if (due >= 0.0) {
+      std::printf("retry  %d waiting, next due in %.2fs\n",
+                  static_cast<int>(retry->number_or("waiting", 0.0)), due);
+    }
+  }
+  const JsonValue* cache = doc.find("cache");
+  if (cache != nullptr && cache->is_object()) {
+    std::printf("cache  hits=%llu misses=%llu hit_rate=%.2f%%\n",
+                static_cast<unsigned long long>(
+                    cache->number_or("hits", 0.0)),
+                static_cast<unsigned long long>(
+                    cache->number_or("misses", 0.0)),
+                100.0 * cache->number_or("hit_rate", 0.0));
+  }
+  const JsonValue* workers = doc.find("workers");
+  if (workers != nullptr && workers->is_array()) {
+    for (const JsonValue& w : workers->array_items()) {
+      if (!w.is_object()) continue;
+      if (w.bool_or("busy", false)) {
+        std::printf("worker %d  pid=%d job=%llu  %s\n",
+                    static_cast<int>(w.number_or("slot", 0.0)),
+                    static_cast<int>(w.number_or("pid", -1.0)),
+                    static_cast<unsigned long long>(
+                        w.number_or("job", 0.0)),
+                    w.string_or("phase", "").c_str());
+      } else {
+        std::printf("worker %d  idle\n",
+                    static_cast<int>(w.number_or("slot", 0.0)));
+      }
+    }
+  }
+  std::fflush(stdout);
 }
 
 int do_wait(serve::ServeClient& client, std::uint64_t job_id,
@@ -101,6 +174,8 @@ int main(int argc, char** argv) {
   std::uint64_t job_id = 0;
   bool have_job_id = false;
   bool wait_flag = false;
+  bool json_flag = false;
+  int count = 0;
   double timeout_sec = 0.0;
   serve::JobSpec spec;
   spec.session = "default";
@@ -148,6 +223,10 @@ int main(int argc, char** argv) {
       spec.noop_sec = std::atof(value("--noop-sec"));
     } else if (std::strcmp(argv[i], "--wait") == 0) {
       wait_flag = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_flag = true;
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      count = std::atoi(value("--count"));
     } else if (std::strcmp(argv[i], "--timeout") == 0) {
       timeout_sec = std::atof(value("--timeout"));
     } else if (command.empty() && argv[i][0] != '-') {
@@ -218,6 +297,36 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  if (command == "watch") {
+    int frame = 0;
+    Status s = client.watch_stats(
+        [&](const std::string& json) {
+          ++frame;
+          if (json_flag) {
+            std::printf("%s\n", json.c_str());
+            std::fflush(stdout);
+          } else {
+            print_fleet_view(json, frame);
+          }
+          return true;
+        },
+        count, timeout_sec > 0.0 ? timeout_sec : 10.0);
+    if (!s.ok()) {
+      std::fprintf(stderr, "rlccd_client: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (command == "metrics") {
+    std::string text;
+    Status s = client.metrics_text(text);
+    if (!s.ok()) {
+      std::fprintf(stderr, "rlccd_client: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), stdout);
     return 0;
   }
   if (command == "shutdown") {

@@ -55,7 +55,10 @@ void usage(std::FILE* out) {
       "  --hb-timeout SEC       heartbeat-silence SIGKILL (default 10)\n"
       "  --drain-timeout SEC    max graceful-drain wait (default 30)\n"
       "  --backoff-base SEC     retry backoff base (default 0.05)\n"
-      "  --metrics-json PATH    dump telemetry registry at exit\n");
+      "  --stats-interval SEC   kStatsWatch push cadence (default 0.25;\n"
+      "                         <= 0 disables streaming)\n"
+      "  --metrics-json PATH    dump telemetry registry at exit\n"
+      "  --metrics-prom PATH    dump Prometheus exposition at exit\n");
 }
 
 bool arg_value(int argc, char** argv, int& i, const char* name,
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
   set_log_level(LogLevel::Info);
   serve::ServeConfig cfg;
   std::string metrics_json;
+  std::string metrics_prom;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -102,8 +106,12 @@ int main(int argc, char** argv) {
       cfg.drain_timeout_sec = std::atof(v);
     } else if (arg_value(argc, argv, i, "--backoff-base", &v)) {
       cfg.retry_backoff_base_sec = std::atof(v);
+    } else if (arg_value(argc, argv, i, "--stats-interval", &v)) {
+      cfg.stats_push_interval_sec = std::atof(v);
     } else if (arg_value(argc, argv, i, "--metrics-json", &v)) {
       metrics_json = v;
+    } else if (arg_value(argc, argv, i, "--metrics-prom", &v)) {
+      metrics_prom = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       usage(stderr);
@@ -133,6 +141,11 @@ int main(int argc, char** argv) {
       !MetricsRegistry::global().write_json(metrics_json)) {
     std::fprintf(stderr, "rlccd_serve: failed to write %s\n",
                  metrics_json.c_str());
+  }
+  if (!metrics_prom.empty() &&
+      !MetricsRegistry::global().write_prometheus(metrics_prom)) {
+    std::fprintf(stderr, "rlccd_serve: failed to write %s\n",
+                 metrics_prom.c_str());
   }
   return rc;
 }
